@@ -1,0 +1,335 @@
+package luckystore_test
+
+// One benchmark per reproduced table/figure (wrapping the E1–E12
+// experiment drivers, the same code cmd/luckybench runs), plus
+// operation-level micro-benchmarks for the core protocol, the Appendix
+// C/D variants and the ABD baseline.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks report wall-clock per full experiment; the
+// micro-benchmarks report per-operation cost on the in-memory network
+// (round-trip *counts* are asserted in the test suite; these measure
+// constant factors).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"luckystore"
+
+	"luckystore/internal/abd"
+	"luckystore/internal/core"
+	"luckystore/internal/experiments"
+	"luckystore/internal/regular"
+	"luckystore/internal/twophase"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// benchCfg keeps the round-1 timer small so slow paths do not dominate
+// benchmark wall time.
+func benchCfg() luckystore.Config {
+	return luckystore.Config{T: 2, B: 1, Fw: 1, NumReaders: 2,
+		RoundTimeout: 2 * time.Millisecond}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("%s shape diverged from the paper:\n%s", id, res)
+		}
+	}
+}
+
+// --- One benchmark per experiment (table/figure) -------------------
+
+func BenchmarkE1FastWrites(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2FastReads(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3SlowPaths(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4Tradeoff(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5UpperBound(b *testing.B)   { benchExperiment(b, "E5") }
+func BenchmarkE6TradingReads(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7WriteBound(b *testing.B)   { benchExperiment(b, "E7") }
+func BenchmarkE8TwoPhase(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9Regular(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkE10Ghost(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Baselines(b *testing.B)   { benchExperiment(b, "E11") }
+func BenchmarkE12Latency(b *testing.B)     { benchExperiment(b, "E12") }
+
+// --- Core protocol micro-benchmarks --------------------------------
+
+func BenchmarkLuckyWrite(b *testing.B) {
+	cluster, err := luckystore.New(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cluster.Writer().Write(luckystore.Value(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !cluster.Writer().LastMeta().Fast {
+		b.Fatal("benchmarked write was not on the fast path")
+	}
+}
+
+func BenchmarkLuckyRead(b *testing.B) {
+	cluster, err := luckystore.New(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Writer().Write("v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Reader(0).Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !cluster.Reader(0).LastMeta().Fast() {
+		b.Fatal("benchmarked read was not on the fast path")
+	}
+}
+
+// BenchmarkSlowWrite measures the 3-round write path (fw+1 failures).
+// The round-1 synchrony timer dominates: this is the price of missing
+// the fast quorum.
+func BenchmarkSlowWrite(b *testing.B) {
+	cluster, err := luckystore.New(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.CrashServer(0)
+	cluster.CrashServer(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cluster.Writer().Write(luckystore.Value(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if cluster.Writer().LastMeta().Fast {
+		b.Fatal("benchmarked write unexpectedly fast")
+	}
+}
+
+// BenchmarkReadWithByzantineServer shows that a forging Byzantine
+// server does not knock the read off its fast path.
+func BenchmarkReadWithByzantineServer(b *testing.B) {
+	cluster, err := luckystore.New(benchCfg(),
+		luckystore.WithForgingServer(3, 99999, "forged"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Writer().Write("v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cluster.Reader(0).Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Val == "forged" {
+			b.Fatal("forged value returned")
+		}
+	}
+}
+
+func BenchmarkWriteLargeValue(b *testing.B) {
+	cluster, err := luckystore.New(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	payload := luckystore.Value(string(make([]byte, 16<<10)))
+	b.SetBytes(16 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cluster.Writer().Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Variant and baseline micro-benchmarks -------------------------
+
+func BenchmarkTwoPhaseWrite(b *testing.B) {
+	c, err := twophase.NewCluster(twophase.Config{T: 2, B: 1, Fr: 1, NumReaders: 1,
+		RoundTimeout: 2 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Writer().Write(types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoPhaseRead(b *testing.B) {
+	c, err := twophase.NewCluster(twophase.Config{T: 2, B: 1, Fr: 1, NumReaders: 1,
+		RoundTimeout: 2 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Writer().Write("v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reader(0).Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegularWrite(b *testing.B) {
+	c, err := regular.NewCluster(regular.Config{T: 2, B: 1, NumReaders: 1,
+		RoundTimeout: 2 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Writer().Write(types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegularRead(b *testing.B) {
+	c, err := regular.NewCluster(regular.Config{T: 2, B: 1, NumReaders: 1,
+		RoundTimeout: 2 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Writer().Write("v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reader(0).Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkABDWrite(b *testing.B) {
+	c, err := abd.NewCluster(abd.Config{T: 2, NumReaders: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Writer().Write(types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkABDRead(b *testing.B) {
+	c, err := abd.NewCluster(abd.Config{T: 2, NumReaders: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Writer().Write("v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reader(0).Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks -------------------------------------
+
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	env := wire.Envelope{
+		From: types.ServerID(3), To: types.ReaderID(0),
+		Msg: wire.ReadAck{
+			TSR: 7, Round: 1,
+			PW: types.Tagged{TS: 9, Val: "payload-value"},
+			W:  types.Tagged{TS: 8, Val: "older-value"},
+			VW: types.Tagged{TS: 7, Val: "oldest"},
+		},
+	}
+	var buf writableBuffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := wire.EncodeFrame(&buf, env); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.DecodeFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViewSelect(b *testing.B) {
+	cfg := core.Config{T: 2, B: 1, Fw: 1}
+	c := types.Tagged{TS: 40, Val: "current"}
+	old := types.Tagged{TS: 39, Val: "previous"}
+	view := core.NewView(cfg, 1)
+	for i := 0; i < cfg.S(); i++ {
+		view.Update(types.ServerID(i), 1, c, old, old, types.InitialFrozen())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := view.Select(); !ok {
+			b.Fatal("no candidate")
+		}
+	}
+}
+
+// writableBuffer is a minimal growable read/write buffer for the codec
+// benchmark (avoids bytes.Buffer's interface indirection noise).
+type writableBuffer struct {
+	data []byte
+	off  int
+}
+
+func (w *writableBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+func (w *writableBuffer) Read(p []byte) (int, error) {
+	n := copy(p, w.data[w.off:])
+	w.off += n
+	if n == 0 {
+		return 0, fmt.Errorf("EOF")
+	}
+	return n, nil
+}
+
+func (w *writableBuffer) Reset() { w.data, w.off = w.data[:0], 0 }

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	if code := run([]string{"-run", "E1"}); code != 0 {
+		t.Fatalf("-run E1 exit = %d", code)
+	}
+}
+
+func TestSingleExperimentMarkdown(t *testing.T) {
+	if code := run([]string{"-run", "E4", "-markdown"}); code != 0 {
+		t.Fatalf("-run E4 -markdown exit = %d", code)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-run", "E99"}); code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Command luckyctl is the client CLI for a TCP lucky-register cluster.
+//
+// Usage:
+//
+//	luckyctl -t 2 -b 1 -fw 1 -servers host:p0,host:p1,... write "value"
+//	luckyctl -t 2 -b 1 -fw 1 -servers host:p0,host:p1,... read
+//
+// The server list must contain exactly S = 2t+b+1 addresses, in server
+// index order. The exit status is 0 on success; the read subcommand
+// prints "ts=<k> value=<v>" plus the round-trip count observed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"luckystore"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("luckyctl", flag.ContinueOnError)
+	var (
+		t       = fs.Int("t", 2, "failures tolerated (t)")
+		b       = fs.Int("b", 1, "Byzantine failures tolerated (b ≤ t)")
+		fw      = fs.Int("fw", 1, "fast-write failure budget (0 ≤ fw ≤ t−b)")
+		servers = fs.String("servers", "", "comma-separated S server addresses, index order")
+		reader  = fs.Int("reader", 0, "reader index for the read subcommand")
+		timeout = fs.Duration("timeout", 5*time.Second, "per-operation timeout")
+		rtt     = fs.Duration("rtt", 100*time.Millisecond, "round-trip synchrony bound (round-1 timer)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "luckyctl: need a subcommand: write <value> | read")
+		return 2
+	}
+
+	cfg := luckystore.Config{T: *t, B: *b, Fw: *fw,
+		RoundTimeout: *rtt, OpTimeout: *timeout}
+	if err := luckystore.ValidateConfig(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "luckyctl: %v\n", err)
+		return 2
+	}
+	addrList := strings.Split(*servers, ",")
+	if *servers == "" || len(addrList) != cfg.S() {
+		fmt.Fprintf(os.Stderr, "luckyctl: -servers must list exactly S=%d addresses\n", cfg.S())
+		return 2
+	}
+	addrs := luckystore.ServerAddrs(addrList)
+
+	switch fs.Arg(0) {
+	case "write":
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "luckyctl: write needs exactly one value argument")
+			return 2
+		}
+		w, closer, err := luckystore.NewTCPWriter(cfg, addrs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "luckyctl: %v\n", err)
+			return 1
+		}
+		defer closer.Close()
+		if err := w.Write(luckystore.Value(fs.Arg(1))); err != nil {
+			fmt.Fprintf(os.Stderr, "luckyctl: write: %v\n", err)
+			return 1
+		}
+		m := w.LastMeta()
+		fmt.Printf("ok ts=%d rounds=%d fast=%v\n", m.TS, m.Rounds, m.Fast)
+		return 0
+
+	case "read":
+		r, closer, err := luckystore.NewTCPReader(cfg, *reader, addrs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "luckyctl: %v\n", err)
+			return 1
+		}
+		defer closer.Close()
+		got, err := r.Read()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "luckyctl: read: %v\n", err)
+			return 1
+		}
+		m := r.LastMeta()
+		fmt.Printf("ts=%d value=%q rounds=%d fast=%v\n", got.TS, string(got.Val), m.Rounds(), m.Fast())
+		return 0
+
+	default:
+		fmt.Fprintf(os.Stderr, "luckyctl: unknown subcommand %q\n", fs.Arg(0))
+		return 2
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"luckystore"
+)
+
+// startServers brings up S TCP servers for t=1, b=0 (S=3) and returns
+// the -servers flag value.
+func startServers(t *testing.T, s int) string {
+	t.Helper()
+	addrs := make([]string, s)
+	for i := 0; i < s; i++ {
+		srv, err := luckystore.ListenTCP(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	return strings.Join(addrs, ",")
+}
+
+func TestWriteThenReadEndToEnd(t *testing.T) {
+	servers := startServers(t, 3)
+	base := []string{"-t", "1", "-b", "0", "-fw", "1", "-servers", servers}
+
+	if code := run(append(base, "write", "cli-value")); code != 0 {
+		t.Fatalf("write exit = %d", code)
+	}
+	if code := run(append(base, "read")); code != 0 {
+		t.Fatalf("read exit = %d", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := [][]string{
+		{},                                // no subcommand
+		{"-servers", "a,b", "write", "v"}, // wrong server count for defaults
+		{"-t", "1", "-b", "2", "read"},    // invalid config
+		{"-t", "0", "-b", "0", "-fw", "0", "-servers", "x", "frobnicate"}, // unknown subcommand
+		{"-t", "0", "-b", "0", "-fw", "0", "-servers", "x", "write"},      // missing value
+	}
+	for _, args := range tests {
+		if code := run(args); code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", args)
+		}
+	}
+}
+
+func TestReadAgainstDeadClusterFails(t *testing.T) {
+	args := []string{"-t", "0", "-b", "0", "-fw", "0",
+		"-servers", "127.0.0.1:1", "-timeout", "300ms", "read"}
+	if code := run(args); code == 0 {
+		t.Error("read against a dead cluster succeeded")
+	}
+}

@@ -1,0 +1,55 @@
+// Command luckyd runs one storage server of the lucky atomic register
+// over TCP.
+//
+// Usage:
+//
+//	luckyd -index 0 -listen 127.0.0.1:7000
+//
+// Start 2t+b+1 of these (indexes 0..S-1), then point luckyctl at them.
+// Stopping the process is, to the rest of the cluster, a crash failure
+// — which the protocol tolerates for up to t servers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"luckystore"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		index  = flag.Int("index", 0, "server index i (process id becomes s<i>)")
+		listen = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	)
+	flag.Parse()
+	if *index < 0 {
+		fmt.Fprintln(os.Stderr, "luckyd: -index must be non-negative")
+		return 2
+	}
+
+	srv, err := luckystore.ListenTCP(*index, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "luckyd: %v\n", err)
+		return 1
+	}
+	log.Printf("luckyd: server %s listening on %s", srv.ID(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("luckyd: shutting down %s", srv.ID())
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "luckyd: close: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,42 @@
+// Package luckystore is a Go implementation of the robust atomic
+// storage of Guerraoui, Levy and Vukolić, "Lucky Read/Write Access to
+// Robust Atomic Storage" (DSN 2006): a single-writer multi-reader
+// atomic register emulated over S = 2t + b + 1 servers of which t may
+// fail, b of them arbitrarily (Byzantine), without data authentication.
+//
+// Its distinguishing property is the tight best-case bound the paper
+// proves: every lucky operation — one that runs synchronously and
+// without read/write contention — completes in a single communication
+// round-trip, with writes tolerating up to fw actual failures and reads
+// up to fr, for any split fw + fr = t − b.
+//
+// # Quick start
+//
+//	cfg := luckystore.Config{T: 2, B: 1, Fw: 1, NumReaders: 2}
+//	cluster, err := luckystore.New(cfg)
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	w := cluster.Writer()
+//	_ = w.Write("hello")             // 1 round-trip when lucky
+//	got, _ := cluster.Reader(0).Read() // 1 round-trip when lucky
+//	fmt.Println(got.Val, got.TS)
+//
+// # What lives where
+//
+//   - internal/core — the paper's algorithm (Figures 1–3)
+//   - internal/twophase — Appendix C: 2-round writes at
+//     S = 2t+b+min(b,fr)+1
+//   - internal/regular — Appendix D: regular semantics, malicious
+//     readers tolerated, fw = t−b, fr = t
+//   - internal/abd — the ABD crash-only baseline
+//   - internal/keyed, internal/kv — the multi-register layer behind
+//     OpenKV/OpenKVTCP: every key an independent atomic register
+//   - internal/experiments — every paper claim as a measured experiment
+//     (run them with cmd/luckybench)
+//   - internal/tcpnet — the TCP transport behind ListenTCP and the
+//     NewTCPWriter/NewTCPReader client helpers
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// measured reproduction of the paper's results.
+package luckystore

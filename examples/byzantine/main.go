@@ -1,0 +1,48 @@
+// Byzantine: run the register with its full failure budget — one
+// forging Byzantine server AND one crashed server (t=2 total, b=1
+// malicious) — and watch reads keep returning genuine values while the
+// forged ones never surface.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"luckystore"
+)
+
+func main() {
+	cfg := luckystore.Config{T: 2, B: 1, Fw: 1, NumReaders: 2}
+
+	// Server s2 is malicious from the start: it acknowledges every
+	// request while claiming a fabricated pair 〈9999, "forged"〉 in all
+	// of its fields — the strongest structurally-valid lie.
+	cluster, err := luckystore.New(cfg,
+		luckystore.WithForgingServer(2, 9999, "forged"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Crash one more server: the failure budget t=2 is now exhausted.
+	cluster.CrashServer(5)
+	fmt.Println("cluster: s2 forging, s5 crashed (t=2 failures, b=1 malicious)")
+
+	for i := 1; i <= 3; i++ {
+		v := luckystore.Value(fmt.Sprintf("update-%d", i))
+		if err := cluster.Writer().Write(v); err != nil {
+			log.Fatal(err)
+		}
+		wm := cluster.Writer().LastMeta()
+
+		got, err := cluster.Reader(i % 2).Read()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("write %q (rounds=%d) → read %s\n", string(v), wm.Rounds, got)
+		if got.Val == "forged" {
+			log.Fatal("BUG: forged value surfaced!")
+		}
+	}
+	fmt.Println("the forged pair never surfaced: b+1 witnesses are required for any value")
+}

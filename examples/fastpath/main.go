@@ -1,0 +1,65 @@
+// Fastpath: observe when operations are fast (one round-trip) and what
+// makes them slow — failures beyond the budget and read/write
+// contention — reproducing the paper's headline behaviour end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"luckystore"
+)
+
+func main() {
+	cfg := luckystore.Config{T: 2, B: 1, Fw: 1, NumReaders: 2}
+	fmt.Printf("budget: fw=%d failures for fast writes, fr=%d for fast reads (fw+fr = t−b = %d)\n\n",
+		cfg.Fw, cfg.Fr(), cfg.T-cfg.B)
+
+	cluster, err := luckystore.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	report := func(tag string) {
+		wm := cluster.Writer().LastMeta()
+		fmt.Printf("%-34s WRITE rounds=%d fast=%v\n", tag, wm.Rounds, wm.Fast)
+	}
+	reportRead := func(tag string, r *luckystore.Reader) {
+		rm := r.LastMeta()
+		fmt.Printf("%-34s READ  rounds=%d fast=%v (wrote back: %v)\n",
+			tag, rm.Rounds(), rm.Fast(), rm.WroteBack)
+	}
+
+	// 1. No failures: everything is lucky and fast.
+	must(cluster.Writer().Write("v1"))
+	report("no failures:")
+	_, err = cluster.Reader(0).Read()
+	must(err)
+	reportRead("no failures:", cluster.Reader(0))
+
+	// 2. One crash — within the fw budget: writes stay fast.
+	cluster.CrashServer(0)
+	must(cluster.Writer().Write("v2"))
+	report("1 crash (= fw):")
+
+	// 3. A second crash — beyond fw: the write takes the 3-round slow
+	// path, but the slow write pre-pays for the reads: they are fast
+	// again via the vw fields (the Appendix A trade).
+	cluster.CrashServer(1)
+	must(cluster.Writer().Write("v3"))
+	report("2 crashes (> fw):")
+	_, err = cluster.Reader(0).Read()
+	must(err)
+	reportRead("2 crashes, after slow write:", cluster.Reader(0))
+
+	got, err := cluster.Reader(1).Read()
+	must(err)
+	fmt.Printf("\nfinal value: %s\n", got)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: bring up a t=2, b=1 cluster (6 servers), write a value,
+// read it back, and show that both lucky operations completed in a
+// single communication round-trip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"luckystore"
+)
+
+func main() {
+	// Tolerate t=2 server failures, b=1 of them Byzantine; budget the
+	// fast paths as fw=1 (writes stay fast despite 1 failure) and
+	// therefore fr = t−b−fw = 0.
+	cfg := luckystore.Config{T: 2, B: 1, Fw: 1, NumReaders: 2}
+	fmt.Printf("cluster: S=%d servers, t=%d, b=%d, fw=%d, fr=%d\n",
+		cfg.S(), cfg.T, cfg.B, cfg.Fw, cfg.Fr())
+
+	cluster, err := luckystore.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if err := cluster.Writer().Write("hello, robust world"); err != nil {
+		log.Fatal(err)
+	}
+	wm := cluster.Writer().LastMeta()
+	fmt.Printf("WRITE: ts=%d rounds=%d fast=%v\n", wm.TS, wm.Rounds, wm.Fast)
+
+	got, err := cluster.Reader(0).Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rm := cluster.Reader(0).LastMeta()
+	fmt.Printf("READ:  %s rounds=%d fast=%v\n", got, rm.Rounds(), rm.Fast())
+
+	// A second reader sees the same value — atomicity in action.
+	got2, err := cluster.Reader(1).Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("READ (another reader): %s\n", got2)
+}

@@ -1,0 +1,70 @@
+// Tcpcluster: run the register over real TCP sockets on localhost —
+// six luckyd-equivalent servers in-process, a writer and a reader
+// connected through the same client code cmd/luckyctl uses, plus a
+// mid-run server crash.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"luckystore"
+)
+
+func main() {
+	cfg := luckystore.Config{T: 2, B: 1, Fw: 1,
+		RoundTimeout: 100 * time.Millisecond}
+
+	// Bring up S = 6 TCP servers on ephemeral localhost ports.
+	servers := make([]*luckystore.TCPServer, cfg.S())
+	addrs := make([]string, cfg.S())
+	for i := range servers {
+		srv, err := luckystore.ListenTCP(i, "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+		fmt.Printf("server %s listening on %s\n", srv.ID(), srv.Addr())
+	}
+	addrMap := luckystore.ServerAddrs(addrs)
+
+	writer, wClose, err := luckystore.NewTCPWriter(cfg, addrMap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wClose.Close()
+	reader, rClose, err := luckystore.NewTCPReader(cfg, 0, addrMap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rClose.Close()
+
+	if err := writer.Write("over real sockets"); err != nil {
+		log.Fatal(err)
+	}
+	wm := writer.LastMeta()
+	fmt.Printf("\nWRITE over TCP: ts=%d rounds=%d fast=%v\n", wm.TS, wm.Rounds, wm.Fast)
+
+	got, err := reader.Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("READ over TCP:  %s rounds=%d\n", got, reader.LastMeta().Rounds())
+
+	// Crash one server: within the fw budget, writes stay fast.
+	fmt.Printf("\ncrashing %s …\n", servers[3].ID())
+	servers[3].Close()
+	if err := writer.Write("still available"); err != nil {
+		log.Fatal(err)
+	}
+	wm = writer.LastMeta()
+	fmt.Printf("WRITE after crash: ts=%d rounds=%d fast=%v\n", wm.TS, wm.Rounds, wm.Fast)
+	got, err = reader.Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("READ after crash:  %s\n", got)
+}

@@ -1,0 +1,56 @@
+// Tradeoff: sweep every admissible split of the fast-path budget
+// fw + fr = t − b and print the measured behaviour as a table — the
+// paper's Proposition 1, live.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"luckystore"
+)
+
+func main() {
+	fmt.Println("Proposition 1: every split fw + fr = t − b supports fast lucky ops")
+	fmt.Println()
+	fmt.Printf("%-4s %-4s %-4s %-4s %-4s %-18s %-18s\n",
+		"t", "b", "S", "fw", "fr", "write@fw-failures", "read@fr-failures")
+
+	for _, tb := range [][2]int{{2, 0}, {2, 1}, {3, 1}, {3, 2}} {
+		t, b := tb[0], tb[1]
+		for fw := 0; fw <= t-b; fw++ {
+			cfg := luckystore.Config{T: t, B: b, Fw: fw, NumReaders: 1}
+			writeFast, readFast := measure(cfg)
+			fmt.Printf("%-4d %-4d %-4d %-4d %-4d %-18v %-18v\n",
+				t, b, cfg.S(), fw, cfg.Fr(), writeFast, readFast)
+		}
+	}
+}
+
+// measure crashes fw servers, writes, crashes fr more, reads; reports
+// whether each lucky operation used its one-round fast path.
+func measure(cfg luckystore.Config) (writeFast, readFast bool) {
+	cluster, err := luckystore.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	crashed := 0
+	for ; crashed < cfg.Fw; crashed++ {
+		cluster.CrashServer(crashed)
+	}
+	if err := cluster.Writer().Write("payload"); err != nil {
+		log.Fatal(err)
+	}
+	writeFast = cluster.Writer().LastMeta().Fast
+
+	for ; crashed < cfg.Fw+cfg.Fr(); crashed++ {
+		cluster.CrashServer(crashed)
+	}
+	if _, err := cluster.Reader(0).Read(); err != nil {
+		log.Fatal(err)
+	}
+	readFast = cluster.Reader(0).LastMeta().Fast()
+	return writeFast, readFast
+}

@@ -1,0 +1,295 @@
+// Package checker records operation histories and verifies them against
+// the paper's correctness definitions (Section 2.2):
+//
+//   - atomicity: the four SWMR properties — (1) no-creation, (2) reads
+//     see every preceding complete write, (3) a returned value's write
+//     precedes or is concurrent with the read, (4) the read hierarchy
+//     (a read never returns an older value than a preceding read);
+//   - regularity (Appendix D): properties (1)–(3);
+//   - safeness (Appendix B): a contention-free read that succeeds wr_k
+//     returns val_l with l ≥ k.
+//
+// The single-writer setting makes these definitions directly checkable:
+// the writer assigns timestamps 1, 2, 3, … in invocation order, so the
+// timestamp of a returned pair is the index k of the write wr_k, and no
+// NP-hard linearizability search is needed.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"luckystore/internal/types"
+)
+
+// OpKind distinguishes writes from reads.
+type OpKind int
+
+// Operation kinds; values start at 1 so the zero value is invalid.
+const (
+	KindWrite OpKind = iota + 1
+	KindRead
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KindWrite:
+		return "WRITE"
+	case KindRead:
+		return "READ"
+	default:
+		return fmt.Sprintf("invalid-op-kind(%d)", int(k))
+	}
+}
+
+// Op is one completed (or failed) operation as observed at its client.
+type Op struct {
+	ID     int
+	Client types.ProcID
+	Kind   OpKind
+	// Value is the written pair (timestamp assigned by the writer) or
+	// the returned pair.
+	Value  types.Tagged
+	Invoke time.Time
+	Return time.Time
+	// Err records an operation failure; failed operations are excluded
+	// from precedence reasoning except as concurrency sources.
+	Err error
+	// Rounds is the operation's communication round-trip count.
+	Rounds int
+	// Fast mirrors Rounds == 1, recorded explicitly for table building.
+	Fast bool
+}
+
+// precedes reports whether o completed before p was invoked (the
+// paper's "op1 precedes op2").
+func (o Op) precedes(p Op) bool { return o.Err == nil && o.Return.Before(p.Invoke) }
+
+// Recorder accumulates operations from concurrent clients.
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add records one operation, assigning its ID. It is safe for
+// concurrent use.
+func (r *Recorder) Add(op Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op.ID = len(r.ops)
+	r.ops = append(r.ops, op)
+}
+
+// Ops returns a copy of the recorded history.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Violation describes one broken property.
+type Violation struct {
+	Property string
+	Detail   string
+	Ops      []int // IDs of the offending operations
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated: %s (ops %v)", v.Property, v.Detail, v.Ops)
+}
+
+// CheckAtomicity verifies the four SWMR atomicity properties and
+// returns every violation found (empty means the history is atomic).
+func CheckAtomicity(ops []Op) []Violation {
+	h := buildHistory(ops)
+	var vs []Violation
+	vs = append(vs, h.checkNoCreation()...)
+	vs = append(vs, h.checkReadsSeeWrites()...)
+	vs = append(vs, h.checkWriteNotFromFuture()...)
+	vs = append(vs, h.checkReadHierarchy()...)
+	return vs
+}
+
+// CheckRegularity verifies properties (1)–(3): like atomicity but
+// without the read hierarchy, so new-old inversions between reads are
+// permitted.
+func CheckRegularity(ops []Op) []Violation {
+	h := buildHistory(ops)
+	var vs []Violation
+	vs = append(vs, h.checkNoCreation()...)
+	vs = append(vs, h.checkReadsSeeWrites()...)
+	vs = append(vs, h.checkWriteNotFromFuture()...)
+	return vs
+}
+
+// CheckSafeness verifies the Appendix B safe-storage property: every
+// contention-free read that succeeds wr_k returns val_l with l ≥ k.
+// Reads concurrent with any write may return anything that was written
+// (no-creation still applies).
+func CheckSafeness(ops []Op) []Violation {
+	h := buildHistory(ops)
+	var vs []Violation
+	vs = append(vs, h.checkNoCreation()...)
+	for _, rd := range h.reads {
+		if h.contended(rd) {
+			continue
+		}
+		for _, wr := range h.writes {
+			if wr.precedes(rd) && rd.Value.TS < wr.Value.TS {
+				vs = append(vs, Violation{
+					Property: "safeness",
+					Detail: fmt.Sprintf("contention-free read returned 〈%d〉 after write 〈%d〉 completed",
+						rd.Value.TS, wr.Value.TS),
+					Ops: []int{wr.ID, rd.ID},
+				})
+			}
+		}
+	}
+	return vs
+}
+
+// history is the indexed form of an operation list.
+type history struct {
+	writes []Op // completed or failed writes, invocation order
+	reads  []Op // completed reads only
+	// written maps a timestamp to the write that (or whose attempt)
+	// assigned it. Failed/crashed writes still bind their timestamp:
+	// their value may legitimately be returned by concurrent reads.
+	written map[types.TS]Op
+}
+
+func buildHistory(ops []Op) *history {
+	h := &history{written: make(map[types.TS]Op)}
+	for _, op := range ops {
+		switch op.Kind {
+		case KindWrite:
+			h.writes = append(h.writes, op)
+			h.written[op.Value.TS] = op
+		case KindRead:
+			if op.Err == nil {
+				h.reads = append(h.reads, op)
+			}
+		}
+	}
+	sort.Slice(h.writes, func(i, j int) bool { return h.writes[i].Invoke.Before(h.writes[j].Invoke) })
+	sort.Slice(h.reads, func(i, j int) bool { return h.reads[i].Invoke.Before(h.reads[j].Invoke) })
+	return h
+}
+
+// checkNoCreation: a read returns ⊥ or a pair some write bound
+// (property 1 / Lemma 1).
+func (h *history) checkNoCreation() []Violation {
+	var vs []Violation
+	for _, rd := range h.reads {
+		if rd.Value.IsBottom() {
+			continue
+		}
+		wr, ok := h.written[rd.Value.TS]
+		if !ok {
+			vs = append(vs, Violation{
+				Property: "no-creation",
+				Detail:   fmt.Sprintf("read returned %v, a timestamp no write assigned", rd.Value),
+				Ops:      []int{rd.ID},
+			})
+			continue
+		}
+		if wr.Value != rd.Value {
+			vs = append(vs, Violation{
+				Property: "no-creation",
+				Detail:   fmt.Sprintf("read returned %v but wr_%d wrote %v", rd.Value, wr.Value.TS, wr.Value),
+				Ops:      []int{wr.ID, rd.ID},
+			})
+		}
+	}
+	return vs
+}
+
+// checkReadsSeeWrites: a read succeeding complete wr_k returns l ≥ k
+// (property 2 / Lemma 7).
+func (h *history) checkReadsSeeWrites() []Violation {
+	var vs []Violation
+	for _, rd := range h.reads {
+		for _, wr := range h.writes {
+			if wr.precedes(rd) && rd.Value.TS < wr.Value.TS {
+				vs = append(vs, Violation{
+					Property: "read-sees-write",
+					Detail: fmt.Sprintf("read returned 〈%d〉 although wr_%d completed before it",
+						rd.Value.TS, wr.Value.TS),
+					Ops: []int{wr.ID, rd.ID},
+				})
+			}
+		}
+	}
+	return vs
+}
+
+// checkWriteNotFromFuture: if a read returns val_k, then wr_k precedes
+// or is concurrent with the read — wr_k was invoked before the read
+// returned (property 3).
+func (h *history) checkWriteNotFromFuture() []Violation {
+	var vs []Violation
+	for _, rd := range h.reads {
+		if rd.Value.IsBottom() {
+			continue
+		}
+		wr, ok := h.written[rd.Value.TS]
+		if !ok {
+			continue // flagged by no-creation
+		}
+		if rd.Return.Before(wr.Invoke) {
+			vs = append(vs, Violation{
+				Property: "write-from-future",
+				Detail: fmt.Sprintf("read returned 〈%d〉 before wr_%d was invoked",
+					rd.Value.TS, wr.Value.TS),
+				Ops: []int{wr.ID, rd.ID},
+			})
+		}
+	}
+	return vs
+}
+
+// checkReadHierarchy: if rd1 precedes rd2, then rd2 returns a value at
+// least as new (property 4 / Lemma 8).
+func (h *history) checkReadHierarchy() []Violation {
+	var vs []Violation
+	for i, rd1 := range h.reads {
+		for _, rd2 := range h.reads[i+1:] {
+			if rd1.precedes(rd2) && rd2.Value.TS < rd1.Value.TS {
+				vs = append(vs, Violation{
+					Property: "read-hierarchy",
+					Detail: fmt.Sprintf("read returned 〈%d〉 after a preceding read returned 〈%d〉",
+						rd2.Value.TS, rd1.Value.TS),
+					Ops: []int{rd1.ID, rd2.ID},
+				})
+			}
+		}
+	}
+	return vs
+}
+
+// contended reports whether rd overlaps any write in time (including
+// failed writes: an incomplete write whose client crashed keeps every
+// later read "under contention with the ghost", Section 5).
+func (h *history) contended(rd Op) bool {
+	for _, wr := range h.writes {
+		if wr.Err != nil {
+			// A crashed write never completes: it is concurrent with
+			// every operation invoked after it started.
+			if wr.Invoke.Before(rd.Return) {
+				return true
+			}
+			continue
+		}
+		if wr.Invoke.Before(rd.Return) && rd.Invoke.Before(wr.Return) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,287 @@
+package checker
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"luckystore/internal/types"
+)
+
+// hb ("history builder") makes sequential timelines readable: each call
+// advances the clock by one tick.
+type hb struct {
+	now time.Time
+	ops []Op
+}
+
+func newHB() *hb { return &hb{now: time.Unix(1000, 0)} }
+
+func (b *hb) tick() time.Time {
+	b.now = b.now.Add(time.Millisecond)
+	return b.now
+}
+
+// write appends a complete write of 〈ts,val〉 spanning two ticks.
+func (b *hb) write(ts int64, val string) *hb {
+	inv := b.tick()
+	ret := b.tick()
+	b.ops = append(b.ops, Op{
+		Client: types.WriterID(), Kind: KindWrite,
+		Value:  types.Tagged{TS: types.TS(ts), Val: types.Value(val)},
+		Invoke: inv, Return: ret,
+	})
+	return b
+}
+
+// crashWrite appends a write that never completed.
+func (b *hb) crashWrite(ts int64, val string) *hb {
+	inv := b.tick()
+	b.ops = append(b.ops, Op{
+		Client: types.WriterID(), Kind: KindWrite,
+		Value:  types.Tagged{TS: types.TS(ts), Val: types.Value(val)},
+		Invoke: inv, Return: inv, Err: errors.New("crashed"),
+	})
+	return b
+}
+
+// read appends a complete read by client r returning 〈ts,val〉.
+func (b *hb) read(r int, ts int64, val string) *hb {
+	inv := b.tick()
+	ret := b.tick()
+	v := types.Tagged{TS: types.TS(ts), Val: types.Value(val)}
+	if ts == 0 {
+		v = types.Bottom()
+	}
+	b.ops = append(b.ops, Op{
+		Client: types.ReaderID(r), Kind: KindRead,
+		Value: v, Invoke: inv, Return: ret,
+	})
+	return b
+}
+
+func assertClean(t *testing.T, vs []Violation) {
+	t.Helper()
+	for _, v := range vs {
+		t.Errorf("unexpected violation: %v", v)
+	}
+}
+
+func assertViolated(t *testing.T, vs []Violation, property string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Property == property {
+			return
+		}
+	}
+	t.Errorf("expected a %q violation, got %v", property, vs)
+}
+
+func TestSequentialHistoryIsAtomic(t *testing.T) {
+	b := newHB().write(1, "a").read(0, 1, "a").write(2, "b").read(1, 2, "b").read(0, 2, "b")
+	assertClean(t, CheckAtomicity(b.ops))
+	assertClean(t, CheckRegularity(b.ops))
+	assertClean(t, CheckSafeness(b.ops))
+}
+
+func TestFreshRegisterBottomReadIsAtomic(t *testing.T) {
+	b := newHB().read(0, 0, "").write(1, "a").read(0, 1, "a")
+	assertClean(t, CheckAtomicity(b.ops))
+}
+
+func TestNoCreationViolation(t *testing.T) {
+	b := newHB().write(1, "a").read(0, 7, "phantom")
+	assertViolated(t, CheckAtomicity(b.ops), "no-creation")
+	assertViolated(t, CheckRegularity(b.ops), "no-creation")
+	assertViolated(t, CheckSafeness(b.ops), "no-creation")
+}
+
+func TestNoCreationWrongValueSameTS(t *testing.T) {
+	b := newHB().write(3, "genuine").read(0, 3, "forged")
+	assertViolated(t, CheckAtomicity(b.ops), "no-creation")
+}
+
+func TestStaleReadViolation(t *testing.T) {
+	b := newHB().write(1, "a").write(2, "b").read(0, 1, "a")
+	assertViolated(t, CheckAtomicity(b.ops), "read-sees-write")
+	assertViolated(t, CheckRegularity(b.ops), "read-sees-write")
+	assertViolated(t, CheckSafeness(b.ops), "safeness")
+}
+
+func TestReadHierarchyViolation(t *testing.T) {
+	// Both reads are legal individually against writes (read of 1 is
+	// concurrent with write 2)… construct overlap manually.
+	b := newHB()
+	b.write(1, "a")
+	wInv := b.tick()
+	// write 2 spans a long interval overlapping both reads.
+	wRet := wInv.Add(10 * time.Millisecond)
+	b.ops = append(b.ops, Op{
+		Client: types.WriterID(), Kind: KindWrite,
+		Value:  types.Tagged{TS: 2, Val: "b"},
+		Invoke: wInv, Return: wRet,
+	})
+	r1Inv := wInv.Add(time.Millisecond)
+	r1Ret := wInv.Add(2 * time.Millisecond)
+	r2Inv := wInv.Add(3 * time.Millisecond)
+	r2Ret := wInv.Add(4 * time.Millisecond)
+	// rd1 returns the new value, rd2 (succeeding rd1) the old: the
+	// classic new-old inversion — regular but not atomic.
+	b.ops = append(b.ops,
+		Op{Client: types.ReaderID(0), Kind: KindRead, Value: types.Tagged{TS: 2, Val: "b"}, Invoke: r1Inv, Return: r1Ret},
+		Op{Client: types.ReaderID(1), Kind: KindRead, Value: types.Tagged{TS: 1, Val: "a"}, Invoke: r2Inv, Return: r2Ret},
+	)
+	assertViolated(t, CheckAtomicity(b.ops), "read-hierarchy")
+	assertClean(t, CheckRegularity(b.ops))
+}
+
+func TestWriteFromFutureViolation(t *testing.T) {
+	// The read completes before wr_2 is even invoked, yet returns it.
+	b := newHB()
+	b.write(1, "a")
+	rInv := b.tick()
+	rRet := b.tick()
+	b.ops = append(b.ops, Op{
+		Client: types.ReaderID(0), Kind: KindRead,
+		Value:  types.Tagged{TS: 2, Val: "b"},
+		Invoke: rInv, Return: rRet,
+	})
+	b.write(2, "b")
+	assertViolated(t, CheckAtomicity(b.ops), "write-from-future")
+}
+
+func TestConcurrentReadMayReturnEitherValue(t *testing.T) {
+	// A read overlapping wr_2 may return 〈1〉 or 〈2〉.
+	for _, retTS := range []int64{1, 2} {
+		b := newHB().write(1, "a")
+		wInv := b.tick()
+		wRet := wInv.Add(5 * time.Millisecond)
+		b.ops = append(b.ops, Op{
+			Client: types.WriterID(), Kind: KindWrite,
+			Value:  types.Tagged{TS: 2, Val: "b"},
+			Invoke: wInv, Return: wRet,
+		})
+		val := "a"
+		if retTS == 2 {
+			val = "b"
+		}
+		b.ops = append(b.ops, Op{
+			Client: types.ReaderID(0), Kind: KindRead,
+			Value:  types.Tagged{TS: types.TS(retTS), Val: types.Value(val)},
+			Invoke: wInv.Add(time.Millisecond), Return: wInv.Add(2 * time.Millisecond),
+		})
+		assertClean(t, CheckAtomicity(b.ops))
+	}
+}
+
+func TestCrashedWriteValueReadableByConcurrentReads(t *testing.T) {
+	// The writer crashes during wr_2; later reads returning 〈2〉 are
+	// legal (wr_2 is concurrent with everything after it), and reads
+	// returning 〈1〉 before any read returned 〈2〉 are legal too.
+	b := newHB().write(1, "a").crashWrite(2, "b").read(0, 2, "b").read(1, 2, "b")
+	assertClean(t, CheckAtomicity(b.ops))
+
+	b2 := newHB().write(1, "a").crashWrite(2, "b").read(0, 1, "a").read(1, 2, "b")
+	assertClean(t, CheckAtomicity(b2.ops))
+
+	// But the hierarchy still applies: once a read returned 〈2〉, a
+	// later read may not return 〈1〉.
+	b3 := newHB().write(1, "a").crashWrite(2, "b").read(0, 2, "b").read(1, 1, "a")
+	assertViolated(t, CheckAtomicity(b3.ops), "read-hierarchy")
+}
+
+func TestSafenessIgnoresContendedReads(t *testing.T) {
+	// A read concurrent with a write may return anything written.
+	b := newHB().write(1, "a")
+	wInv := b.tick()
+	wRet := wInv.Add(5 * time.Millisecond)
+	b.ops = append(b.ops, Op{
+		Client: types.WriterID(), Kind: KindWrite,
+		Value: types.Tagged{TS: 2, Val: "b"}, Invoke: wInv, Return: wRet,
+	})
+	b.ops = append(b.ops, Op{
+		Client: types.ReaderID(0), Kind: KindRead,
+		Value:  types.Tagged{TS: 1, Val: "a"},
+		Invoke: wInv.Add(time.Millisecond), Return: wInv.Add(2 * time.Millisecond),
+	})
+	assertClean(t, CheckSafeness(b.ops))
+	// After the writer crashes, every later read is contended (ghost).
+	b.crashWrite(3, "c")
+	b.read(0, 1, "a")
+	assertClean(t, CheckSafeness(b.ops))
+}
+
+func TestFailedReadsAreIgnored(t *testing.T) {
+	b := newHB().write(1, "a")
+	inv := b.tick()
+	b.ops = append(b.ops, Op{
+		Client: types.ReaderID(0), Kind: KindRead,
+		Value: types.Tagged{TS: 99, Val: "junk"}, Invoke: inv, Return: inv,
+		Err: errors.New("timeout"),
+	})
+	assertClean(t, CheckAtomicity(b.ops))
+}
+
+func TestRecorderConcurrentAdd(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				r.Add(Op{Kind: KindRead, Client: types.ReaderID(0)})
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	ops := r.Ops()
+	if len(ops) != 800 {
+		t.Fatalf("recorded %d ops, want 800", len(ops))
+	}
+	seen := make(map[int]bool, len(ops))
+	for _, op := range ops {
+		if seen[op.ID] {
+			t.Fatalf("duplicate op ID %d", op.ID)
+		}
+		seen[op.ID] = true
+	}
+}
+
+// Property test: random sequential (non-overlapping) histories that
+// follow register semantics are always atomic; corrupting one read to
+// a stale value is always caught.
+func TestRandomSequentialHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		b := newHB()
+		var lastTS int64
+		nOps := 5 + rng.Intn(20)
+		readIdx := []int{}
+		for i := 0; i < nOps; i++ {
+			if rng.Intn(2) == 0 {
+				lastTS++
+				b.write(lastTS, "v")
+			} else {
+				b.read(rng.Intn(3), lastTS, "v")
+				if lastTS > 0 {
+					readIdx = append(readIdx, len(b.ops)-1)
+				}
+			}
+		}
+		if vs := CheckAtomicity(b.ops); len(vs) != 0 {
+			t.Fatalf("trial %d: clean history flagged: %v", trial, vs)
+		}
+		if len(readIdx) == 0 {
+			continue
+		}
+		// Corrupt one read to a strictly newer, never-written value.
+		i := readIdx[rng.Intn(len(readIdx))]
+		b.ops[i].Value = types.Tagged{TS: types.TS(lastTS + 100), Val: "phantom"}
+		if vs := CheckAtomicity(b.ops); len(vs) == 0 {
+			t.Fatalf("trial %d: corrupted history passed", trial)
+		}
+	}
+}

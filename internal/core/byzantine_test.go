@@ -1,0 +1,214 @@
+package core_test
+
+// Black-box Byzantine tests: a full cluster with up to b malicious
+// servers (plus crashes up to t total) must preserve atomicity, and
+// lucky operations must stay fast when the failure budget allows.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/checker"
+	"luckystore/internal/core"
+	"luckystore/internal/fault"
+	"luckystore/internal/node"
+	"luckystore/internal/types"
+)
+
+func byzConfig() core.Config {
+	return core.Config{T: 2, B: 1, Fw: 1, NumReaders: 3, RoundTimeout: 15 * time.Millisecond}
+}
+
+func newCluster(t *testing.T, cfg core.Config, opts ...core.ClusterOption) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// runWorkload drives sequential writes and concurrent reader loops,
+// recording a history.
+func runWorkload(t *testing.T, c *core.Cluster, writes, readsPerReader int) *checker.Recorder {
+	t.Helper()
+	rec := checker.NewRecorder()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= writes; i++ {
+			v := types.Value(fmt.Sprintf("v%d", i))
+			inv := time.Now()
+			err := c.Writer().Write(v)
+			ret := time.Now()
+			if err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			m := c.Writer().LastMeta()
+			rec.Add(checker.Op{
+				Client: types.WriterID(), Kind: checker.KindWrite,
+				Value:  types.Tagged{TS: m.TS, Val: v},
+				Invoke: inv, Return: ret, Rounds: m.Rounds, Fast: m.Fast,
+			})
+		}
+	}()
+	for r := 0; r < c.Config().NumReaders; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				inv := time.Now()
+				got, err := c.Reader(r).Read()
+				ret := time.Now()
+				if err != nil {
+					t.Errorf("reader %d read %d: %v", r, i, err)
+					return
+				}
+				m := c.Reader(r).LastMeta()
+				rec.Add(checker.Op{
+					Client: types.ReaderID(r), Kind: checker.KindRead,
+					Value:  got,
+					Invoke: inv, Return: ret, Rounds: m.Rounds(), Fast: m.Fast(),
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	return rec
+}
+
+func assertAtomic(t *testing.T, rec *checker.Recorder) {
+	t.Helper()
+	for _, v := range checker.CheckAtomicity(rec.Ops()) {
+		t.Errorf("atomicity violation: %v", v)
+	}
+}
+
+func TestAtomicityWithForgingByzantineServer(t *testing.T) {
+	cfg := byzConfig()
+	c := newCluster(t, cfg, core.WithServerAutomaton(2, fault.ForgeHighTS(10_000, "forged")))
+	rec := runWorkload(t, c, 30, 20)
+	assertAtomic(t, rec)
+	// The forged value must never surface.
+	for _, op := range rec.Ops() {
+		if op.Kind == checker.KindRead && op.Value.Val == "forged" {
+			t.Fatal("a read returned the forged value")
+		}
+	}
+}
+
+func TestAtomicityWithStaleBottomByzantineServer(t *testing.T) {
+	cfg := byzConfig()
+	c := newCluster(t, cfg, core.WithServerAutomaton(0, fault.StaleBottom()))
+	if err := c.Writer().Write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Despite one server swearing the register is empty, no read may
+	// return ⊥ any more.
+	for r := 0; r < cfg.NumReaders; r++ {
+		got, err := c.Reader(r).Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.IsBottom() {
+			t.Fatal("read dragged back to ⊥ by a stale-replaying Byzantine server")
+		}
+	}
+}
+
+func TestAtomicityWithRandomLiar(t *testing.T) {
+	cfg := byzConfig()
+	c := newCluster(t, cfg, core.WithServerAutomaton(4, fault.RandomLiar(1234)))
+	rec := runWorkload(t, c, 25, 15)
+	assertAtomic(t, rec)
+}
+
+func TestAtomicityWithEquivocator(t *testing.T) {
+	cfg := byzConfig()
+	eq := fault.Equivocator(map[types.ProcID]types.Tagged{
+		types.ReaderID(0): {TS: 500, Val: "lie-A"},
+		types.ReaderID(1): {TS: 600, Val: "lie-B"},
+	}, types.Bottom())
+	c := newCluster(t, cfg, core.WithServerAutomaton(1, eq))
+	rec := runWorkload(t, c, 20, 15)
+	assertAtomic(t, rec)
+}
+
+func TestAtomicityWithByzantinePlusCrash(t *testing.T) {
+	// b=1 malicious + 1 crash = t=2 total failures: the worst case.
+	cfg := byzConfig()
+	c := newCluster(t, cfg, core.WithServerAutomaton(3, fault.ForgeHighTS(9_999, "evil")))
+	c.CrashServer(5)
+	rec := runWorkload(t, c, 20, 12)
+	assertAtomic(t, rec)
+}
+
+// A Byzantine-mute server counts as one actual failure: with fw = 1 the
+// write stays fast, and it cannot slow reads below their guarantee
+// either (Theorem 3/4 with Byzantine failures, "all fw (resp. fr)
+// failures can be malicious, provided fw ≤ b").
+func TestFastOpsDespiteByzantineMute(t *testing.T) {
+	cfg := byzConfig() // fw = 1, so the single mute failure is within budget
+	c := newCluster(t, cfg, core.WithServerAutomaton(2, fault.Mute()))
+	if err := c.Writer().Write("v"); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Writer().LastMeta(); !m.Fast {
+		t.Errorf("write meta = %+v, want fast despite one mute server", m)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "v" {
+		t.Errorf("Read() = %v", got)
+	}
+}
+
+// A split-brain server that is honest to the writer but denies
+// everything to the readers cannot break atomicity.
+func TestAtomicityWithSplitBrainServer(t *testing.T) {
+	cfg := byzConfig()
+	real := core.NewServer()
+	sb := fault.NewSplitBrain(real, fault.StaleBottom(), types.WriterID())
+	c := newCluster(t, cfg, core.WithServerAutomaton(0, node.Automaton(sb)))
+	rec := runWorkload(t, c, 20, 12)
+	assertAtomic(t, rec)
+}
+
+// Section 5 ("Tolerating malicious readers"): the atomic algorithm is
+// NOT robust against a malicious reader that writes back a forged
+// value — a correct reader can then return a never-written value. This
+// test documents the vulnerability the paper discusses; Appendix D's
+// regular variant (internal/regular) closes it.
+func TestMaliciousReaderCorruptsAtomicVariant(t *testing.T) {
+	cfg := byzConfig()
+	c := newCluster(t, cfg)
+	if err := c.Writer().Write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Reader r2 turns malicious and "writes back" a forged pair with a
+	// higher timestamp.
+	ep, err := c.Sim().Endpoint(types.ReaderID(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := types.Tagged{TS: 2, Val: "never-written"}
+	servers := types.ServerIDs(cfg.S())
+	if err := fault.MaliciousReaderWriteback(ep, servers, cfg.Quorum(), 1, forged); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != forged {
+		t.Fatalf("Read() = %v; expected the documented vulnerability: a correct reader returns the forged pair %v", got, forged)
+	}
+}

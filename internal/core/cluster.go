@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"luckystore/internal/node"
+	"luckystore/internal/simnet"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+)
+
+// Cluster wires S server automata, one writer and NumReaders readers
+// over a network, owning every goroutine it starts. It is the unit the
+// examples, tests and experiments operate on.
+type Cluster struct {
+	cfg     Config
+	net     transport.Network
+	sim     *simnet.Network // non-nil when the cluster built its own simnet
+	runners []*node.Runner
+	servers []node.Automaton
+	writer  *Writer
+	readers []*Reader
+}
+
+// ClusterOption configures a Cluster.
+type ClusterOption func(*clusterOpts)
+
+type clusterOpts struct {
+	net       transport.Network
+	sim       *simnet.Network
+	automata  map[int]node.Automaton
+	regular   bool
+	dontStart map[int]bool
+}
+
+// WithNetwork runs the cluster over an externally built network; the
+// cluster still closes it on Close. Use this to keep a handle on a
+// simnet for delay/hold control.
+func WithNetwork(n transport.Network) ClusterOption {
+	return func(o *clusterOpts) {
+		o.net = n
+		if s, ok := n.(*simnet.Network); ok {
+			o.sim = s
+		}
+	}
+}
+
+// WithServerAutomaton substitutes the automaton of server i — the hook
+// used to install Byzantine behaviors from internal/fault.
+func WithServerAutomaton(i int, a node.Automaton) ClusterOption {
+	return func(o *clusterOpts) { o.automata[i] = a }
+}
+
+// WithCrashedServer starts the cluster with server i already crashed
+// (its runner never starts): an initially crash-faulty server.
+func WithCrashedServer(i int) ClusterOption {
+	return func(o *clusterOpts) { o.dontStart[i] = true }
+}
+
+// WithRegularServers installs Appendix D regular-variant servers
+// (readers' write-backs ignored) instead of the default atomic ones.
+func WithRegularServers() ClusterOption {
+	return func(o *clusterOpts) { o.regular = true }
+}
+
+// NewCluster builds and starts a cluster for cfg.
+func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := &clusterOpts{
+		automata:  make(map[int]node.Automaton),
+		dontStart: make(map[int]bool),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+
+	ids := make([]types.ProcID, 0, cfg.S()+cfg.NumReaders+1)
+	ids = append(ids, types.ServerIDs(cfg.S())...)
+	ids = append(ids, types.WriterID())
+	ids = append(ids, types.ReaderIDs(cfg.NumReaders)...)
+
+	c := &Cluster{cfg: cfg}
+	if o.net != nil {
+		c.net, c.sim = o.net, o.sim
+	} else {
+		sim, err := simnet.New(ids)
+		if err != nil {
+			return nil, fmt.Errorf("cluster network: %w", err)
+		}
+		c.net, c.sim = sim, sim
+	}
+
+	for i := 0; i < cfg.S(); i++ {
+		ep, err := c.net.Endpoint(types.ServerID(i))
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster server %d: %w", i, err)
+		}
+		a := o.automata[i]
+		if a == nil {
+			if o.regular {
+				a = NewRegularServer()
+			} else {
+				a = NewServer()
+			}
+		}
+		r := node.NewRunner(ep, a)
+		c.servers = append(c.servers, a)
+		c.runners = append(c.runners, r)
+		if !o.dontStart[i] {
+			r.Start()
+		}
+	}
+
+	wep, err := c.net.Endpoint(types.WriterID())
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster writer: %w", err)
+	}
+	c.writer = NewWriter(cfg, wep)
+
+	for i := 0; i < cfg.NumReaders; i++ {
+		rep, err := c.net.Endpoint(types.ReaderID(i))
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster reader %d: %w", i, err)
+		}
+		c.readers = append(c.readers, NewReader(cfg, types.ReaderID(i), rep))
+	}
+	return c, nil
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Writer returns the single writer client.
+func (c *Cluster) Writer() *Writer { return c.writer }
+
+// Reader returns the i-th reader client.
+func (c *Cluster) Reader(i int) *Reader { return c.readers[i] }
+
+// Sim returns the underlying simulated network, or nil when the
+// cluster runs on another transport.
+func (c *Cluster) Sim() *simnet.Network { return c.sim }
+
+// ServerAutomaton returns the automaton of server i (for state
+// assertions in tests; a *Server unless substituted).
+func (c *Cluster) ServerAutomaton(i int) node.Automaton { return c.servers[i] }
+
+// CrashServer crash-stops server i. It is idempotent.
+func (c *Cluster) CrashServer(i int) { c.runners[i].Crash() }
+
+// CrashServerAfterSteps schedules server i to crash after n more
+// processed messages.
+func (c *Cluster) CrashServerAfterSteps(i, n int) { c.runners[i].CrashAfterSteps(n) }
+
+// Close stops every server runner and shuts the network down, joining
+// all goroutines the cluster started.
+func (c *Cluster) Close() {
+	if c.net != nil {
+		_ = c.net.Close() // closing endpoints unblocks every runner
+	}
+	for _, r := range c.runners {
+		r.Stop()
+	}
+}

@@ -1,0 +1,123 @@
+// Package core implements the paper's primary contribution: the
+// optimally resilient SWMR robust atomic storage of Section 3
+// (Figures 1–3), in which every lucky WRITE is fast despite up to fw
+// actual server failures and every lucky READ is fast despite up to
+// fr = t − b − fw failures.
+//
+// The package contains the server automaton (Fig. 3), the writer
+// (Fig. 1), the reader with its selection predicates (Fig. 2), and a
+// Cluster harness that wires them over any transport.Network.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DefaultRoundTimeout is the default round-1 timer: the client-known
+// bound on a request/reply round trip with every correct server
+// (2 × t_{c,s_i} in the paper's terms). On the in-memory network a
+// round trip takes microseconds, so this leaves a wide synchrony
+// margin while keeping tests fast.
+const DefaultRoundTimeout = 25 * time.Millisecond
+
+// DefaultOpTimeout bounds a single operation. The algorithm is
+// wait-free under the model's assumption of at most t server failures;
+// the timeout exists to convert a violated assumption (e.g. an
+// experiment crashing more than t servers) into an error instead of a
+// hung test.
+const DefaultOpTimeout = 30 * time.Second
+
+// ErrOpTimeout is returned when an operation exceeds Config.OpTimeout,
+// which can only happen when the failure model's assumptions are
+// violated.
+var ErrOpTimeout = errors.New("operation timed out: failure assumptions violated (more than t servers unresponsive?)")
+
+// ErrCrashed is returned by fault-injected client operations that
+// deliberately stop mid-way.
+var ErrCrashed = errors.New("client crashed mid-operation (injected)")
+
+// Config carries the resilience parameters of a deployment.
+//
+// The storage uses S = 2t + b + 1 servers (optimal resilience), of
+// which up to T may fail and up to B of those maliciously. Fw is the
+// algorithm's single tunable: a WRITE completes fast after S − Fw
+// PW_ACKs, and the matching fast-read resilience is Fr() = T − B − Fw
+// (Proposition 1's trade-off fw + fr = t − b).
+type Config struct {
+	// T is the maximum number of faulty servers tolerated (t).
+	T int
+	// B is the maximum number of malicious servers tolerated (b ≤ t).
+	B int
+	// Fw is the number of actual failures despite which every lucky
+	// WRITE must still be fast (0 ≤ Fw ≤ T−B). Setting Fw = T−B gives
+	// the Appendix A regime: maximal fast-write resilience, with lucky
+	// READ sequences containing at most one slow READ (fr = t).
+	Fw int
+	// NumReaders is the number of reader processes (R).
+	NumReaders int
+	// RoundTimeout is the round-1 timer duration; zero selects
+	// DefaultRoundTimeout.
+	RoundTimeout time.Duration
+	// OpTimeout bounds one operation; zero selects DefaultOpTimeout.
+	OpTimeout time.Duration
+}
+
+// S returns the number of servers, 2t + b + 1 (optimal resilience).
+func (c Config) S() int { return 2*c.T + c.B + 1 }
+
+// Fr returns the fast-read failure threshold fr = t − b − fw implied by
+// the trade-off of Proposition 1.
+func (c Config) Fr() int { return c.T - c.B - c.Fw }
+
+// Quorum returns S − t, the number of replies every round waits for.
+func (c Config) Quorum() int { return c.S() - c.T }
+
+// SafeThreshold returns b + 1, the witness count for safe/safeFrozen.
+func (c Config) SafeThreshold() int { return c.B + 1 }
+
+// FastPWThreshold returns 2b + t + 1, the witness count for fast_pw
+// (Fig. 2 line 5).
+func (c Config) FastPWThreshold() int { return 2*c.B + c.T + 1 }
+
+// FastWriteAcks returns S − fw, the PW_ACK count that lets a WRITE
+// return after its first round (Fig. 1 line 8).
+func (c Config) FastWriteAcks() int { return c.S() - c.Fw }
+
+// Validate checks the parameters against the model: 0 ≤ b ≤ t, at
+// least one reader or none is fine, and 0 ≤ fw ≤ t − b so that
+// fr = t − b − fw ≥ 0.
+func (c Config) Validate() error {
+	switch {
+	case c.T < 0:
+		return fmt.Errorf("config: t = %d must be non-negative", c.T)
+	case c.B < 0 || c.B > c.T:
+		return fmt.Errorf("config: b = %d must satisfy 0 ≤ b ≤ t = %d", c.B, c.T)
+	case c.Fw < 0 || c.Fw > c.T-c.B:
+		return fmt.Errorf("config: fw = %d must satisfy 0 ≤ fw ≤ t−b = %d", c.Fw, c.T-c.B)
+	case c.NumReaders < 0:
+		return fmt.Errorf("config: NumReaders = %d must be non-negative", c.NumReaders)
+	case c.RoundTimeout < 0:
+		return fmt.Errorf("config: RoundTimeout must be non-negative")
+	case c.OpTimeout < 0:
+		return fmt.Errorf("config: OpTimeout must be non-negative")
+	}
+	return nil
+}
+
+// roundTimeout returns the effective round-1 timer duration.
+func (c Config) roundTimeout() time.Duration {
+	if c.RoundTimeout > 0 {
+		return c.RoundTimeout
+	}
+	return DefaultRoundTimeout
+}
+
+// opTimeout returns the effective per-operation bound.
+func (c Config) opTimeout() time.Duration {
+	if c.OpTimeout > 0 {
+		return c.OpTimeout
+	}
+	return DefaultOpTimeout
+}

@@ -1,0 +1,94 @@
+package core_test
+
+// The Figure 4 storyline, run against the PAPER's algorithm (thresholds
+// within the fw + fr ≤ t − b bound): the adversarial schedule that
+// breaks any over-budget implementation must leave this one atomic.
+// Blocks (t=2, b=1, S=6): B1=s0, B2=s1, T1={s2,s3}, Fw=s4, Fr=s5.
+//
+//   - run r1/r1′: wr1 = WRITE(v1) is lucky and fast while Fw's PW stays
+//     in transit;
+//   - run r2′/r′′2: reader0's rd1 runs while Fr's replies to it are in
+//     transit — rd1 must return v1;
+//   - run r4: B2 turns split-brain (honest to the writer and reader0,
+//     denying everything to reader1) and T1's replies to reader1 are
+//     delayed — reader1's rd2 must still return v1 (atomicity: rd1
+//     precedes rd2).
+
+import (
+	"testing"
+	"time"
+
+	"luckystore/internal/core"
+	"luckystore/internal/fault"
+	"luckystore/internal/node"
+	"luckystore/internal/types"
+)
+
+func TestFigure4ScheduleAgainstPaperAlgorithm(t *testing.T) {
+	cfg := core.Config{T: 2, B: 1, Fw: 1, NumReaders: 2,
+		RoundTimeout: 15 * time.Millisecond, OpTimeout: 10 * time.Second}
+
+	// B2 = s1: split-brain, honest toward the writer and reader0.
+	realB2 := core.NewServer()
+	b2 := fault.NewSplitBrain(realB2, fault.StaleBottom(), types.WriterID(), types.ReaderID(0))
+	c, err := core.NewCluster(cfg, core.WithServerAutomaton(1, node.Automaton(b2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sim := c.Sim()
+
+	var (
+		fwSrv = types.ServerID(4)
+		frSrv = types.ServerID(5)
+		t1    = []types.ProcID{types.ServerID(2), types.ServerID(3)}
+		rd1ID = types.ReaderID(0)
+		rd2ID = types.ReaderID(1)
+	)
+
+	// --- r1: Fw's PW stays in transit; wr1 is fast on the other five.
+	sim.Hold(types.WriterID(), fwSrv)
+	if err := c.Writer().Write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Writer().LastMeta().Fast {
+		t.Fatalf("wr1 not fast: %+v", c.Writer().LastMeta())
+	}
+
+	// --- r2′: Fr's replies to reader0 stay in transit during rd1.
+	sim.Hold(frSrv, rd1ID)
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (types.Tagged{TS: 1, Val: "v1"}) {
+		t.Fatalf("rd1 returned %v, want 〈1,v1〉", got)
+	}
+
+	// --- r4: T1's replies to reader1 are delayed; B2 denies to
+	// reader1; Fr answers reader1 normally again.
+	for _, sid := range t1 {
+		sim.Hold(sid, rd2ID)
+	}
+	got, err = c.Reader(1).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (types.Tagged{TS: 1, Val: "v1"}) {
+		t.Fatalf("rd2 returned %v, want 〈1,v1〉 (atomicity after rd1)", got)
+	}
+
+	// Epilogue: heal the network; later reads still return v1 and are
+	// fast again (rd2's write-back finished the fast write).
+	sim.ReleaseAll()
+	got, err = c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "v1" {
+		t.Fatalf("post-heal read returned %v", got)
+	}
+	if !c.Reader(0).LastMeta().Fast() {
+		t.Errorf("post-heal read not fast: %+v", c.Reader(0).LastMeta())
+	}
+}

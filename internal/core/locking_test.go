@@ -1,0 +1,106 @@
+package core
+
+// Property tests for the locking lemmas at the predicate level: random
+// views in which a set X of honest servers has locked a value can never
+// select an older pair, regardless of what the remaining (malicious)
+// servers report.
+
+import (
+	"math/rand"
+	"testing"
+
+	"luckystore/internal/types"
+)
+
+// Lemma 5 (locking a pw value): if t+b+1 responding servers report
+// pw.ts ≥ X, no live pair with ts < X is selectable — for arbitrary
+// replies from the remaining servers.
+func TestLemma5LockingQuick(t *testing.T) {
+	cfg := cfg21 // t=2, b=1, S=6; t+b+1 = 4
+	rng := rand.New(rand.NewSource(11))
+	const lockTS = types.TS(10)
+
+	for trial := 0; trial < 500; trial++ {
+		v := NewView(cfg, 1)
+		// X: 4 honest servers whose pw is at or above the lock;
+		// their w may lag arbitrarily (but is honest: ≤ pw).
+		for i := 0; i < 4; i++ {
+			pwTS := lockTS + types.TS(rng.Intn(3))
+			wTS := types.TS(rng.Intn(int(pwTS) + 1))
+			v.Update(types.ServerID(i), 1,
+				honestPair(pwTS), honestPair(wTS), honestPair(0), types.InitialFrozen())
+		}
+		// The remaining 2 servers reply arbitrarily (Byzantine; only b=1
+		// may exist in a real run — 2 makes the property strictly
+		// stronger).
+		for i := 4; i < 6; i++ {
+			if rng.Intn(3) == 0 {
+				continue // silent
+			}
+			v.Update(types.ServerID(i), 1,
+				randomPair(rng), randomPair(rng), randomPair(rng), types.InitialFrozen())
+		}
+		sel, ok := v.Select()
+		if !ok {
+			continue // refusing to decide is always safe
+		}
+		if sel.TS < lockTS {
+			t.Fatalf("trial %d: selected %v (ts < %d) — Lemma 5 violated", trial, sel, lockTS)
+		}
+	}
+}
+
+// Lemma 6 (locking a w value): if t+1 responding servers report both
+// pw.ts ≥ X and w.ts ≥ X, no live pair with ts < X is selectable.
+func TestLemma6LockingQuick(t *testing.T) {
+	cfg := cfg21 // t+1 = 3
+	rng := rand.New(rand.NewSource(13))
+	const lockTS = types.TS(10)
+
+	for trial := 0; trial < 500; trial++ {
+		v := NewView(cfg, 1)
+		for i := 0; i < 3; i++ {
+			pwTS := lockTS + types.TS(rng.Intn(3))
+			wTS := lockTS + types.TS(rng.Intn(2))
+			if wTS > pwTS {
+				wTS = pwTS
+			}
+			v.Update(types.ServerID(i), 1,
+				honestPair(pwTS), honestPair(wTS), honestPair(0), types.InitialFrozen())
+		}
+		// Up to 3 further servers reply arbitrarily.
+		for i := 3; i < 6; i++ {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			v.Update(types.ServerID(i), 1,
+				randomPair(rng), randomPair(rng), randomPair(rng), types.InitialFrozen())
+		}
+		sel, ok := v.Select()
+		if !ok {
+			continue
+		}
+		if sel.TS < lockTS {
+			t.Fatalf("trial %d: selected %v (ts < %d) — Lemma 6 violated", trial, sel, lockTS)
+		}
+	}
+}
+
+// honestPair builds the unique pair a correct process associates with a
+// timestamp (one value per ts — Lemma 2).
+func honestPair(ts types.TS) types.Tagged {
+	if ts == 0 {
+		return types.Bottom()
+	}
+	return types.Tagged{TS: ts, Val: types.Value("val-" + string(rune('a'+ts%26)))}
+}
+
+// randomPair builds a possibly equivocating pair: random timestamp,
+// random value — including same-ts-different-value forgeries.
+func randomPair(rng *rand.Rand) types.Tagged {
+	ts := types.TS(rng.Intn(15))
+	if ts == 0 {
+		return types.Bottom()
+	}
+	return types.Tagged{TS: ts, Val: types.Value([]byte{byte('a' + rng.Intn(4))})}
+}

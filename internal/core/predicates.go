@@ -1,0 +1,260 @@
+package core
+
+import (
+	"sort"
+
+	"luckystore/internal/types"
+)
+
+// Thresholds carries the witness counts the selection predicates use.
+// Factoring them out of Config lets the Appendix C two-phase variant
+// (with its larger server set S = 2t + b + min(b,fr) + 1) and the
+// Appendix D regular variant reuse the same predicate machinery, and
+// lets the upper-bound experiments run deliberately weakened thresholds
+// to reproduce the violation runs of Figures 4 and 5.
+type Thresholds struct {
+	S         int // total servers
+	Quorum    int // S − t: round quorum and invalid_w witness count
+	Safe      int // b + 1: safe / safeFrozen witness count
+	FastPW    int // 2b + t + 1: fast_pw witness count
+	FastVW    int // b + 1: fast_vw witness count
+	InvalidPW int // S − b − t: invalid_pw witness count
+}
+
+// Thresholds returns the paper's thresholds for this configuration.
+func (c Config) Thresholds() Thresholds {
+	return Thresholds{
+		S:         c.S(),
+		Quorum:    c.Quorum(),
+		Safe:      c.SafeThreshold(),
+		FastPW:    c.FastPWThreshold(),
+		FastVW:    c.SafeThreshold(),
+		InvalidPW: c.S() - c.B - c.T,
+	}
+}
+
+// View is a reader's accumulated picture of the servers during one READ
+// operation: for every server that has responded at least once, the
+// freshest pw, w, vw and frozen values reported (Fig. 2 lines 23–25).
+//
+// All predicates of Fig. 2 lines 1–10 are methods on View. They count
+// only servers that actually responded: the pseudocode initializes the
+// arrays to 〈ts0,⊥〉, but the correctness proofs (Lemmas 5 and 6,
+// Theorem 2) count servers "that responded", and counting placeholders
+// would let invalid_w/invalid_pw fire without evidence. See DESIGN.md.
+type View struct {
+	th  Thresholds
+	tsr types.ReaderTS // current READ timestamp, for safeFrozen matching
+
+	pw, w, vw map[types.ProcID]types.Tagged
+	frozen    map[types.ProcID]types.FrozenPair
+	round     map[types.ProcID]int // freshest ack round per server (rnd_i)
+}
+
+// NewView creates an empty view for a READ with timestamp tsr.
+func NewView(cfg Config, tsr types.ReaderTS) *View {
+	return NewViewWithThresholds(cfg.Thresholds(), tsr)
+}
+
+// NewViewWithThresholds creates an empty view with explicit thresholds.
+func NewViewWithThresholds(th Thresholds, tsr types.ReaderTS) *View {
+	return &View{
+		th:     th,
+		tsr:    tsr,
+		pw:     make(map[types.ProcID]types.Tagged),
+		w:      make(map[types.ProcID]types.Tagged),
+		vw:     make(map[types.ProcID]types.Tagged),
+		frozen: make(map[types.ProcID]types.FrozenPair),
+		round:  make(map[types.ProcID]int),
+	}
+}
+
+// Update ingests one READ_ACK from server si, keeping only the freshest
+// round per server (Fig. 2 lines 23–25). It reports whether the ack was
+// fresher than what the view already held.
+func (v *View) Update(si types.ProcID, round int, pw, w, vw types.Tagged, frozen types.FrozenPair) bool {
+	if round <= v.round[si] {
+		return false
+	}
+	v.round[si] = round
+	v.pw[si] = pw
+	v.w[si] = w
+	v.vw[si] = vw
+	v.frozen[si] = frozen
+	return true
+}
+
+// Responded returns the number of servers with at least one valid ack.
+func (v *View) Responded() int { return len(v.round) }
+
+// ReadLive reports readLive(c, i): server si's freshest pw or w equals
+// c (Fig. 2 line 1).
+func (v *View) ReadLive(c types.Tagged, si types.ProcID) bool {
+	if _, ok := v.round[si]; !ok {
+		return false
+	}
+	return v.pw[si] == c || v.w[si] == c
+}
+
+// Safe reports safe(c): at least b+1 servers readLive(c) (Fig. 2
+// line 3).
+func (v *View) Safe(c types.Tagged) bool {
+	n := 0
+	for si := range v.round {
+		if v.ReadLive(c, si) {
+			n++
+		}
+	}
+	return n >= v.th.Safe
+}
+
+// SafeFrozen reports safeFrozen(c): at least b+1 servers report
+// frozen_i.pw = c with frozen_i.tsr equal to this READ's timestamp
+// (Fig. 2 lines 2 and 4).
+func (v *View) SafeFrozen(c types.Tagged) bool {
+	n := 0
+	for si := range v.round {
+		f := v.frozen[si]
+		if f.PW == c && f.TSR == v.tsr {
+			n++
+		}
+	}
+	return n >= v.th.Safe
+}
+
+// FastPW reports fast_pw(c): at least 2b+t+1 servers report pw_i = c
+// (Fig. 2 line 5).
+func (v *View) FastPW(c types.Tagged) bool {
+	n := 0
+	for si := range v.round {
+		if v.pw[si] == c {
+			n++
+		}
+	}
+	return n >= v.th.FastPW
+}
+
+// FastVW reports fast_vw(c): at least b+1 servers report vw_i = c
+// (Fig. 2 line 6).
+func (v *View) FastVW(c types.Tagged) bool {
+	n := 0
+	for si := range v.round {
+		if v.vw[si] == c {
+			n++
+		}
+	}
+	return n >= v.th.FastVW
+}
+
+// Fast reports fast(c) = fast_pw(c) ∨ fast_vw(c) (Fig. 2 line 7).
+func (v *View) Fast(c types.Tagged) bool { return v.FastPW(c) || v.FastVW(c) }
+
+// CountW returns the number of responding servers whose freshest w
+// field equals c. The Appendix C two-phase variant defines its fast
+// predicate as CountW(c) ≥ S − t − fr (Fig. 7 line 5).
+func (v *View) CountW(c types.Tagged) int {
+	n := 0
+	for si := range v.round {
+		if v.w[si] == c {
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidW reports invalid_w(c): at least S−t servers responded with
+// some readLive value older than c (Fig. 2 line 8).
+func (v *View) InvalidW(c types.Tagged) bool {
+	n := 0
+	for si := range v.round {
+		if v.pw[si].OlderThan(c) || v.w[si].OlderThan(c) {
+			n++
+		}
+	}
+	return n >= v.th.Quorum
+}
+
+// InvalidPW reports invalid_pw(c): at least S−b−t servers responded
+// with a pw value older than c (Fig. 2 line 9).
+func (v *View) InvalidPW(c types.Tagged) bool {
+	n := 0
+	for si := range v.round {
+		if v.pw[si].OlderThan(c) {
+			n++
+		}
+	}
+	return n >= v.th.InvalidPW
+}
+
+// HighCand reports highCand(c): every readLive pair c′ ≠ c with
+// c′.ts ≥ c.ts is both invalid_w and invalid_pw (Fig. 2 line 10).
+func (v *View) HighCand(c types.Tagged) bool {
+	for _, cp := range v.liveCandidates() {
+		if cp == c || cp.TS < c.TS {
+			continue
+		}
+		if !v.InvalidW(cp) || !v.InvalidPW(cp) {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates returns the selection set C of Fig. 2 line 18: every pair
+// that is (safe ∧ highCand) or safeFrozen, sorted by timestamp
+// ascending for deterministic iteration.
+func (v *View) Candidates() []types.Tagged {
+	seen := make(map[types.Tagged]bool)
+	var out []types.Tagged
+	consider := func(c types.Tagged) {
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		if (v.Safe(c) && v.HighCand(c)) || v.SafeFrozen(c) {
+			out = append(out, c)
+		}
+	}
+	for _, c := range v.liveCandidates() {
+		consider(c)
+	}
+	for si := range v.round {
+		f := v.frozen[si]
+		if f.TSR == v.tsr {
+			consider(f.PW)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Val < out[j].Val
+	})
+	return out
+}
+
+// Select returns the candidate with the highest timestamp (Fig. 2
+// line 20) and whether any candidate exists.
+func (v *View) Select() (types.Tagged, bool) {
+	cs := v.Candidates()
+	if len(cs) == 0 {
+		return types.Tagged{}, false
+	}
+	return cs[len(cs)-1], true
+}
+
+// liveCandidates enumerates every distinct pair present in some
+// responding server's pw or w field.
+func (v *View) liveCandidates() []types.Tagged {
+	seen := make(map[types.Tagged]bool)
+	var out []types.Tagged
+	for si := range v.round {
+		for _, c := range [2]types.Tagged{v.pw[si], v.w[si]} {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

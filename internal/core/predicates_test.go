@@ -1,0 +1,360 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"luckystore/internal/types"
+)
+
+// cfg21 is the running example configuration: t=2, b=1, so S=6,
+// quorum S−t=4, safe threshold b+1=2, fast_pw threshold 2b+t+1=5.
+var cfg21 = Config{T: 2, B: 1, Fw: 1}
+
+// feed loads one server's reply into a view.
+func feed(v *View, i int, round int, pw, w, vw types.Tagged, frozen types.FrozenPair) {
+	v.Update(types.ServerID(i), round, pw, w, vw, frozen)
+}
+
+// feedUniform loads identical replies from servers [0, n).
+func feedUniform(v *View, n int, pw, w, vw types.Tagged) {
+	for i := 0; i < n; i++ {
+		feed(v, i, 1, pw, w, vw, types.InitialFrozen())
+	}
+}
+
+func TestViewUpdateKeepsFreshestRound(t *testing.T) {
+	v := NewView(cfg21, 1)
+	if !v.Update(types.ServerID(0), 1, tv(1, "a"), types.Bottom(), types.Bottom(), types.InitialFrozen()) {
+		t.Fatal("first update rejected")
+	}
+	// An older-round ack must not clobber a fresher one.
+	if v.Update(types.ServerID(0), 1, tv(9, "z"), types.Bottom(), types.Bottom(), types.InitialFrozen()) {
+		t.Error("same-round update accepted")
+	}
+	if !v.Update(types.ServerID(0), 2, tv(2, "b"), tv(1, "a"), types.Bottom(), types.InitialFrozen()) {
+		t.Error("fresher-round update rejected")
+	}
+	if v.Responded() != 1 {
+		t.Errorf("Responded() = %d, want 1", v.Responded())
+	}
+	if !v.ReadLive(tv(2, "b"), types.ServerID(0)) {
+		t.Error("freshest pw not readLive")
+	}
+	if v.ReadLive(tv(9, "z"), types.ServerID(0)) {
+		t.Error("stale overwrite visible")
+	}
+}
+
+func TestSafeThreshold(t *testing.T) {
+	c := tv(1, "v")
+	v := NewView(cfg21, 1)
+	feedUniform(v, 1, c, types.Bottom(), types.Bottom())
+	if v.Safe(c) {
+		t.Error("safe with 1 witness, want b+1=2")
+	}
+	feedUniform(v, 2, c, types.Bottom(), types.Bottom())
+	if !v.Safe(c) {
+		t.Error("not safe with 2 witnesses")
+	}
+}
+
+func TestSafeCountsWFieldToo(t *testing.T) {
+	c := tv(1, "v")
+	v := NewView(cfg21, 1)
+	feed(v, 0, 1, tv(2, "w2"), c, types.Bottom(), types.InitialFrozen())
+	feed(v, 1, 1, c, types.Bottom(), types.Bottom(), types.InitialFrozen())
+	if !v.Safe(c) {
+		t.Error("safe must count pw or w witnesses")
+	}
+}
+
+func TestSafeFrozenRequiresMatchingTSR(t *testing.T) {
+	c := tv(3, "f")
+	v := NewView(cfg21, 7)
+	fz := types.FrozenPair{PW: c, TSR: 7}
+	feed(v, 0, 1, types.Bottom(), types.Bottom(), types.Bottom(), fz)
+	feed(v, 1, 1, types.Bottom(), types.Bottom(), types.Bottom(), fz)
+	if !v.SafeFrozen(c) {
+		t.Error("safeFrozen with b+1 matching witnesses should hold")
+	}
+	// Mismatched tsr (a freeze for an older READ) must not count.
+	v2 := NewView(cfg21, 7)
+	stale := types.FrozenPair{PW: c, TSR: 6}
+	feed(v2, 0, 1, types.Bottom(), types.Bottom(), types.Bottom(), stale)
+	feed(v2, 1, 1, types.Bottom(), types.Bottom(), types.Bottom(), stale)
+	if v2.SafeFrozen(c) {
+		t.Error("safeFrozen held with stale tsr")
+	}
+}
+
+func TestFastPWThreshold(t *testing.T) {
+	c := tv(1, "v")
+	v := NewView(cfg21, 1)
+	feedUniform(v, 4, c, types.Bottom(), types.Bottom())
+	if v.FastPW(c) {
+		t.Error("fast_pw with 4 witnesses, want 2b+t+1=5")
+	}
+	feedUniform(v, 5, c, types.Bottom(), types.Bottom())
+	if !v.FastPW(c) {
+		t.Error("fast_pw should hold with 5 witnesses")
+	}
+	if !v.Fast(c) {
+		t.Error("fast should follow from fast_pw")
+	}
+}
+
+func TestFastVWThreshold(t *testing.T) {
+	c := tv(1, "v")
+	v := NewView(cfg21, 1)
+	feed(v, 0, 1, c, c, c, types.InitialFrozen())
+	if v.FastVW(c) {
+		t.Error("fast_vw with 1 witness, want b+1=2")
+	}
+	feed(v, 1, 1, c, c, c, types.InitialFrozen())
+	if !v.FastVW(c) || !v.Fast(c) {
+		t.Error("fast_vw should hold with b+1 witnesses")
+	}
+}
+
+func TestInvalidWRequiresQuorumOfOlder(t *testing.T) {
+	target := tv(5, "new")
+	old := tv(2, "old")
+	v := NewView(cfg21, 1)
+	feedUniform(v, 3, old, old, types.Bottom())
+	if v.InvalidW(target) {
+		t.Error("invalid_w with 3 older responses, want S−t=4")
+	}
+	feed(v, 3, 1, old, old, types.Bottom(), types.InitialFrozen())
+	if !v.InvalidW(target) {
+		t.Error("invalid_w should hold with 4 older responses")
+	}
+}
+
+func TestInvalidWSameTSDifferentValue(t *testing.T) {
+	// A server reporting the same timestamp with a different value also
+	// counts toward invalid_w (only malicious servers produce this).
+	target := tv(5, "genuine")
+	forged := tv(5, "forged")
+	v := NewView(cfg21, 1)
+	feedUniform(v, 4, forged, forged, types.Bottom())
+	if !v.InvalidW(target) {
+		t.Error("same-ts/different-val responses must count as older")
+	}
+}
+
+func TestInvalidPWThresholdAndField(t *testing.T) {
+	target := tv(5, "new")
+	old := tv(1, "old")
+	// invalid_pw needs S−b−t = 3 servers, counting the pw field only.
+	v := NewView(cfg21, 1)
+	feed(v, 0, 1, old, target, types.Bottom(), types.InitialFrozen())
+	feed(v, 1, 1, old, target, types.Bottom(), types.InitialFrozen())
+	if v.InvalidPW(target) {
+		t.Error("invalid_pw with 2 older pw responses, want 3")
+	}
+	feed(v, 2, 1, old, target, types.Bottom(), types.InitialFrozen())
+	if !v.InvalidPW(target) {
+		t.Error("invalid_pw should hold with 3 older pw responses")
+	}
+	// w fields being old is irrelevant to invalid_pw.
+	v2 := NewView(cfg21, 1)
+	feedUniform(v2, 6, target, old, types.Bottom())
+	if v2.InvalidPW(target) {
+		t.Error("invalid_pw counted w fields")
+	}
+}
+
+// The Theorem 4 fast-path scenario: after a fast WRITE of c, 2b+t+1
+// correct servers report pw=c, and any Byzantine pair with a higher
+// timestamp is reported by at most b servers. The READ must select c.
+func TestSelectFastWriteScenario(t *testing.T) {
+	c := tv(4, "good")
+	evil := tv(9, "forged")
+	v := NewView(cfg21, 1)
+	feedUniform(v, 5, c, types.Bottom(), types.Bottom()) // 2b+t+1 = 5 correct
+	feed(v, 5, 1, evil, evil, evil, types.InitialFrozen())
+	if !v.Safe(c) || !v.FastPW(c) {
+		t.Fatal("safe/fast_pw must hold for the written pair")
+	}
+	// All 5 correct servers respond with values older than evil, so
+	// invalid_w (≥4) and invalid_pw (≥3) hold for the forged pair.
+	if !v.InvalidW(evil) || !v.InvalidPW(evil) {
+		t.Fatal("forged pair not invalidated")
+	}
+	if !v.HighCand(c) {
+		t.Fatal("highCand(c) must hold once forged pair is invalidated")
+	}
+	sel, ok := v.Select()
+	if !ok || sel != c {
+		t.Errorf("Select() = (%v,%v), want %v", sel, ok, c)
+	}
+	if !v.Fast(sel) {
+		t.Error("selected pair should be fast (skip write-back)")
+	}
+}
+
+// The Theorem 4 slow-write scenario: a two-phase WRITE leaves c in the
+// vw fields of S−t servers; with fr failures, b+1 correct ones respond.
+func TestSelectSlowWriteScenario(t *testing.T) {
+	c := tv(4, "slowly-written")
+	v := NewView(cfg21, 1)
+	// 4 = S−t servers hold pw=w=vw=c; fr=1 of them fails, 3 respond,
+	// plus 2 more correct servers that are behind (they saw only pw).
+	feedUniform(v, 3, c, c, c)
+	feed(v, 3, 1, c, types.Bottom(), types.Bottom(), types.InitialFrozen())
+	feed(v, 4, 1, c, types.Bottom(), types.Bottom(), types.InitialFrozen())
+	if !v.Safe(c) {
+		t.Fatal("safe(c) must hold")
+	}
+	if !v.FastVW(c) {
+		t.Fatal("fast_vw(c) must hold with b+1 vw witnesses")
+	}
+	sel, ok := v.Select()
+	if !ok || sel != c {
+		t.Errorf("Select() = (%v,%v), want %v", sel, ok, c)
+	}
+}
+
+// b Byzantine servers alone can never make a never-written value
+// selectable: safe needs b+1 witnesses.
+func TestForgedValueNeverSafeWithBWitnesses(t *testing.T) {
+	evil := tv(42, "never-written")
+	genuine := tv(3, "real")
+	v := NewView(cfg21, 1)
+	feed(v, 0, 1, evil, evil, evil, types.FrozenPair{PW: evil, TSR: 1}) // the b=1 malicious server
+	feedUniform(v, 0, genuine, genuine, genuine)
+	for i := 1; i < 6; i++ {
+		feed(v, i, 1, genuine, genuine, genuine, types.InitialFrozen())
+	}
+	if v.Safe(evil) || v.SafeFrozen(evil) {
+		t.Fatal("forged pair reached safety with only b witnesses")
+	}
+	sel, ok := v.Select()
+	if !ok || sel != genuine {
+		t.Errorf("Select() = (%v,%v), want genuine", sel, ok)
+	}
+}
+
+// A candidate with a forged HIGHER timestamp that is NOT invalidated
+// must block highCand for lower candidates (no premature selection).
+func TestHighCandBlocksOnUninvalidatedHigherPair(t *testing.T) {
+	c := tv(2, "real")
+	higher := tv(8, "maybe-new")
+	v := NewView(cfg21, 1)
+	// Only quorum responses: 2 with c, 2 with the higher pair. The
+	// higher pair is not invalid (only 2 older responses < S−t), so c
+	// must not be selectable.
+	feed(v, 0, 1, c, c, types.Bottom(), types.InitialFrozen())
+	feed(v, 1, 1, c, c, types.Bottom(), types.InitialFrozen())
+	feed(v, 2, 1, higher, higher, types.Bottom(), types.InitialFrozen())
+	feed(v, 3, 1, higher, higher, types.Bottom(), types.InitialFrozen())
+	if v.HighCand(c) {
+		t.Fatal("highCand(c) held despite a live, uninvalidated higher pair")
+	}
+	// The higher pair itself has b+1 witnesses (at least one correct
+	// server vouches for it), so it is safe ∧ highCand and the READ
+	// selects it — never the lower pair.
+	sel, ok := v.Select()
+	if !ok || sel != higher {
+		t.Fatalf("Select() = (%v,%v), want the higher pair %v", sel, ok, higher)
+	}
+}
+
+// Bottom must be returnable on a fresh register: all servers report ⊥,
+// which is safe and highCand.
+func TestBottomSelectableOnFreshRegister(t *testing.T) {
+	v := NewView(cfg21, 1)
+	feedUniform(v, 4, types.Bottom(), types.Bottom(), types.Bottom())
+	sel, ok := v.Select()
+	if !ok || !sel.IsBottom() {
+		t.Errorf("Select() = (%v,%v), want bottom", sel, ok)
+	}
+}
+
+func TestCandidatesSortedAndDeduped(t *testing.T) {
+	a, b := tv(1, "a"), tv(2, "b")
+	v := NewView(cfg21, 1)
+	// Enough responses that both a and b become safe and invalidated
+	// hierarchy resolves: all six servers respond; 2 report a (pw and
+	// w), 4 report b.
+	feed(v, 0, 1, a, a, types.Bottom(), types.InitialFrozen())
+	feed(v, 1, 1, a, a, types.Bottom(), types.InitialFrozen())
+	for i := 2; i < 6; i++ {
+		feed(v, i, 1, b, b, types.Bottom(), types.InitialFrozen())
+	}
+	cs := v.Candidates()
+	for i := 1; i < len(cs); i++ {
+		if cs[i].TS < cs[i-1].TS {
+			t.Errorf("candidates not sorted: %v", cs)
+		}
+	}
+	seen := map[types.Tagged]bool{}
+	for _, c := range cs {
+		if seen[c] {
+			t.Errorf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+// Predicate monotonicity: adding a response reporting exactly c can
+// never falsify safe(c) and never make invalid_w(c) flip from true to
+// false… (counts only grow). Checked by property.
+func TestSafeMonotoneQuick(t *testing.T) {
+	f := func(nWitness uint8, extra uint8) bool {
+		n := int(nWitness%6) + 1
+		c := tv(3, "v")
+		v := NewView(cfg21, 1)
+		feedUniform(v, n, c, c, types.Bottom())
+		before := v.Safe(c)
+		// Add one more witness on a new server index.
+		feed(v, n, 1, c, c, types.Bottom(), types.InitialFrozen())
+		after := v.Safe(c)
+		return !before || after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Select must never return a pair no responding server reported in any
+// field (no-creation at the predicate level), for arbitrary random
+// views.
+func TestSelectNoCreationQuick(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		v := NewView(cfg21, 1)
+		reported := map[types.Tagged]bool{}
+		for i, s := range seeds {
+			if i >= 6 {
+				break
+			}
+			pw := tv(int64(s%5), "v")
+			w := tv(int64(s%3), "v")
+			vw := tv(int64(s%2), "v")
+			if pw.TS == 0 {
+				pw = types.Bottom()
+			}
+			if w.TS == 0 {
+				w = types.Bottom()
+			}
+			if vw.TS == 0 {
+				vw = types.Bottom()
+			}
+			fz := types.FrozenPair{PW: tv(int64(s%4), "v"), TSR: types.ReaderTS(s % 2)}
+			if fz.PW.TS == 0 {
+				fz.PW = types.Bottom()
+			}
+			feed(v, i, 1, pw, w, vw, fz)
+			reported[pw], reported[w] = true, true
+			if fz.TSR == 1 {
+				reported[fz.PW] = true
+			}
+		}
+		sel, ok := v.Select()
+		return !ok || reported[sel]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

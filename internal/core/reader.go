@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// ReadMeta describes the last completed READ: query rounds, whether a
+// write-back was necessary, and the selected pair.
+type ReadMeta struct {
+	TSR         types.ReaderTS
+	QueryRounds int  // READ rounds until a candidate was selected
+	WroteBack   bool // whether the 3-round write-back ran
+	Returned    types.Tagged
+}
+
+// Rounds returns the total communication round-trips of the READ: the
+// query rounds plus three write-back rounds when a write-back ran. A
+// fast READ has Rounds() == 1.
+func (m ReadMeta) Rounds() int {
+	if m.WroteBack {
+		return m.QueryRounds + 3
+	}
+	return m.QueryRounds
+}
+
+// Fast reports whether the READ completed in a single round-trip.
+func (m ReadMeta) Fast() bool { return m.Rounds() == 1 }
+
+// Reader implements the READ protocol of Figure 2. A Reader is not
+// safe for concurrent use: each reader process invokes one operation at
+// a time (wait-freedom is across clients, not within one).
+type Reader struct {
+	cfg Config
+	ep  transport.Endpoint
+	id  types.ProcID
+
+	tsr      types.ReaderTS
+	lastMeta ReadMeta
+	stats    OpStats
+}
+
+// NewReader creates reader client id on the given endpoint.
+func NewReader(cfg Config, id types.ProcID, ep transport.Endpoint) *Reader {
+	return &Reader{cfg: cfg, ep: ep, id: id}
+}
+
+// ID returns the reader's process id.
+func (r *Reader) ID() types.ProcID { return r.id }
+
+// LastMeta returns metadata about the most recent completed READ.
+func (r *Reader) LastMeta() ReadMeta { return r.lastMeta }
+
+// Read returns the register's value: the value of a concurrent write,
+// or the last value written. The returned Tagged carries the value and
+// the timestamp the writer assigned to it (the k of wr_k).
+func (r *Reader) Read() (types.Tagged, error) {
+	opDeadline := time.NewTimer(r.cfg.opTimeout())
+	defer opDeadline.Stop()
+
+	// Fig. 2 lines 12–13: new READ timestamp, fresh view.
+	r.tsr++
+	view := NewView(r.cfg, r.tsr)
+
+	var timer *time.Timer
+	expired := false
+	rnd := 0
+	var sel types.Tagged
+	for {
+		// Fig. 2 lines 15–16: next round, query all servers.
+		rnd++
+		if err := r.broadcast(wire.Read{TSR: r.tsr, Round: rnd}); err != nil {
+			return types.Tagged{}, err
+		}
+		if rnd == 1 {
+			timer = time.NewTimer(r.cfg.roundTimeout())
+			defer timer.Stop()
+		}
+
+		// Fig. 2 line 17: wait for S−t acks of this round, and in round
+		// 1 also for the synchrony timer (early exit when all S servers
+		// answered this round).
+		roundAcks := make(map[types.ProcID]bool, r.cfg.S())
+		for len(roundAcks) < r.cfg.S() &&
+			!(len(roundAcks) >= r.cfg.Quorum() && (rnd > 1 || expired)) {
+			select {
+			case env, ok := <-r.ep.Recv():
+				if !ok {
+					return types.Tagged{}, transport.ErrClosed
+				}
+				r.acceptAck(view, roundAcks, rnd, env)
+			case <-timer.C:
+				expired = true
+			case <-opDeadline.C:
+				return types.Tagged{}, fmt.Errorf("READ(tsr=%d) round %d: %w", r.tsr, rnd, ErrOpTimeout)
+			}
+		}
+		r.drainAcks(view, roundAcks, rnd)
+
+		// Fig. 2 lines 18–20: stop as soon as a candidate exists.
+		if c, ok := view.Select(); ok {
+			sel = c
+			break
+		}
+	}
+
+	// Fig. 2 line 21: write back unless the READ is provably complete
+	// after a fast first round.
+	wroteBack := false
+	if !view.Fast(sel) || rnd > 1 {
+		if err := r.writeBack(sel, opDeadline); err != nil {
+			return types.Tagged{}, err
+		}
+		wroteBack = true
+	}
+	r.lastMeta = ReadMeta{TSR: r.tsr, QueryRounds: rnd, WroteBack: wroteBack, Returned: sel}
+	r.stats.record(r.lastMeta.Rounds())
+	return sel, nil
+}
+
+// acceptAck folds one envelope into the view; acks for the current
+// round are counted toward the round quorum, and any fresher-round ack
+// updates the per-server arrays (Fig. 2 lines 23–25).
+func (r *Reader) acceptAck(view *View, roundAcks map[types.ProcID]bool, rnd int, env wire.Envelope) {
+	a, ok := env.Msg.(wire.ReadAck)
+	if !ok || !validServer(r.cfg, env.From) || a.TSR != r.tsr || wire.Validate(a) != nil {
+		return
+	}
+	if a.Round > rnd {
+		return // no correct server answers a round not yet started
+	}
+	if a.Round == rnd {
+		roundAcks[env.From] = true
+	}
+	view.Update(env.From, a.Round, a.PW, a.W, a.VW, a.Frozen)
+}
+
+// drainAcks consumes acks already queued when the round's wait
+// condition was met, so predicate evaluation sees every reply that
+// arrived in time.
+func (r *Reader) drainAcks(view *View, roundAcks map[types.ProcID]bool, rnd int) {
+	for {
+		select {
+		case env, ok := <-r.ep.Recv():
+			if !ok {
+				return
+			}
+			r.acceptAck(view, roundAcks, rnd, env)
+		default:
+			return
+		}
+	}
+}
+
+// writeBack runs the three-round write-back of Fig. 2 lines 26–28,
+// following the W-phase communication pattern with the reader's
+// timestamp as the tag.
+func (r *Reader) writeBack(c types.Tagged, opDeadline *time.Timer) error {
+	for round := 1; round <= 3; round++ {
+		if err := r.broadcast(wire.W{Round: round, Tag: int64(r.tsr), C: c}); err != nil {
+			return err
+		}
+		got := make(map[types.ProcID]bool, r.cfg.S())
+		for len(got) < r.cfg.Quorum() {
+			select {
+			case env, ok := <-r.ep.Recv():
+				if !ok {
+					return transport.ErrClosed
+				}
+				a, isAck := env.Msg.(wire.WAck)
+				if !isAck || !validServer(r.cfg, env.From) || a.Round != round || a.Tag != int64(r.tsr) {
+					continue
+				}
+				got[env.From] = true
+			case <-opDeadline.C:
+				return fmt.Errorf("READ(tsr=%d) write-back round %d: %w", r.tsr, round, ErrOpTimeout)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Reader) broadcast(m wire.Message) error {
+	out := make([]transport.Outgoing, r.cfg.S())
+	for i := range out {
+		out[i] = transport.Outgoing{To: types.ServerID(i), Msg: m}
+	}
+	return transport.SendAll(r.ep, out)
+}

@@ -1,0 +1,121 @@
+package core_test
+
+// Property tests for Appendix A (Theorem 5): with the maximal
+// fast-write budget fw = t−b, any sequence of consecutive lucky READs
+// contains at most one slow READ — across randomized crash patterns,
+// crash timings and sequence lengths.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"luckystore/internal/core"
+	"luckystore/internal/types"
+	"luckystore/internal/workload"
+)
+
+func TestAtMostOneSlowReadPerSequenceRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			cfg := core.Config{T: 2, B: 1, Fw: 1, NumReaders: 2,
+				RoundTimeout: 10 * time.Millisecond, OpTimeout: 20 * time.Second}
+			c, err := core.NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			// Random pre-write crash count within the fast budget, so
+			// writes can be fast or slow depending on further crashes.
+			crashed := map[int]bool{}
+			crashN := rng.Intn(2) // 0 or 1 before the first write
+			for len(crashed) < crashN {
+				i := rng.Intn(cfg.S())
+				if !crashed[i] {
+					crashed[i] = true
+					c.CrashServer(i)
+				}
+			}
+
+			writes := 1 + rng.Intn(3)
+			for w := 1; w <= writes; w++ {
+				if err := c.Writer().Write(workload.Value(w, 0)); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Random extra crashes, total ≤ t.
+			for len(crashed) < cfg.T && rng.Intn(2) == 0 {
+				i := rng.Intn(cfg.S())
+				if !crashed[i] {
+					crashed[i] = true
+					c.CrashServer(i)
+				}
+			}
+
+			// A sequence of consecutive lucky reads (no writes
+			// in-between): at most one slow, and all return the last
+			// written value.
+			seqLen := 3 + rng.Intn(5)
+			slow := 0
+			rounds := ""
+			for i := 0; i < seqLen; i++ {
+				rd := c.Reader(rng.Intn(cfg.NumReaders))
+				got, err := rd.Read()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.TS != types.TS(writes) {
+					t.Fatalf("read %d returned %v, want ts=%d", i, got, writes)
+				}
+				m := rd.LastMeta()
+				if !m.Fast() {
+					slow++
+				}
+				rounds += fmt.Sprintf("%d ", m.Rounds())
+			}
+			if slow > 1 {
+				t.Errorf("seed %d: %d slow reads in a consecutive lucky sequence (%s), want ≤ 1",
+					seed, slow, rounds)
+			}
+		})
+	}
+}
+
+// The remark of Appendix A.1: once more than t−b servers have failed
+// and at least one WRITE invoked after that completes, every lucky READ
+// that succeeds it is fast (the write is necessarily slow, which
+// pre-pays for all subsequent reads).
+func TestAllReadsFastAfterSlowWritePostFailures(t *testing.T) {
+	cfg := core.Config{T: 2, B: 1, Fw: 1, NumReaders: 1,
+		RoundTimeout: 10 * time.Millisecond}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.CrashServer(0)
+	c.CrashServer(1) // more than t−b failures
+	if err := c.Writer().Write("v"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Writer().LastMeta().Fast {
+		t.Fatal("write unexpectedly fast with > t−b failures")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Reader(0).Read(); err != nil {
+			t.Fatal(err)
+		}
+		if m := c.Reader(0).LastMeta(); !m.Fast() {
+			t.Errorf("read %d after the slow write not fast: %+v", i, m)
+		}
+	}
+}

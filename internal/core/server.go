@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sync"
+
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// Server is the server automaton of Figure 3. It keeps three
+// timestamp–value fields — pw (pre-written), w (written) and vw (the
+// third write round's "view-written" field) — plus, per reader, the
+// reader's last announced READ timestamp tsr_j and the frozen slot
+// frozen_rj used by the freezing mechanism.
+//
+// The automaton is pure and single-threaded: Step consumes one message
+// and returns the replies to send. It never initiates communication
+// (servers reply only to clients, per the paper's data-centric model).
+type Server struct {
+	// mu guards all fields: the runner serializes Step calls, but tests
+	// and experiments inspect server state concurrently.
+	mu        sync.Mutex
+	pw, w, vw types.Tagged
+	frozen    map[types.ProcID]types.FrozenPair
+	readerTS  map[types.ProcID]types.ReaderTS
+
+	// ignoreReaderWrites makes the automaton drop W messages from
+	// readers: the regular variant of Appendix D, which tolerates
+	// malicious readers by never letting a reader modify pw/w/vw.
+	ignoreReaderWrites bool
+}
+
+// NewServer creates a server in its initial state
+// (pw = w = vw = 〈ts0,⊥〉, all frozen slots initial, all reader
+// timestamps tsr0).
+func NewServer() *Server {
+	return &Server{
+		pw:       types.Bottom(),
+		w:        types.Bottom(),
+		vw:       types.Bottom(),
+		frozen:   make(map[types.ProcID]types.FrozenPair),
+		readerTS: make(map[types.ProcID]types.ReaderTS),
+	}
+}
+
+// NewRegularServer creates a server for the Appendix D regular variant,
+// identical to NewServer except that W messages from readers (write
+// backs) are ignored.
+func NewRegularServer() *Server {
+	s := NewServer()
+	s.ignoreReaderWrites = true
+	return s
+}
+
+// State returns a copy of the server's stored pairs, for tests and
+// experiment assertions.
+func (s *Server) State() (pw, w, vw types.Tagged) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pw, s.w, s.vw
+}
+
+// FrozenFor returns the server's frozen slot for a reader.
+func (s *Server) FrozenFor(r types.ProcID) types.FrozenPair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frozenLocked(r)
+}
+
+func (s *Server) frozenLocked(r types.ProcID) types.FrozenPair {
+	if f, ok := s.frozen[r]; ok {
+		return f
+	}
+	return types.InitialFrozen()
+}
+
+// ReaderTS returns the reader timestamp stored for r (tsr0 if none).
+func (s *Server) ReaderTS(r types.ProcID) types.ReaderTS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readerTS[r]
+}
+
+// InjectState force-sets the server's fields, bypassing the protocol.
+// Only malicious servers can reach arbitrary states (Section 2.1); the
+// fault package and the upper-bound experiments use this to forge the
+// σ1 states of the proof runs.
+func (s *Server) InjectState(pw, w, vw types.Tagged) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pw, s.w, s.vw = pw, w, vw
+}
+
+// Step implements node.Automaton. Messages that fail structural
+// validation, or arrive from a process whose role may not send them,
+// are dropped without a reply — a correct server never acts on
+// garbage, and in the Byzantine model an unanswered message is
+// indistinguishable from a slow channel.
+func (s *Server) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
+	if wire.Validate(m) != nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch v := m.(type) {
+	case wire.PW:
+		if !from.IsWriter() {
+			return nil
+		}
+		return s.onPW(from, v)
+	case wire.Read:
+		if !from.IsReader() {
+			return nil
+		}
+		return s.onRead(from, v)
+	case wire.W:
+		if !from.IsWriter() && !from.IsReader() {
+			return nil
+		}
+		if from.IsReader() && s.ignoreReaderWrites {
+			return nil
+		}
+		return s.onW(from, v)
+	default:
+		return nil
+	}
+}
+
+// onPW handles the pre-write message (Fig. 3 lines 3–8).
+func (s *Server) onPW(from types.ProcID, m wire.PW) []transport.Outgoing {
+	s.update(&s.pw, m.PW)
+	s.update(&s.w, m.W)
+	// Apply the frozen set even when pw'/w' are older than the local
+	// copies (Fig. 3 lines 5–6): the freeze for a reader takes effect
+	// when its read timestamp is at least the one the server stored.
+	for _, f := range m.Frozen {
+		if f.TSR >= s.readerTS[f.Reader] {
+			s.frozen[f.Reader] = types.FrozenPair{PW: f.PW, TSR: f.TSR}
+		}
+	}
+	// newread: every reader whose announced READ timestamp the writer
+	// has not yet frozen a value for (Fig. 3 line 7).
+	var newread []types.ReadStamp
+	for rj, tsr := range s.readerTS {
+		if tsr > s.frozenTSR(rj) {
+			newread = append(newread, types.ReadStamp{Reader: rj, TSR: tsr})
+		}
+	}
+	return []transport.Outgoing{{To: from, Msg: wire.PWAck{TS: m.TS, NewRead: newread}}}
+}
+
+// onRead handles a READ round message (Fig. 3 lines 9–11). The reader
+// timestamp is recorded only from the second round on: a fast READ
+// leaves no trace, and only slow READs signal the writer via freezing.
+func (s *Server) onRead(from types.ProcID, m wire.Read) []transport.Outgoing {
+	if m.TSR > s.readerTS[from] && m.Round > 1 {
+		s.readerTS[from] = m.TSR
+	}
+	return []transport.Outgoing{{
+		To: from,
+		Msg: wire.ReadAck{
+			TSR:    m.TSR,
+			Round:  m.Round,
+			PW:     s.pw,
+			W:      s.w,
+			VW:     s.vw,
+			Frozen: s.frozenLocked(from),
+		},
+	}}
+}
+
+// onW handles a write-phase or write-back message (Fig. 3 lines 12–16):
+// round 1 updates pw, round 2 additionally w, round 3 additionally vw.
+func (s *Server) onW(from types.ProcID, m wire.W) []transport.Outgoing {
+	s.update(&s.pw, m.C)
+	if m.Round > 1 {
+		s.update(&s.w, m.C)
+	}
+	if m.Round > 2 {
+		s.update(&s.vw, m.C)
+	}
+	return []transport.Outgoing{{To: from, Msg: wire.WAck{Round: m.Round, Tag: m.Tag}}}
+}
+
+// update replaces *local with c only if c is strictly newer
+// (Fig. 3 line 17), preserving Lemma 3 (non-decreasing timestamps).
+func (s *Server) update(local *types.Tagged, c types.Tagged) {
+	if c.TS > local.TS {
+		*local = c
+	}
+}
+
+func (s *Server) frozenTSR(rj types.ProcID) types.ReaderTS {
+	if f, ok := s.frozen[rj]; ok {
+		return f.TSR
+	}
+	return types.ReaderTS0
+}

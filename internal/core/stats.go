@@ -1,0 +1,45 @@
+package core
+
+// OpStats accumulates per-client operation statistics across a client's
+// lifetime: how many operations ran, how many used the one-round fast
+// path, and the total round-trips spent. The fast fraction is the
+// paper's best-case metric aggregated over a workload.
+type OpStats struct {
+	Ops         int
+	FastOps     int
+	TotalRounds int
+}
+
+// record folds one completed operation into the stats.
+func (s *OpStats) record(rounds int) {
+	s.Ops++
+	s.TotalRounds += rounds
+	if rounds == 1 {
+		s.FastOps++
+	}
+}
+
+// FastFraction reports the share of one-round operations, 0 for an
+// empty history.
+func (s OpStats) FastFraction() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.FastOps) / float64(s.Ops)
+}
+
+// MeanRounds reports the average round-trips per operation, 0 for an
+// empty history.
+func (s OpStats) MeanRounds() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.TotalRounds) / float64(s.Ops)
+}
+
+// Stats returns the writer's cumulative operation statistics. Faulty
+// (injected-crash) writes are not counted: they never complete.
+func (w *Writer) Stats() OpStats { return w.stats }
+
+// Stats returns the reader's cumulative operation statistics.
+func (r *Reader) Stats() OpStats { return r.stats }

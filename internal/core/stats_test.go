@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOpStatsMath(t *testing.T) {
+	var s OpStats
+	if s.FastFraction() != 0 || s.MeanRounds() != 0 {
+		t.Error("empty stats not zero")
+	}
+	s.record(1)
+	s.record(1)
+	s.record(3)
+	if s.Ops != 3 || s.FastOps != 2 || s.TotalRounds != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.FastFraction(); got < 0.66 || got > 0.67 {
+		t.Errorf("FastFraction = %v", got)
+	}
+	if got := s.MeanRounds(); got < 1.66 || got > 1.67 {
+		t.Errorf("MeanRounds = %v", got)
+	}
+}
+
+func TestClientStatsAccumulate(t *testing.T) {
+	cfg := Config{T: 2, B: 1, Fw: 1, NumReaders: 1, RoundTimeout: 10 * time.Millisecond}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two fast writes, then two crashes force a slow one.
+	if err := c.Writer().Write("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Writer().Write("b"); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashServer(0)
+	c.CrashServer(1)
+	if err := c.Writer().Write("c"); err != nil {
+		t.Fatal(err)
+	}
+	ws := c.Writer().Stats()
+	if ws.Ops != 3 || ws.FastOps != 2 || ws.TotalRounds != 1+1+3 {
+		t.Errorf("writer stats = %+v", ws)
+	}
+
+	// Reads after the slow write are fast (vw populated).
+	for i := 0; i < 4; i++ {
+		if _, err := c.Reader(0).Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := c.Reader(0).Stats()
+	if rs.Ops != 4 || rs.FastOps != 4 {
+		t.Errorf("reader stats = %+v", rs)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// ErrBottomValue rejects WRITE(⊥): the initial value is not a valid
+// input for a WRITE (Section 2.2).
+var ErrBottomValue = errors.New("cannot write the initial value ⊥ (empty value)")
+
+// WriteMeta describes the last completed WRITE: how many communication
+// round-trips it took and whether it used the fast path.
+type WriteMeta struct {
+	TS     types.TS
+	Rounds int
+	Fast   bool
+	PWAcks int // valid PW_ACKs held when the fast-path check ran
+}
+
+// WriteFault scripts a crash-faulty writer, used by tests and by the
+// experiments that reproduce the proof runs (Fig. 4) and the ghost
+// scenario (Appendix E). A nil *WriteFault is a correct writer.
+type WriteFault struct {
+	// PWTo restricts the recipients of the PW message; nil means all
+	// servers ("the messages sent by the writer are delivered only to
+	// B1" steps are modeled as the crashed writer never sending them).
+	PWTo []types.ProcID
+	// CrashAfterPW stops the writer right after sending PW: the
+	// operation never completes and the writer takes no further steps.
+	CrashAfterPW bool
+	// WTo restricts recipients of the W message per round (2 and 3).
+	WTo map[int][]types.ProcID
+	// CrashAfterW stops the writer right after sending the W message of
+	// the given round.
+	CrashAfterW map[int]bool
+}
+
+// Writer implements the WRITE protocol of Figure 1. A Writer is not
+// safe for concurrent use: the model has a single writer that invokes
+// one operation at a time.
+type Writer struct {
+	cfg Config
+	ep  transport.Endpoint
+
+	ts      types.TS
+	pw, w   types.Tagged
+	readTS  map[types.ProcID]types.ReaderTS
+	frozen  []types.FrozenEntry
+	crashed bool
+
+	lastMeta WriteMeta
+	stats    OpStats
+}
+
+// NewWriter creates the writer client on the given endpoint.
+func NewWriter(cfg Config, ep transport.Endpoint) *Writer {
+	return &Writer{
+		cfg:    cfg,
+		ep:     ep,
+		pw:     types.Bottom(),
+		w:      types.Bottom(),
+		readTS: make(map[types.ProcID]types.ReaderTS),
+	}
+}
+
+// Write stores v in the register. It returns once atomicity of the
+// write is secured: after one round-trip on the fast path (S − fw
+// PW_ACKs within the synchrony timer), otherwise after the two
+// additional W rounds.
+func (w *Writer) Write(v types.Value) error { return w.write(v, nil) }
+
+// WriteWithFault runs a WRITE with scripted crash behavior; it returns
+// ErrCrashed at the scripted point and leaves the writer permanently
+// crashed.
+func (w *Writer) WriteWithFault(v types.Value, f *WriteFault) error { return w.write(v, f) }
+
+// LastMeta returns metadata about the most recent completed WRITE.
+func (w *Writer) LastMeta() WriteMeta { return w.lastMeta }
+
+// NextTS returns the timestamp the next WRITE will use (for tests).
+func (w *Writer) NextTS() types.TS { return w.ts + 1 }
+
+func (w *Writer) write(v types.Value, f *WriteFault) error {
+	if w.crashed {
+		return ErrCrashed
+	}
+	if v == "" {
+		return ErrBottomValue
+	}
+	opDeadline := time.NewTimer(w.cfg.opTimeout())
+	defer opDeadline.Stop()
+
+	// Pre-write phase (Fig. 1 lines 3–4): advance the timestamp, ship
+	// PW with the frozen set left over from the previous WRITE's
+	// freezevalues().
+	w.ts++
+	w.pw = types.Tagged{TS: w.ts, Val: v}
+	pwMsg := wire.PW{TS: w.ts, PW: w.pw, W: w.w, Frozen: w.frozen}
+	if err := w.sendTo(pwTargets(w.cfg, f), pwMsg); err != nil {
+		return err
+	}
+	if f != nil && f.CrashAfterPW {
+		w.crashed = true
+		return ErrCrashed
+	}
+
+	// Fig. 1 line 5: wait for S−t valid PW_ACKs and timer expiry (early
+	// exit when all S servers have answered — nothing more can arrive).
+	timer := time.NewTimer(w.cfg.roundTimeout())
+	defer timer.Stop()
+	acks := make(map[types.ProcID]wire.PWAck, w.cfg.S())
+	expired := false
+	for len(acks) < w.cfg.S() && !(len(acks) >= w.cfg.Quorum() && expired) {
+		select {
+		case env, ok := <-w.ep.Recv():
+			if !ok {
+				return transport.ErrClosed
+			}
+			w.acceptPWAck(acks, env)
+		case <-timer.C:
+			expired = true
+		case <-opDeadline.C:
+			return fmt.Errorf("WRITE(ts=%d) pre-write phase: %w", w.ts, ErrOpTimeout)
+		}
+	}
+	w.drainPWAcks(acks)
+
+	// Fig. 1 lines 6–7: record the value as written, then detect slow
+	// READs and freeze values for them.
+	w.frozen = nil
+	w.w = w.pw
+	w.freezeValues(acks)
+
+	// Fig. 1 line 8: fast path.
+	if len(acks) >= w.cfg.FastWriteAcks() {
+		w.lastMeta = WriteMeta{TS: w.ts, Rounds: 1, Fast: true, PWAcks: len(acks)}
+		w.stats.record(1)
+		return nil
+	}
+
+	// Write phase (Fig. 1 lines 9–11): two more rounds.
+	for round := 2; round <= 3; round++ {
+		msg := wire.W{Round: round, Tag: int64(w.ts), C: w.pw}
+		if err := w.sendTo(wTargets(w.cfg, f, round), msg); err != nil {
+			return err
+		}
+		if f != nil && f.CrashAfterW[round] {
+			w.crashed = true
+			return ErrCrashed
+		}
+		if err := w.awaitWAcks(round, int64(w.ts), opDeadline); err != nil {
+			return err
+		}
+	}
+	w.lastMeta = WriteMeta{TS: w.ts, Rounds: 3, Fast: false, PWAcks: len(acks)}
+	w.stats.record(3)
+	return nil
+}
+
+// acceptPWAck records a structurally valid, correctly tagged PW_ACK
+// from a server not yet counted.
+func (w *Writer) acceptPWAck(acks map[types.ProcID]wire.PWAck, env wire.Envelope) {
+	a, ok := env.Msg.(wire.PWAck)
+	if !ok || !validServer(w.cfg, env.From) || a.TS != w.ts || wire.Validate(a) != nil {
+		return
+	}
+	if _, dup := acks[env.From]; !dup {
+		acks[env.From] = a
+	}
+}
+
+// drainPWAcks consumes acks that are already queued when the wait
+// condition is met, so the fast-path check of line 8 sees every reply
+// that arrived within the timer.
+func (w *Writer) drainPWAcks(acks map[types.ProcID]wire.PWAck) {
+	for {
+		select {
+		case env, ok := <-w.ep.Recv():
+			if !ok {
+				return
+			}
+			w.acceptPWAck(acks, env)
+		default:
+			return
+		}
+	}
+}
+
+// freezeValues implements Fig. 1 lines 13–15: for every reader reported
+// by at least b+1 servers with a READ timestamp above the writer's
+// recorded one, advance the record to the (b+1)-st highest reported
+// timestamp and freeze the current pre-written pair for that reader.
+func (w *Writer) freezeValues(acks map[types.ProcID]wire.PWAck) {
+	reported := make(map[types.ProcID][]types.ReaderTS)
+	for _, a := range acks {
+		seen := make(map[types.ProcID]bool, len(a.NewRead))
+		for _, rs := range a.NewRead {
+			if seen[rs.Reader] {
+				continue // a malicious server may repeat a reader; count it once
+			}
+			seen[rs.Reader] = true
+			if rs.TSR > w.readTS[rs.Reader] {
+				reported[rs.Reader] = append(reported[rs.Reader], rs.TSR)
+			}
+		}
+	}
+	for rj, tsrs := range reported {
+		if len(tsrs) < w.cfg.SafeThreshold() {
+			continue
+		}
+		nth, ok := types.NthHighest(tsrs, w.cfg.B)
+		if !ok {
+			continue
+		}
+		w.readTS[rj] = nth
+		w.frozen = append(w.frozen, types.FrozenEntry{Reader: rj, PW: w.pw, TSR: nth})
+	}
+}
+
+// awaitWAcks waits for S−t valid WRITE_ACKs for the given round.
+func (w *Writer) awaitWAcks(round int, tag int64, opDeadline *time.Timer) error {
+	got := make(map[types.ProcID]bool, w.cfg.S())
+	for len(got) < w.cfg.Quorum() {
+		select {
+		case env, ok := <-w.ep.Recv():
+			if !ok {
+				return transport.ErrClosed
+			}
+			a, isAck := env.Msg.(wire.WAck)
+			if !isAck || !validServer(w.cfg, env.From) || a.Round != round || a.Tag != tag {
+				continue
+			}
+			got[env.From] = true
+		case <-opDeadline.C:
+			return fmt.Errorf("WRITE(ts=%d) W round %d: %w", w.ts, round, ErrOpTimeout)
+		}
+	}
+	return nil
+}
+
+func (w *Writer) sendTo(targets []types.ProcID, m wire.Message) error {
+	out := make([]transport.Outgoing, len(targets))
+	for i, id := range targets {
+		out[i] = transport.Outgoing{To: id, Msg: m}
+	}
+	return transport.SendAll(w.ep, out)
+}
+
+func pwTargets(cfg Config, f *WriteFault) []types.ProcID {
+	if f != nil && f.PWTo != nil {
+		return f.PWTo
+	}
+	return types.ServerIDs(cfg.S())
+}
+
+func wTargets(cfg Config, f *WriteFault, round int) []types.ProcID {
+	if f != nil && f.WTo != nil && f.WTo[round] != nil {
+		return f.WTo[round]
+	}
+	return types.ServerIDs(cfg.S())
+}
+
+// validServer reports whether id names one of the cluster's S servers;
+// clients ignore messages claiming other origins.
+func validServer(cfg Config, id types.ProcID) bool {
+	return id.IsServer() && id.Index() < cfg.S()
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceDelayFactor scales the link delays of the latency experiments.
+// Without the race detector, scheduling overhead per message hop is a
+// few microseconds and millisecond-scale delays dominate cleanly.
+const raceDelayFactor = 1

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceDelayFactor scales the link delays of the latency experiments.
+// Under the race detector every message hop costs hundreds of
+// microseconds of instrumentation, so the injected link delays must be
+// proportionally larger for round-trips to dominate wall-clock time.
+const raceDelayFactor = 5

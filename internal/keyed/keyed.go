@@ -1,0 +1,186 @@
+// Package keyed multiplexes many independent registers over one set of
+// servers: every protocol message travels wrapped in a wire.Keyed
+// envelope naming its register, servers run one core automaton per key,
+// and clients obtain per-key virtual endpoints from a demultiplexer.
+//
+// Each key is a completely independent SWMR atomic register with its
+// own timestamp space and its own freezing state — the composition
+// inherits the per-register guarantees (atomicity is compositional:
+// linearizable objects compose).
+package keyed
+
+import (
+	"fmt"
+	"sync"
+
+	"luckystore/internal/node"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// Server routes keyed messages to one inner automaton per register,
+// created on first use by the factory. It implements node.Automaton.
+type Server struct {
+	mu      sync.Mutex
+	regs    map[string]node.Automaton
+	factory func() node.Automaton
+}
+
+// NewServer creates a keyed server whose per-register automata come
+// from factory (e.g. func() node.Automaton { return core.NewServer() }).
+func NewServer(factory func() node.Automaton) *Server {
+	return &Server{regs: make(map[string]node.Automaton), factory: factory}
+}
+
+// Regs reports the number of instantiated registers (for tests).
+func (s *Server) Regs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.regs)
+}
+
+// Step implements node.Automaton: unwrap, dispatch, re-wrap.
+func (s *Server) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
+	k, ok := m.(wire.Keyed)
+	if !ok || wire.Validate(k) != nil {
+		return nil
+	}
+	s.mu.Lock()
+	reg, exists := s.regs[k.Key]
+	if !exists {
+		reg = s.factory()
+		s.regs[k.Key] = reg
+	}
+	s.mu.Unlock()
+	inner := reg.Step(from, k.Inner)
+	out := make([]transport.Outgoing, len(inner))
+	for i, o := range inner {
+		out[i] = transport.Outgoing{To: o.To, Msg: wire.Keyed{Key: k.Key, Inner: o.Msg}}
+	}
+	return out
+}
+
+// Demux splits one client endpoint into per-key virtual endpoints: each
+// Open(key) returns a transport.Endpoint that sends messages wrapped
+// for that key and receives only that key's replies. Different keys can
+// then run operations concurrently from one client process.
+type Demux struct {
+	inner transport.Endpoint
+
+	mu     sync.Mutex
+	subs   map[string]*transport.Mailbox
+	closed bool
+	done   chan struct{}
+}
+
+// NewDemux wraps an endpoint and starts the routing pump. The demux
+// takes ownership: closing the demux closes the endpoint.
+func NewDemux(ep transport.Endpoint) *Demux {
+	d := &Demux{
+		inner: ep,
+		subs:  make(map[string]*transport.Mailbox),
+		done:  make(chan struct{}),
+	}
+	go d.pump()
+	return d
+}
+
+// Open returns the virtual endpoint for key. Opening the same key twice
+// returns endpoints sharing one inbox; callers should hold one endpoint
+// per key.
+func (d *Demux) Open(key string) (transport.Endpoint, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, transport.ErrClosed
+	}
+	mbox, ok := d.subs[key]
+	if !ok {
+		mbox = transport.NewMailbox()
+		d.subs[key] = mbox
+	}
+	return &subEndpoint{key: key, demux: d, mbox: mbox}, nil
+}
+
+// Close stops the pump, closes every per-key inbox and the underlying
+// endpoint, and waits for the pump goroutine to exit.
+func (d *Demux) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		<-d.done
+		return nil
+	}
+	d.closed = true
+	subs := make([]*transport.Mailbox, 0, len(d.subs))
+	for _, m := range d.subs {
+		subs = append(subs, m)
+	}
+	d.mu.Unlock()
+
+	err := d.inner.Close() // unblocks the pump
+	<-d.done
+	for _, m := range subs {
+		m.Close()
+	}
+	return err
+}
+
+func (d *Demux) pump() {
+	defer close(d.done)
+	for env := range d.inner.Recv() {
+		k, ok := env.Msg.(wire.Keyed)
+		if !ok || wire.Validate(k) != nil {
+			continue // unkeyed or malformed traffic is dropped
+		}
+		d.mu.Lock()
+		mbox := d.subs[k.Key]
+		d.mu.Unlock()
+		if mbox == nil {
+			continue // reply for a key this client never opened
+		}
+		_ = mbox.Put(wire.Envelope{From: env.From, To: env.To, Msg: k.Inner})
+	}
+}
+
+// subEndpoint is the per-key virtual endpoint.
+type subEndpoint struct {
+	key   string
+	demux *Demux
+	mbox  *transport.Mailbox
+}
+
+var _ transport.Endpoint = (*subEndpoint)(nil)
+
+func (s *subEndpoint) ID() types.ProcID { return s.demux.inner.ID() }
+
+func (s *subEndpoint) Send(to types.ProcID, m wire.Message) error {
+	return s.demux.inner.Send(to, wire.Keyed{Key: s.key, Inner: m})
+}
+
+func (s *subEndpoint) Recv() <-chan wire.Envelope { return s.mbox.Out() }
+
+// Close detaches the key's inbox from the demux.
+func (s *subEndpoint) Close() error {
+	s.demux.mu.Lock()
+	if s.demux.subs[s.key] == s.mbox {
+		delete(s.demux.subs, s.key)
+	}
+	s.demux.mu.Unlock()
+	s.mbox.Close()
+	return nil
+}
+
+func validKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("keyed: empty key")
+	}
+	if len(key) > wire.MaxKeyLen {
+		return fmt.Errorf("keyed: key longer than %d bytes", wire.MaxKeyLen)
+	}
+	return nil
+}

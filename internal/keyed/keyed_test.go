@@ -1,0 +1,244 @@
+package keyed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"luckystore/internal/core"
+	"luckystore/internal/node"
+	"luckystore/internal/simnet"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+func coreFactory() node.Automaton { return core.NewServer() }
+
+func TestServerRoutesPerKey(t *testing.T) {
+	s := NewServer(func() node.Automaton { return core.NewServer() })
+	pw := wire.PW{TS: 1, PW: types.Tagged{TS: 1, Val: "a"}, W: types.Bottom()}
+
+	out := s.Step(types.WriterID(), wire.Keyed{Key: "alpha", Inner: pw})
+	if len(out) != 1 {
+		t.Fatalf("no reply: %v", out)
+	}
+	k, ok := out[0].Msg.(wire.Keyed)
+	if !ok || k.Key != "alpha" {
+		t.Fatalf("reply not keyed to alpha: %+v", out[0].Msg)
+	}
+	if _, ok := k.Inner.(wire.PWAck); !ok {
+		t.Fatalf("inner reply = %T, want PWAck", k.Inner)
+	}
+
+	// A different key gets a fresh register: reading beta sees ⊥.
+	rd := wire.Read{TSR: 1, Round: 1}
+	out = s.Step(types.ReaderID(0), wire.Keyed{Key: "beta", Inner: rd})
+	ack := out[0].Msg.(wire.Keyed).Inner.(wire.ReadAck)
+	if !ack.PW.IsBottom() {
+		t.Errorf("beta register contaminated by alpha write: %+v", ack)
+	}
+	// Alpha still has its value.
+	out = s.Step(types.ReaderID(0), wire.Keyed{Key: "alpha", Inner: rd})
+	ack = out[0].Msg.(wire.Keyed).Inner.(wire.ReadAck)
+	if ack.PW != (types.Tagged{TS: 1, Val: "a"}) {
+		t.Errorf("alpha register lost its value: %+v", ack)
+	}
+	if s.Regs() != 2 {
+		t.Errorf("Regs() = %d, want 2", s.Regs())
+	}
+}
+
+func TestServerDropsUnkeyedAndMalformed(t *testing.T) {
+	s := NewServer(coreFactory)
+	if out := s.Step(types.WriterID(), wire.PW{TS: 1, PW: types.Tagged{TS: 1, Val: "a"}, W: types.Bottom()}); out != nil {
+		t.Error("unkeyed message answered")
+	}
+	if out := s.Step(types.WriterID(), wire.Keyed{Key: "", Inner: wire.ABDRead{}}); out != nil {
+		t.Error("empty key answered")
+	}
+	nested := wire.Keyed{Key: "a", Inner: wire.Keyed{Key: "b", Inner: wire.ABDRead{}}}
+	if out := s.Step(types.WriterID(), nested); out != nil {
+		t.Error("nested keyed answered")
+	}
+	if s.Regs() != 0 {
+		t.Errorf("malformed traffic instantiated %d registers", s.Regs())
+	}
+}
+
+func newDemuxPair(t *testing.T) (*simnet.Network, *Demux, transport.Endpoint) {
+	t.Helper()
+	n, err := simnet.New([]types.ProcID{types.WriterID(), types.ServerID(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wep, err := n.Endpoint(types.WriterID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := n.Endpoint(types.ServerID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux(wep)
+	t.Cleanup(func() {
+		_ = d.Close()
+		_ = n.Close()
+	})
+	return n, d, sep
+}
+
+func TestDemuxRoutesRepliesByKey(t *testing.T) {
+	_, d, sep := newDemuxPair(t)
+	alpha, err := d.Open("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := d.Open("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sends are wrapped with the key.
+	if err := alpha.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	env := <-sep.Recv()
+	k, ok := env.Msg.(wire.Keyed)
+	if !ok || k.Key != "alpha" {
+		t.Fatalf("server received %+v, want keyed alpha", env.Msg)
+	}
+
+	// Replies route to the matching sub-endpoint only.
+	reply := wire.Keyed{Key: "beta", Inner: wire.ABDReadAck{Seq: 9, C: types.Bottom()}}
+	if err := sep.Send(types.WriterID(), reply); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-beta.Recv():
+		ack, ok := env.Msg.(wire.ABDReadAck)
+		if !ok || ack.Seq != 9 {
+			t.Fatalf("beta got %+v", env.Msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("beta reply not delivered")
+	}
+	select {
+	case env := <-alpha.Recv():
+		t.Fatalf("alpha stole beta's reply: %+v", env)
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestDemuxDropsRepliesForUnopenedKeys(t *testing.T) {
+	_, d, sep := newDemuxPair(t)
+	opened, err := d.Open("opened")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sep.Send(types.WriterID(), wire.Keyed{Key: "ghost", Inner: wire.ABDReadAck{Seq: 1, C: types.Bottom()}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sep.Send(types.WriterID(), wire.Keyed{Key: "opened", Inner: wire.ABDReadAck{Seq: 2, C: types.Bottom()}}); err != nil {
+		t.Fatal(err)
+	}
+	env := <-opened.Recv()
+	if env.Msg.(wire.ABDReadAck).Seq != 2 {
+		t.Fatalf("got %+v, ghost traffic leaked", env.Msg)
+	}
+}
+
+func TestDemuxKeyValidationAndClose(t *testing.T) {
+	_, d, _ := newDemuxPair(t)
+	if _, err := d.Open(""); err == nil {
+		t.Error("empty key opened")
+	}
+	if _, err := d.Open(strings.Repeat("k", wire.MaxKeyLen+1)); err == nil {
+		t.Error("oversized key opened")
+	}
+	sub, err := d.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := d.Open("y"); err == nil {
+		t.Error("Open succeeded after Close")
+	}
+}
+
+// Full stack: core writer/reader over keyed endpoints against keyed
+// servers — two independent registers on one 6-server deployment.
+func TestEndToEndTwoRegisters(t *testing.T) {
+	cfg := core.Config{T: 2, B: 1, Fw: 1, NumReaders: 1, RoundTimeout: 15 * time.Millisecond}
+	ids := append(types.ServerIDs(cfg.S()), types.WriterID(), types.ReaderID(0))
+	n, err := simnet.New(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	var runners []*node.Runner
+	for i := 0; i < cfg.S(); i++ {
+		ep, err := n.Endpoint(types.ServerID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := node.NewRunner(ep, NewServer(coreFactory))
+		runners = append(runners, r)
+		r.Start()
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+	}()
+
+	wep, err := n.Endpoint(types.WriterID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := NewDemux(wep)
+	defer wd.Close()
+	rep, err := n.Endpoint(types.ReaderID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewDemux(rep)
+	defer rd.Close()
+
+	for _, key := range []string{"users/42", "config"} {
+		wsub, err := wd.Open(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := core.NewWriter(cfg, wsub)
+		if err := w.Write(types.Value("value-of-" + key)); err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if !w.LastMeta().Fast {
+			t.Errorf("%s: write not fast over keyed transport", key)
+		}
+		rsub, err := rd.Open(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := core.NewReader(cfg, types.ReaderID(0), rsub)
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if got.Val != types.Value("value-of-"+key) {
+			t.Errorf("%s: Read() = %v", key, got)
+		}
+		if !r.LastMeta().Fast() {
+			t.Errorf("%s: read not fast over keyed transport", key)
+		}
+	}
+}

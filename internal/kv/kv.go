@@ -1,0 +1,233 @@
+// Package kv is the multi-register layer: a key-value store in which
+// every key is an independent SWMR atomic register of the lucky
+// protocol, multiplexed over one set of 2t+b+1 servers via
+// internal/keyed. Each key keeps the full per-register guarantees —
+// atomicity, wait-freedom, one-round lucky operations — and atomicity
+// composes across keys (linearizable objects are locally composable).
+//
+// The SWMR constraint carries over per key: a single Store owns the
+// writer role for every key; readers are per-process handles.
+package kv
+
+import (
+	"fmt"
+	"sync"
+
+	"luckystore/internal/core"
+	"luckystore/internal/keyed"
+	"luckystore/internal/node"
+	"luckystore/internal/simnet"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+)
+
+// Store is a running multi-register deployment plus its clients.
+type Store struct {
+	cfg     core.Config
+	net     transport.Network
+	sim     *simnet.Network
+	runners []*node.Runner
+
+	writerDemux  *keyed.Demux
+	readerDemuxs []*keyed.Demux
+
+	mu      sync.Mutex
+	writers map[string]*writerHandle
+	readers map[int]map[string]*readerHandle
+}
+
+// writerHandle serializes per-key writes (one writer per register, one
+// operation at a time) while allowing different keys to write
+// concurrently.
+type writerHandle struct {
+	mu sync.Mutex
+	w  *core.Writer
+}
+
+// readerHandle serializes one reader client's operations per key.
+type readerHandle struct {
+	mu sync.Mutex
+	r  *core.Reader
+}
+
+// Open builds and starts a store for cfg on an in-memory network.
+func Open(cfg core.Config, simOpts ...simnet.Option) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ids := append(types.ServerIDs(cfg.S()), types.WriterID())
+	ids = append(ids, types.ReaderIDs(cfg.NumReaders)...)
+	sim, err := simnet.New(ids, simOpts...)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		cfg:     cfg,
+		net:     sim,
+		sim:     sim,
+		writers: make(map[string]*writerHandle),
+		readers: make(map[int]map[string]*readerHandle),
+	}
+	for i := 0; i < cfg.S(); i++ {
+		ep, err := sim.Endpoint(types.ServerID(i))
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		srv := keyed.NewServer(func() node.Automaton { return core.NewServer() })
+		r := node.NewRunner(ep, srv)
+		st.runners = append(st.runners, r)
+		r.Start()
+	}
+	wep, err := sim.Endpoint(types.WriterID())
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	st.writerDemux = keyed.NewDemux(wep)
+	for i := 0; i < cfg.NumReaders; i++ {
+		rep, err := sim.Endpoint(types.ReaderID(i))
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(rep))
+		st.readers[i] = make(map[string]*readerHandle)
+	}
+	return st, nil
+}
+
+// NewServerAutomaton returns the keyed server automaton a KV server
+// process runs: one core register per key. Use it with tcpnet.Listen
+// (or luckystore.ListenTCPKV) to host the store's server side.
+func NewServerAutomaton() node.Automaton {
+	return keyed.NewServer(func() node.Automaton { return core.NewServer() })
+}
+
+// OpenWithEndpoints builds a client-side store over externally provided
+// endpoints (e.g. tcpnet clients dialed to a remote cluster): one
+// writer endpoint and one endpoint per reader client. The store takes
+// ownership of the endpoints and closes them on Close; the servers are
+// managed externally.
+func OpenWithEndpoints(cfg core.Config, writerEP transport.Endpoint, readerEPs []transport.Endpoint) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &Store{
+		cfg:         cfg,
+		writerDemux: keyed.NewDemux(writerEP),
+		writers:     make(map[string]*writerHandle),
+		readers:     make(map[int]map[string]*readerHandle),
+	}
+	for i, rep := range readerEPs {
+		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(rep))
+		st.readers[i] = make(map[string]*readerHandle)
+	}
+	return st, nil
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() core.Config { return s.cfg }
+
+// Put writes value under key. Puts to different keys may run
+// concurrently; puts to one key are serialized (SWMR per register).
+func (s *Store) Put(key string, value types.Value) error {
+	h, err := s.writerFor(key)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.w.Write(value)
+}
+
+// PutMeta returns the write metadata of the last Put on key (only
+// meaningful after a successful Put).
+func (s *Store) PutMeta(key string) (core.WriteMeta, error) {
+	h, err := s.writerFor(key)
+	if err != nil {
+		return core.WriteMeta{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.w.LastMeta(), nil
+}
+
+// Get reads key through reader client idx. A key never written returns
+// the initial pair 〈0,⊥〉.
+func (s *Store) Get(idx int, key string) (types.Tagged, error) {
+	h, err := s.readerFor(idx, key)
+	if err != nil {
+		return types.Tagged{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.r.Read()
+}
+
+// GetMeta returns the read metadata of reader idx's last Get on key.
+func (s *Store) GetMeta(idx int, key string) (core.ReadMeta, error) {
+	h, err := s.readerFor(idx, key)
+	if err != nil {
+		return core.ReadMeta{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.r.LastMeta(), nil
+}
+
+// CrashServer crash-stops server i (all registers on it at once —
+// machines fail, not registers).
+func (s *Store) CrashServer(i int) { s.runners[i].Crash() }
+
+// Sim returns the underlying simulated network.
+func (s *Store) Sim() *simnet.Network { return s.sim }
+
+// Close stops every server and client, joining all goroutines.
+func (s *Store) Close() {
+	if s.writerDemux != nil {
+		_ = s.writerDemux.Close()
+	}
+	for _, d := range s.readerDemuxs {
+		_ = d.Close()
+	}
+	if s.net != nil {
+		_ = s.net.Close()
+	}
+	for _, r := range s.runners {
+		r.Stop()
+	}
+}
+
+func (s *Store) writerFor(key string) (*writerHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.writers[key]; ok {
+		return h, nil
+	}
+	ep, err := s.writerDemux.Open(key)
+	if err != nil {
+		return nil, fmt.Errorf("kv writer for %q: %w", key, err)
+	}
+	h := &writerHandle{w: core.NewWriter(s.cfg, ep)}
+	s.writers[key] = h
+	return h, nil
+}
+
+func (s *Store) readerFor(idx int, key string) (*readerHandle, error) {
+	if idx < 0 || idx >= len(s.readerDemuxs) {
+		return nil, fmt.Errorf("kv: reader index %d out of range [0,%d)", idx, len(s.readerDemuxs))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.readers[idx][key]; ok {
+		return h, nil
+	}
+	ep, err := s.readerDemuxs[idx].Open(key)
+	if err != nil {
+		return nil, fmt.Errorf("kv reader %d for %q: %w", idx, key, err)
+	}
+	h := &readerHandle{r: core.NewReader(s.cfg, types.ReaderID(idx), ep)}
+	s.readers[idx][key] = h
+	return h, nil
+}

@@ -1,0 +1,179 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/core"
+	"luckystore/internal/types"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open(core.Config{T: 2, B: 1, Fw: 1, NumReaders: 2,
+		RoundTimeout: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st := testStore(t)
+	if err := st.Put("greeting", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(0, "greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (types.Tagged{TS: 1, Val: "hello"}) {
+		t.Errorf("Get = %v", got)
+	}
+	pm, err := st.PutMeta("greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := st.GetMeta(0, "greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.Fast || !gm.Fast() {
+		t.Errorf("lucky KV ops not fast: put %+v get %+v", pm, gm)
+	}
+}
+
+func TestKeysAreIndependentRegisters(t *testing.T) {
+	st := testStore(t)
+	if err := st.Put("a", "va"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("a", "va2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("b", "vb"); err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := st.Get(0, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := st.Get(0, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-key timestamp spaces: a is at ts 2, b at ts 1.
+	if gotA != (types.Tagged{TS: 2, Val: "va2"}) {
+		t.Errorf("a = %v", gotA)
+	}
+	if gotB != (types.Tagged{TS: 1, Val: "vb"}) {
+		t.Errorf("b = %v", gotB)
+	}
+}
+
+func TestGetUnwrittenKeyReturnsBottom(t *testing.T) {
+	st := testStore(t)
+	got, err := st.Get(1, "never-written")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsBottom() {
+		t.Errorf("Get = %v, want ⊥", got)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	st := testStore(t)
+	if err := st.Put("", "v"); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := st.Put("k", ""); err == nil {
+		t.Error("⊥ value accepted")
+	}
+	if _, err := st.Get(99, "k"); err == nil {
+		t.Error("out-of-range reader accepted")
+	}
+	if _, err := Open(core.Config{T: 1, B: 2}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestConcurrentKeysAndReaders(t *testing.T) {
+	st := testStore(t)
+	const keys, writesPerKey = 6, 10
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", k)
+			for i := 1; i <= writesPerKey; i++ {
+				if err := st.Put(key, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", k)
+			var last types.TS
+			for i := 0; i < writesPerKey; i++ {
+				got, err := st.Get(k%2, key)
+				if err != nil {
+					t.Errorf("get %s: %v", key, err)
+					return
+				}
+				if got.TS < last {
+					t.Errorf("%s: timestamp regressed %d → %d", key, last, got.TS)
+					return
+				}
+				last = got.TS
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every key converged to its last value.
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		got, err := st.Get(0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (types.Tagged{TS: writesPerKey, Val: types.Value(fmt.Sprintf("v%d", writesPerKey))}) {
+			t.Errorf("%s final = %v", key, got)
+		}
+	}
+}
+
+func TestStoreToleratesFailures(t *testing.T) {
+	st := testStore(t)
+	if err := st.Put("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	st.CrashServer(0) // within fw: puts stay fast
+	if err := st.Put("k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := st.PutMeta("k")
+	if !pm.Fast {
+		t.Errorf("put meta = %+v, want fast with one crash", pm)
+	}
+	st.CrashServer(1) // t failures total: still available, maybe slow
+	if err := st.Put("k", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(0, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "v3" {
+		t.Errorf("Get = %v", got)
+	}
+}

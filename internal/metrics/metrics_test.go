@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	samples := []time.Duration{
+		3 * time.Millisecond, 1 * time.Millisecond, 2 * time.Millisecond,
+	}
+	s := Summarize(samples)
+	if s.Count != 3 || s.Min != time.Millisecond || s.Max != 3*time.Millisecond {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 2*time.Millisecond {
+		t.Errorf("mean = %v, want 2ms", s.Mean)
+	}
+	if s.P50 != 2*time.Millisecond {
+		t.Errorf("p50 = %v, want 2ms", s.P50)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{5, 1, 3}
+	Summarize(samples)
+	if samples[0] != 5 || samples[1] != 1 || samples[2] != 3 {
+		t.Errorf("input mutated: %v", samples)
+	}
+}
+
+// Percentiles must be monotone and within [min, max].
+func TestSummarizeQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v) * time.Microsecond
+		}
+		s := Summarize(samples)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundDist(t *testing.T) {
+	d := RoundDist{}
+	for i := 0; i < 9; i++ {
+		d.Add(1)
+	}
+	d.Add(3)
+	if got := d.FastFraction(); got != 0.9 {
+		t.Errorf("FastFraction = %v, want 0.9", got)
+	}
+	if got := d.String(); got != "1r:9 3r:1" {
+		t.Errorf("String = %q", got)
+	}
+	empty := RoundDist{}
+	if empty.FastFraction() != 0 || empty.String() != "(empty)" {
+		t.Errorf("empty dist: %v %q", empty.FastFraction(), empty.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "rounds")
+	tbl.AddRow("fast-write", "1")
+	tbl.AddRow("slow", "3")
+	out := tbl.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "fast-write") {
+		t.Errorf("rendered table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Padded row: short rows fill with empty cells without panic.
+	tbl.AddRow("only-one")
+	_ = tbl.String()
+
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| name | rounds |") {
+		t.Errorf("markdown header missing:\n%s", md)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Itoa(42) != "42" {
+		t.Error("Itoa broken")
+	}
+	if Bool(true) != "yes" || Bool(false) != "no" {
+		t.Error("Bool broken")
+	}
+}

@@ -1,0 +1,167 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"luckystore/internal/simnet"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// echoAutomaton replies to every ABDRead with an ABDReadAck carrying a
+// step counter in the timestamp.
+type echoAutomaton struct {
+	stepCount int
+}
+
+func (e *echoAutomaton) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
+	e.stepCount++
+	if _, ok := m.(wire.ABDRead); !ok {
+		return nil
+	}
+	return []transport.Outgoing{{
+		To:  from,
+		Msg: wire.ABDReadAck{Seq: int64(e.stepCount), C: types.Bottom()},
+	}}
+}
+
+func setup(t *testing.T) (*simnet.Network, transport.Endpoint, *Runner) {
+	t.Helper()
+	n, err := simnet.New([]types.ProcID{types.WriterID(), types.ServerID(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	cli, err := n.Endpoint(types.WriterID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := n.Endpoint(types.ServerID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(srv, &echoAutomaton{})
+	return n, cli, r
+}
+
+func recvOrFail(t *testing.T, ep transport.Endpoint) wire.Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply")
+		return wire.Envelope{}
+	}
+}
+
+func TestRunnerEchoes(t *testing.T) {
+	_, cli, r := setup(t)
+	r.Start()
+	r.Start() // idempotent
+	defer r.Stop()
+	if err := cli.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOrFail(t, cli)
+	if env.From != types.ServerID(0) {
+		t.Errorf("reply from %s, want s0", env.From)
+	}
+	if _, ok := env.Msg.(wire.ABDReadAck); !ok {
+		t.Errorf("reply = %T, want ABDReadAck", env.Msg)
+	}
+	if r.Steps() != 1 {
+		t.Errorf("Steps() = %d, want 1", r.Steps())
+	}
+}
+
+func TestCrashStopsProcessing(t *testing.T) {
+	_, cli, r := setup(t)
+	r.Start()
+	if err := cli.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOrFail(t, cli)
+	r.Crash()
+	r.Crash() // idempotent
+	if err := cli.Send(types.ServerID(0), wire.ABDRead{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-cli.Recv():
+		t.Fatalf("crashed server replied: %+v", env)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestCrashAfterSteps(t *testing.T) {
+	_, cli, r := setup(t)
+	r.Start()
+	defer r.Stop()
+	r.CrashAfterSteps(2)
+	for i := 0; i < 5; i++ {
+		if err := cli.Send(types.ServerID(0), wire.ABDRead{Seq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exactly two replies must come back.
+	for i := 0; i < 2; i++ {
+		recvOrFail(t, cli)
+	}
+	select {
+	case env := <-cli.Recv():
+		t.Fatalf("got a third reply after scheduled crash: %+v", env)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if got := r.Steps(); got != 2 {
+		t.Errorf("Steps() = %d, want 2", got)
+	}
+}
+
+// Crashing a runner that was never started must not hang, and a later
+// Start must not resurrect it — this models an initially crashed
+// server (core's WithCrashedServer).
+func TestCrashBeforeStart(t *testing.T) {
+	_, cli, r := setup(t)
+	done := make(chan struct{})
+	go func() {
+		r.Crash()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Crash on a never-started runner hung")
+	}
+	r.Start() // must be a no-op
+	if err := cli.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-cli.Recv():
+		t.Fatalf("crashed-before-start server replied: %+v", env)
+	case <-time.After(100 * time.Millisecond):
+	}
+	r.Stop() // still idempotent
+}
+
+func TestRunnerExitsWhenEndpointCloses(t *testing.T) {
+	n, _, r := setup(t)
+	r.Start()
+	n.Close()
+	done := make(chan struct{})
+	go func() {
+		r.Stop() // must return promptly: pump saw the closed channel
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner did not exit after endpoint close")
+	}
+}

@@ -1,0 +1,207 @@
+package regular
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/checker"
+	"luckystore/internal/fault"
+	"luckystore/internal/types"
+)
+
+func testConfig() Config {
+	return Config{T: 2, B: 1, NumReaders: 3, RoundTimeout: 15 * time.Millisecond}
+}
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestConfigThresholds(t *testing.T) {
+	cfg := testConfig() // t=2, b=1
+	if cfg.S() != 6 || cfg.Fw() != 1 || cfg.Fr() != 2 {
+		t.Errorf("S=%d Fw=%d Fr=%d, want 6,1,2", cfg.S(), cfg.Fw(), cfg.Fr())
+	}
+	if cfg.FastWriteAcks() != 5 { // t + 2b + 1
+		t.Errorf("FastWriteAcks = %d, want 5", cfg.FastWriteAcks())
+	}
+	if err := (Config{T: 1, B: 2}).Validate(); err == nil {
+		t.Error("b > t accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := newTestCluster(t, testConfig())
+	if err := c.Writer().Write("v"); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Writer().LastMeta(); !m.Fast || m.Rounds != 1 {
+		t.Errorf("write meta = %+v, want fast", m)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (types.Tagged{TS: 1, Val: "v"}) {
+		t.Errorf("Read() = %v", got)
+	}
+	if m := c.Reader(0).LastMeta(); !m.Fast() {
+		t.Errorf("read meta = %+v, want fast", m)
+	}
+}
+
+// Proposition 7 (1): lucky WRITEs are fast despite fw = t−b failures.
+func TestFastWriteDespiteTMinusBFailures(t *testing.T) {
+	cfg := testConfig() // fw = 1
+	c := newTestCluster(t, cfg)
+	c.CrashServer(0)
+	if err := c.Writer().Write("v"); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Writer().LastMeta(); !m.Fast {
+		t.Errorf("write meta = %+v, want fast with t−b crashes", m)
+	}
+	// One more crash: slow, but only 2 rounds in this variant.
+	c.CrashServer(1)
+	if err := c.Writer().Write("v2"); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Writer().LastMeta(); m.Fast || m.Rounds != 2 {
+		t.Errorf("write meta = %+v, want slow 2-round write", m)
+	}
+}
+
+// Proposition 7 (2): lucky READs are fast despite fr = t failures —
+// even when the preceding write was slow.
+func TestFastReadDespiteTFailures(t *testing.T) {
+	cfg := testConfig() // fr = t = 2
+	c := newTestCluster(t, cfg)
+	c.CrashServer(0)
+	c.CrashServer(1) // t failures
+	if err := c.Writer().Write("v"); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Writer().LastMeta(); m.Fast {
+		t.Fatalf("write should be slow with 2 > fw failures: %+v", m)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "v" {
+		t.Errorf("Read() = %v", got)
+	}
+	if m := c.Reader(0).LastMeta(); !m.Fast() {
+		t.Errorf("read meta = %+v, want fast despite fr=t failures", m)
+	}
+}
+
+// The headline property: a malicious reader's forged write-back is
+// ignored by regular servers, so correct readers are unaffected — the
+// attack that corrupts the atomic variant (see core's
+// TestMaliciousReaderCorruptsAtomicVariant) is defeated.
+func TestMaliciousReaderDefeated(t *testing.T) {
+	cfg := testConfig()
+	c := newTestCluster(t, cfg)
+	if err := c.Writer().Write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := c.Sim().Endpoint(types.ReaderID(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := types.Tagged{TS: 2, Val: "never-written"}
+	servers := types.ServerIDs(cfg.S())
+	// The malicious write-back cannot gather acks (servers ignore reader
+	// W messages), so run it without waiting for a quorum.
+	if err := fault.MaliciousReaderWriteback(ep, servers, 0, 1, forged); err != nil {
+		t.Fatal(err)
+	}
+	// Give the forged messages time to be (received and) ignored.
+	time.Sleep(20 * time.Millisecond)
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (types.Tagged{TS: 1, Val: "v1"}) {
+		t.Fatalf("Read() = %v; forged write-back corrupted the regular store", got)
+	}
+}
+
+// Regularity holds under concurrency (atomicity need not).
+func TestRegularityUnderConcurrency(t *testing.T) {
+	cfg := testConfig()
+	cfg.RoundTimeout = 5 * time.Millisecond
+	c := newTestCluster(t, cfg)
+	rec := checker.NewRecorder()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 50; i++ {
+			v := types.Value(fmt.Sprintf("v%d", i))
+			inv := time.Now()
+			if err := c.Writer().Write(v); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			m := c.Writer().LastMeta()
+			rec.Add(checker.Op{
+				Client: types.WriterID(), Kind: checker.KindWrite,
+				Value:  types.Tagged{TS: m.TS, Val: v},
+				Invoke: inv, Return: time.Now(), Rounds: m.Rounds, Fast: m.Fast,
+			})
+		}
+	}()
+	for r := 0; r < cfg.NumReaders; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				inv := time.Now()
+				got, err := c.Reader(r).Read()
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				m := c.Reader(r).LastMeta()
+				rec.Add(checker.Op{
+					Client: types.ReaderID(r), Kind: checker.KindRead,
+					Value: got, Invoke: inv, Return: time.Now(),
+					Rounds: m.Rounds(), Fast: m.Fast(),
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for _, v := range checker.CheckRegularity(rec.Ops()) {
+		t.Errorf("regularity violation: %v", v)
+	}
+}
+
+func TestBottomOnFreshRegister(t *testing.T) {
+	c := newTestCluster(t, testConfig())
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsBottom() {
+		t.Errorf("Read() = %v, want ⊥", got)
+	}
+}
+
+func TestRejectsBottomWrite(t *testing.T) {
+	c := newTestCluster(t, testConfig())
+	if err := c.Writer().Write(""); err == nil {
+		t.Error("Write(⊥) accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+func TestClearLinkDelayRestoresDefault(t *testing.T) {
+	n, w, s := newPair(t)
+	n.SetLinkDelay(types.WriterID(), types.ServerID(0), 150*time.Millisecond)
+	n.ClearLinkDelay(types.WriterID(), types.ServerID(0))
+	start := time.Now()
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, s, 2*time.Second)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("delivery took %v after ClearLinkDelay, want fast", elapsed)
+	}
+}
+
+func TestLinkDelayIsDirectional(t *testing.T) {
+	n, w, s := newPair(t)
+	// Slow only server→writer; writer→server stays fast.
+	n.SetLinkDelay(types.ServerID(0), types.WriterID(), 120*time.Millisecond)
+	start := time.Now()
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, s, 2*time.Second)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("forward direction delayed: %v", elapsed)
+	}
+	start = time.Now()
+	if err := s.Send(types.WriterID(), wire.ABDReadAck{Seq: 1, C: types.Bottom()}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, w, 2*time.Second)
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("reverse direction not delayed: %v", elapsed)
+	}
+}
+
+func TestReleaseOnUnheldLinkIsNoOp(t *testing.T) {
+	n, w, s := newPair(t)
+	n.Release(types.WriterID(), types.ServerID(0)) // nothing held: no-op
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, s, 2*time.Second)
+	if got := n.HeldCount(types.WriterID(), types.ServerID(0)); got != 0 {
+		t.Errorf("HeldCount on unheld link = %d", got)
+	}
+}
+
+func TestHoldIsIdempotentAndPreservesBacklog(t *testing.T) {
+	n, w, s := newPair(t)
+	n.Hold(types.WriterID(), types.ServerID(0))
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A second Hold must not discard the queued message.
+	n.Hold(types.WriterID(), types.ServerID(0))
+	if got := n.HeldCount(types.WriterID(), types.ServerID(0)); got != 1 {
+		t.Fatalf("backlog after double Hold = %d, want 1", got)
+	}
+	n.Release(types.WriterID(), types.ServerID(0))
+	env := mustRecv(t, s, 2*time.Second)
+	if env.Msg.(wire.ABDRead).Seq != 1 {
+		t.Errorf("wrong message after release: %+v", env.Msg)
+	}
+}
+
+func TestHoldReleaseCycleUnderTraffic(t *testing.T) {
+	n, w, s := newPair(t)
+	const rounds = 5
+	const perRound = 20
+	next := 1
+	for r := 0; r < rounds; r++ {
+		n.Hold(types.WriterID(), types.ServerID(0))
+		for i := 0; i < perRound; i++ {
+			if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: int64(next)}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		n.Release(types.WriterID(), types.ServerID(0))
+	}
+	for want := 1; want < next; want++ {
+		env := mustRecv(t, s, 5*time.Second)
+		if got := env.Msg.(wire.ABDRead).Seq; got != int64(want) {
+			t.Fatalf("message %d arrived as %d: hold/release reordered traffic", want, got)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+func newPair(t *testing.T, opts ...Option) (*Network, transport.Endpoint, transport.Endpoint) {
+	t.Helper()
+	ids := []types.ProcID{types.WriterID(), types.ServerID(0)}
+	n, err := New(ids, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	w, err := n.Endpoint(types.WriterID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := n.Endpoint(types.ServerID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, w, s
+}
+
+func mustRecv(t *testing.T, ep transport.Endpoint, within time.Duration) wire.Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return env
+	case <-time.After(within):
+		t.Fatal("timed out waiting for delivery")
+		return wire.Envelope{}
+	}
+}
+
+func TestNewRejectsBadIDs(t *testing.T) {
+	if _, err := New([]types.ProcID{"bogus"}); err == nil {
+		t.Error("New accepted an invalid id")
+	}
+	if _, err := New([]types.ProcID{"s0", "s0"}); err == nil {
+		t.Error("New accepted duplicate ids")
+	}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	_, w, s := newPair(t)
+	msg := wire.Read{TSR: 1, Round: 1}
+	if err := w.Send(types.ServerID(0), msg); err != nil {
+		t.Fatal(err)
+	}
+	env := mustRecv(t, s, 2*time.Second)
+	if env.From != types.WriterID() || env.To != types.ServerID(0) {
+		t.Errorf("envelope routing: %+v", env)
+	}
+	if got, ok := env.Msg.(wire.Read); !ok || got != msg {
+		t.Errorf("message = %+v, want %+v", env.Msg, msg)
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	_, w, _ := newPair(t)
+	err := w.Send(types.ServerID(42), wire.ABDRead{Seq: 1})
+	if !errors.Is(err, transport.ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	_, w, s := newPair(t)
+	const n = 200
+	for i := 1; i <= n; i++ {
+		if err := w.Send(types.ServerID(0), wire.Read{TSR: types.ReaderTS(i), Round: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		env := mustRecv(t, s, 2*time.Second)
+		if got := env.Msg.(wire.Read).TSR; got != types.ReaderTS(i) {
+			t.Fatalf("message %d arrived with TSR %d", i, got)
+		}
+	}
+}
+
+func TestLinkDelayApplied(t *testing.T) {
+	n, w, s := newPair(t)
+	n.SetLinkDelay(types.WriterID(), types.ServerID(0), 100*time.Millisecond)
+	start := time.Now()
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, s, 5*time.Second)
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("delivery took %v, want ≥ ~100ms delay", elapsed)
+	}
+}
+
+func TestDefaultDelayOption(t *testing.T) {
+	n, err := New([]types.ProcID{"w", "s0"}, WithDefaultDelay(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	w, _ := n.Endpoint("w")
+	s, _ := n.Endpoint("s0")
+	start := time.Now()
+	if err := w.Send("s0", wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, s, 5*time.Second)
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("delivery took %v, want ≥ ~60ms", elapsed)
+	}
+}
+
+func TestHoldAndRelease(t *testing.T) {
+	n, w, s := newPair(t)
+	n.Hold(types.WriterID(), types.ServerID(0))
+	for i := 1; i <= 3; i++ {
+		if err := w.Send(types.ServerID(0), wire.Read{TSR: types.ReaderTS(i), Round: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case env := <-s.Recv():
+		t.Fatalf("held link delivered %+v", env)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := n.HeldCount(types.WriterID(), types.ServerID(0)); got != 3 {
+		t.Errorf("HeldCount = %d, want 3", got)
+	}
+	n.Release(types.WriterID(), types.ServerID(0))
+	for i := 1; i <= 3; i++ {
+		env := mustRecv(t, s, 2*time.Second)
+		if got := env.Msg.(wire.Read).TSR; got != types.ReaderTS(i) {
+			t.Fatalf("release order broken: got TSR %d at position %d", got, i)
+		}
+	}
+}
+
+func TestDiscardDropsBacklog(t *testing.T) {
+	n, w, s := newPair(t)
+	n.Hold(types.WriterID(), types.ServerID(0))
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	n.Discard(types.WriterID(), types.ServerID(0))
+	// Link resumed: a fresh message flows, the discarded one never does.
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 10}); err != nil {
+		t.Fatal(err)
+	}
+	env := mustRecv(t, s, 2*time.Second)
+	if got := env.Msg.(wire.ABDRead).Seq; got != 10 {
+		t.Errorf("got Seq %d, want 10 (9 must have been discarded)", got)
+	}
+}
+
+func TestHoldAllFromAndTo(t *testing.T) {
+	ids := []types.ProcID{"w", "r0", "s0"}
+	n, err := New(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	w, _ := n.Endpoint("w")
+	r, _ := n.Endpoint("r0")
+	s, _ := n.Endpoint("s0")
+
+	n.HoldAllFrom("w")
+	if err := w.Send("s0", wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send("s0", wire.ABDRead{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	env := mustRecv(t, s, 2*time.Second) // only the reader's message flows
+	if got := env.Msg.(wire.ABDRead).Seq; got != 2 {
+		t.Errorf("got Seq %d, want 2", got)
+	}
+
+	n.HoldAllTo("r0")
+	if err := s.Send("r0", wire.ABDRead{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-r.Recv():
+		t.Fatalf("held-to link delivered %+v", env)
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.ReleaseAll()
+	env = mustRecv(t, r, 2*time.Second)
+	if got := env.Msg.(wire.ABDRead).Seq; got != 3 {
+		t.Errorf("after ReleaseAll got Seq %d, want 3", got)
+	}
+}
+
+// A message already scheduled with a delay must not slip past a Hold
+// installed before the delay elapses.
+func TestDelayedMessageRespectsLaterHold(t *testing.T) {
+	n, w, s := newPair(t)
+	n.SetLinkDelay(types.WriterID(), types.ServerID(0), 80*time.Millisecond)
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n.Hold(types.WriterID(), types.ServerID(0))
+	select {
+	case env := <-s.Recv():
+		t.Fatalf("delayed message leaked around hold: %+v", env)
+	case <-time.After(200 * time.Millisecond):
+	}
+	n.Release(types.WriterID(), types.ServerID(0))
+	env := mustRecv(t, s, 2*time.Second)
+	if got := env.Msg.(wire.ABDRead).Seq; got != 1 {
+		t.Errorf("got Seq %d, want 1", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n, w, _ := newPair(t)
+	for i := 0; i < 5; i++ {
+		if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Send(types.ServerID(0), wire.Read{TSR: 1, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := n.StatsSnapshot()
+	if s.Total != 6 {
+		t.Errorf("Total = %d, want 6", s.Total)
+	}
+	if s.ByKind[wire.KindABDRead] != 5 || s.ByKind[wire.KindRead] != 1 {
+		t.Errorf("ByKind = %v", s.ByKind)
+	}
+}
+
+func TestCloseStopsEverything(t *testing.T) {
+	n, w, s := newPair(t)
+	n.SetLinkDelay(types.WriterID(), types.ServerID(0), time.Hour)
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 2}); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("Send after Close = %v, want ErrClosed", err)
+	}
+	if _, ok := <-s.Recv(); ok {
+		t.Error("recv channel still open after network Close")
+	}
+	if _, err := n.Endpoint(types.WriterID()); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("Endpoint after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestEndpointCloseIsLocal(t *testing.T) {
+	n, w, s := newPair(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := s.Send(types.WriterID(), wire.ABDRead{Seq: 1}); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("Send on closed endpoint = %v, want ErrClosed", err)
+	}
+	// The writer can still send into the void (reliable channel to a
+	// crashed process: send succeeds, delivery is moot).
+	if err := w.Send(types.ServerID(0), wire.ABDRead{Seq: 2}); err != nil {
+		t.Errorf("Send to closed endpoint's id = %v, want nil", err)
+	}
+	_ = n
+}
+
+func TestConcurrentSendersStress(t *testing.T) {
+	ids := append(types.ServerIDs(4), types.WriterID())
+	n, err := New(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	w, _ := n.Endpoint(types.WriterID())
+	const perServer = 100
+	done := make(chan struct{})
+	for _, sid := range types.ServerIDs(4) {
+		sid := sid
+		go func() {
+			ep, _ := n.Endpoint(sid)
+			for i := 0; i < perServer; i++ {
+				if err := ep.Send(types.WriterID(), wire.PWAck{TS: 1}); err != nil {
+					t.Errorf("send: %v", err)
+					break
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	received := 0
+	timeout := time.After(10 * time.Second)
+	finished := 0
+	for received < 4*perServer || finished < 4 {
+		select {
+		case <-w.Recv():
+			received++
+		case <-done:
+			finished++
+		case <-timeout:
+			t.Fatalf("stress: received %d of %d", received, 4*perServer)
+		}
+	}
+}

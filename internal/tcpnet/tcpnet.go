@@ -1,0 +1,323 @@
+// Package tcpnet runs the protocol over real TCP connections: servers
+// listen, clients dial every server, and envelopes travel as
+// length-prefixed gob frames (internal/wire's codec). The client side
+// implements transport.Endpoint, so the writers and readers of every
+// protocol variant work unchanged over TCP.
+//
+// Identity handling matches the model's point-to-point channels: a
+// client announces its ProcID in a handshake; the server replies only
+// on that connection, and the client stamps every inbound envelope with
+// the server identity it dialed — a peer cannot impersonate another
+// process (it can still lie about its state, which is the protocol's
+// problem, not the transport's).
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"luckystore/internal/node"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// handshakeTimeout bounds how long a server waits for a client hello.
+const handshakeTimeout = 10 * time.Second
+
+// maxIDLen bounds the handshake identity length.
+const maxIDLen = 64
+
+// Server serves one automaton over TCP.
+type Server struct {
+	id   types.ProcID
+	ln   net.Listener
+	auto node.Automaton
+
+	mu     sync.Mutex // serializes automaton steps across connections
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Listen starts a server for the automaton on addr (e.g.
+// "127.0.0.1:0"); the chosen address is available via Addr.
+func Listen(id types.ProcID, addr string, auto node.Automaton) (*Server, error) {
+	if !id.IsServer() {
+		return nil, fmt.Errorf("tcpnet: %q is not a server id", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet listen %s: %w", addr, err)
+	}
+	s := &Server{
+		id: id, ln: ln, auto: auto,
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ID returns the server's process id.
+func (s *Server) ID() types.ProcID { return s.id }
+
+// Close stops the listener and every connection, waiting for all
+// server goroutines to exit.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+		close(s.closed)
+	}
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connMu.Lock()
+		select {
+		case <-s.closed:
+			s.connMu.Unlock()
+			_ = conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		_ = conn.Close()
+	}()
+
+	peer, err := readHello(conn)
+	if err != nil || !peer.Valid() || peer.IsServer() {
+		return // reject unidentified or server-impersonating peers
+	}
+	for {
+		env, err := wire.DecodeFrame(conn)
+		if err != nil {
+			return // EOF, malformed frame, or closed
+		}
+		// The connection authenticates the sender: ignore the claimed
+		// From and use the handshake identity.
+		s.mu.Lock()
+		out := s.auto.Step(peer, env.Msg)
+		s.mu.Unlock()
+		for _, o := range out {
+			if o.To != peer {
+				continue // a data-centric server replies only to the requester
+			}
+			reply := wire.Envelope{From: s.id, To: peer, Msg: o.Msg}
+			if err := wire.EncodeFrame(conn, reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Client is a transport.Endpoint over TCP: it dials every configured
+// server lazily and merges all inbound frames into one mailbox.
+type Client struct {
+	id    types.ProcID
+	addrs map[types.ProcID]string
+	mbox  *transport.Mailbox
+
+	mu     sync.Mutex
+	conns  map[types.ProcID]*clientConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type clientConn struct {
+	conn net.Conn
+	mu   sync.Mutex // serializes frame writes
+}
+
+var _ transport.Endpoint = (*Client)(nil)
+
+// Dial creates a client endpoint for the process id, configured with
+// the server address map. Connections are established on first send to
+// each server.
+func Dial(id types.ProcID, servers map[types.ProcID]string) (*Client, error) {
+	if !id.Valid() || id.IsServer() {
+		return nil, fmt.Errorf("tcpnet: %q is not a client id", id)
+	}
+	addrs := make(map[types.ProcID]string, len(servers))
+	for sid, addr := range servers {
+		if !sid.IsServer() {
+			return nil, fmt.Errorf("tcpnet: %q is not a server id", sid)
+		}
+		addrs[sid] = addr
+	}
+	return &Client{
+		id:    id,
+		addrs: addrs,
+		mbox:  transport.NewMailbox(),
+		conns: make(map[types.ProcID]*clientConn),
+	}, nil
+}
+
+// ID implements transport.Endpoint.
+func (c *Client) ID() types.ProcID { return c.id }
+
+// Recv implements transport.Endpoint.
+func (c *Client) Recv() <-chan wire.Envelope { return c.mbox.Out() }
+
+// Send implements transport.Endpoint. Send failures to unreachable
+// servers are reported but non-fatal to the protocol: a dead server is
+// a crashed server.
+func (c *Client) Send(to types.ProcID, m wire.Message) error {
+	cc, err := c.connFor(to)
+	if err != nil {
+		return err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err := wire.EncodeFrame(cc.conn, wire.Envelope{From: c.id, To: to, Msg: m}); err != nil {
+		c.dropConn(to, cc)
+		return fmt.Errorf("tcpnet send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Close tears down every connection and the mailbox, joining all
+// reader goroutines.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*clientConn, 0, len(c.conns))
+	for _, cc := range c.conns {
+		conns = append(conns, cc)
+	}
+	c.mu.Unlock()
+	for _, cc := range conns {
+		_ = cc.conn.Close()
+	}
+	c.wg.Wait()
+	c.mbox.Close()
+	return nil
+}
+
+func (c *Client) connFor(to types.ProcID) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, transport.ErrClosed
+	}
+	if cc, ok := c.conns[to]; ok {
+		return cc, nil
+	}
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("tcpnet %s: %w", to, transport.ErrUnknownPeer)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet dial %s (%s): %w", to, addr, err)
+	}
+	if err := writeHello(conn, c.id); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("tcpnet hello to %s: %w", to, err)
+	}
+	cc := &clientConn{conn: conn}
+	c.conns[to] = cc
+	c.wg.Add(1)
+	go c.readLoop(to, cc)
+	return cc, nil
+}
+
+func (c *Client) dropConn(id types.ProcID, cc *clientConn) {
+	_ = cc.conn.Close()
+	c.mu.Lock()
+	if c.conns[id] == cc {
+		delete(c.conns, id)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) readLoop(from types.ProcID, cc *clientConn) {
+	defer c.wg.Done()
+	for {
+		env, err := wire.DecodeFrame(cc.conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.dropConn(from, cc)
+			}
+			return
+		}
+		// Stamp the authenticated origin: the server this connection
+		// was dialed to.
+		env.From = from
+		env.To = c.id
+		if c.mbox.Put(env) != nil {
+			return
+		}
+	}
+}
+
+// writeHello announces the client identity: one length byte + the id.
+func writeHello(w io.Writer, id types.ProcID) error {
+	if len(id) == 0 || len(id) > maxIDLen {
+		return fmt.Errorf("tcpnet: bad hello id %q", id)
+	}
+	buf := append([]byte{byte(len(id))}, id...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readHello reads the peer identity announced on a fresh connection.
+func readHello(conn net.Conn) (types.ProcID, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return "", err
+	}
+	defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	var lenBuf [1]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return "", err
+	}
+	n := int(lenBuf[0])
+	if n == 0 || n > maxIDLen {
+		return "", fmt.Errorf("tcpnet: bad hello length %d", n)
+	}
+	idBuf := make([]byte, n)
+	if _, err := io.ReadFull(conn, idBuf); err != nil {
+		return "", err
+	}
+	return types.ProcID(idBuf), nil
+}

@@ -1,0 +1,193 @@
+// Package transport defines the process-to-process communication
+// abstraction shared by the in-memory simulated network
+// (internal/simnet) and the TCP network (internal/tcpnet).
+//
+// The paper's model (Section 2) assumes point-to-point reliable
+// channels: every message sent between two non-faulty processes is
+// eventually delivered, possibly after an arbitrary delay. The key
+// consequence for an implementation is that a sender must never block
+// on a slow receiver; the Mailbox type provides the required unbounded
+// buffering.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed endpoint or network.
+var ErrClosed = errors.New("transport closed")
+
+// ErrUnknownPeer is returned when sending to an unregistered process.
+var ErrUnknownPeer = errors.New("unknown peer")
+
+// Endpoint is one process's attachment to a network. Send enqueues a
+// message for asynchronous delivery (it never blocks on the receiver);
+// Recv exposes the process's inbox. The channel is closed after Close.
+type Endpoint interface {
+	ID() types.ProcID
+	Send(to types.ProcID, m wire.Message) error
+	Recv() <-chan wire.Envelope
+	Close() error
+}
+
+// Network hands out endpoints for registered processes.
+type Network interface {
+	// Endpoint returns the endpoint of the process with the given id.
+	Endpoint(id types.ProcID) (Endpoint, error)
+	// Close shuts the network down and closes every endpoint.
+	Close() error
+}
+
+// Outgoing couples a destination with a message; automata return slices
+// of Outgoing from their step functions so they stay pure and testable.
+type Outgoing struct {
+	To  types.ProcID
+	Msg wire.Message
+}
+
+// SendAll delivers each outgoing message through ep, attempting every
+// send. A failed send to an individual peer is tolerated silently: on a
+// real transport it means the peer has crashed, which the protocols
+// already tolerate (the model's reliable channels only bind correct
+// processes). SendAll returns the first error only when every send
+// failed — e.g. the endpoint itself is closed — since then the
+// operation cannot make progress.
+func SendAll(ep Endpoint, out []Outgoing) error {
+	var firstErr error
+	failed := 0
+	for _, o := range out {
+		if err := ep.Send(o.To, o.Msg); err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("send to %s: %w", o.To, err)
+			}
+		}
+	}
+	if len(out) > 0 && failed == len(out) {
+		return firstErr
+	}
+	return nil
+}
+
+// Mailbox is an unbounded FIFO queue of envelopes bridging a
+// never-blocking Put to a channel-based consumer. It models a reliable
+// asynchronous channel: Put always succeeds until Close, and every
+// envelope put before Close is eventually emitted on Out (unless the
+// consumer abandons the mailbox, in which case Close discards the
+// backlog).
+//
+// The implementation uses a queue guarded by a mutex and a single
+// drainer goroutine, which is joined by Close — no goroutine outlives
+// the mailbox.
+type Mailbox struct {
+	mu     sync.Mutex
+	queue  []wire.Envelope
+	wake   chan struct{} // capacity 1: signals the drainer that queue or closed changed
+	closed bool
+
+	out  chan wire.Envelope
+	done chan struct{} // closed when the drainer goroutine has exited
+}
+
+// NewMailbox creates a mailbox and starts its drainer goroutine.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{
+		wake: make(chan struct{}, 1),
+		out:  make(chan wire.Envelope),
+		done: make(chan struct{}),
+	}
+	go m.drain()
+	return m
+}
+
+// Put enqueues an envelope. It returns ErrClosed after Close and never
+// blocks on the consumer.
+func (m *Mailbox) Put(env wire.Envelope) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.queue = append(m.queue, env)
+	m.mu.Unlock()
+	m.signal()
+	return nil
+}
+
+// Out returns the delivery channel. It is closed once the mailbox is
+// closed and the drainer has exited; pending envelopes at Close time are
+// discarded (the consumer is gone — this models a crashed process).
+func (m *Mailbox) Out() <-chan wire.Envelope { return m.out }
+
+// Close stops the mailbox and waits for the drainer goroutine to exit.
+// It is idempotent.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.done
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.signal()
+	<-m.done
+}
+
+// Len reports the number of queued, not-yet-delivered envelopes.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+func (m *Mailbox) signal() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Mailbox) drain() {
+	defer close(m.done)
+	defer close(m.out)
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.queue = nil
+			m.mu.Unlock()
+			return
+		}
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			<-m.wake
+			continue
+		}
+		env := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+
+		// Block on the consumer, but abort if Close happens while the
+		// consumer is gone so shutdown never deadlocks.
+		select {
+		case m.out <- env:
+		case <-m.wake:
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				return
+			}
+			// Spurious wake from a concurrent Put: requeue the envelope
+			// at the front and retry to preserve FIFO order.
+			m.mu.Lock()
+			m.queue = append([]wire.Envelope{env}, m.queue...)
+			m.mu.Unlock()
+		}
+	}
+}

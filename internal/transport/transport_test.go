@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+func env(i int) wire.Envelope {
+	return wire.Envelope{
+		From: types.WriterID(),
+		To:   types.ServerID(0),
+		Msg:  wire.Read{TSR: types.ReaderTS(i + 1), Round: 1},
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := m.Put(env(i)); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got := <-m.Out()
+		r, ok := got.Msg.(wire.Read)
+		if !ok || r.TSR != types.ReaderTS(i+1) {
+			t.Fatalf("message %d: got %+v, want TSR %d", i, got.Msg, i+1)
+		}
+	}
+}
+
+func TestMailboxPutNeverBlocks(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Nobody consumes; 10k puts must still complete promptly.
+		for i := 0; i < 10000; i++ {
+			if err := m.Put(env(i)); err != nil {
+				t.Errorf("Put(%d): %v", i, err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put blocked on a slow consumer")
+	}
+	if m.Len() < 9000 {
+		t.Errorf("Len() = %d, want most of the 10000 still queued", m.Len())
+	}
+}
+
+func TestMailboxCloseIdempotentAndPutAfterClose(t *testing.T) {
+	m := NewMailbox()
+	m.Close()
+	m.Close() // must not panic or deadlock
+	if err := m.Put(env(0)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, ok := <-m.Out(); ok {
+		t.Error("Out() still open after Close")
+	}
+}
+
+func TestMailboxCloseWithBacklog(t *testing.T) {
+	m := NewMailbox()
+	for i := 0; i < 50; i++ {
+		if err := m.Put(env(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		m.Close() // must not hang even though nobody consumed
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with undelivered backlog")
+	}
+}
+
+func TestMailboxConcurrentProducers(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+	const producers, each = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := m.Put(env(i)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	received := 0
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for range m.Out() {
+			received++
+			if received == producers*each {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-recvDone:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("received %d of %d envelopes", received, producers*each)
+	}
+}
+
+// FIFO must hold even when the consumer lags behind producers so the
+// drainer goes through its requeue path.
+func TestMailboxFIFOUnderSlowConsumer(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := m.Put(env(i)); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if i%50 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		got := <-m.Out()
+		r := got.Msg.(wire.Read)
+		if r.TSR != types.ReaderTS(i+1) {
+			t.Fatalf("out of order at %d: got TSR %d", i, r.TSR)
+		}
+	}
+}
+
+func TestSendAllToleratesPartialFailure(t *testing.T) {
+	ep := &fakeEndpoint{fail: map[types.ProcID]bool{types.ServerID(1): true}}
+	out := []Outgoing{
+		{To: types.ServerID(0), Msg: wire.ABDRead{Seq: 1}},
+		{To: types.ServerID(1), Msg: wire.ABDRead{Seq: 1}},
+		{To: types.ServerID(2), Msg: wire.ABDRead{Seq: 1}},
+	}
+	// One unreachable peer is a crashed server: tolerated.
+	if err := SendAll(ep, out); err != nil {
+		t.Fatalf("SendAll with one failed peer = %v, want nil", err)
+	}
+	// All three sends must have been attempted despite the failure.
+	if len(ep.sent) != 2 {
+		t.Errorf("delivered %d messages, want 2 (failure on s1 only)", len(ep.sent))
+	}
+}
+
+func TestSendAllFailsWhenAllSendsFail(t *testing.T) {
+	ep := &fakeEndpoint{fail: map[types.ProcID]bool{
+		types.ServerID(0): true, types.ServerID(1): true,
+	}}
+	out := []Outgoing{
+		{To: types.ServerID(0), Msg: wire.ABDRead{Seq: 1}},
+		{To: types.ServerID(1), Msg: wire.ABDRead{Seq: 1}},
+	}
+	if err := SendAll(ep, out); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("SendAll with all sends failed = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestSendAllEmpty(t *testing.T) {
+	if err := SendAll(&fakeEndpoint{}, nil); err != nil {
+		t.Errorf("SendAll(nil) = %v, want nil", err)
+	}
+}
+
+type fakeEndpoint struct {
+	fail map[types.ProcID]bool
+	sent []Outgoing
+}
+
+func (f *fakeEndpoint) ID() types.ProcID { return types.WriterID() }
+
+func (f *fakeEndpoint) Send(to types.ProcID, m wire.Message) error {
+	if f.fail[to] {
+		return ErrUnknownPeer
+	}
+	f.sent = append(f.sent, Outgoing{To: to, Msg: m})
+	return nil
+}
+
+func (f *fakeEndpoint) Recv() <-chan wire.Envelope { return nil }
+func (f *fakeEndpoint) Close() error               { return nil }

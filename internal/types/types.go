@@ -1,0 +1,265 @@
+// Package types defines the basic data model shared by every protocol in
+// this repository: logical timestamps, timestamp–value pairs ("tagged
+// values"), frozen entries used by the freezing mechanism, and process
+// identifiers for servers, readers and the single writer.
+//
+// The model follows Section 2 of Guerraoui, Levy and Vukolić, "Lucky
+// Read/Write Access to Robust Atomic Storage" (DSN 2006): the storage
+// holds timestamp–value pairs; timestamp 0 together with the empty value
+// denotes the initial value ⊥, which is not a valid input for a WRITE.
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TS is a logical timestamp assigned by the single writer. The initial
+// timestamp ts0 is 0; the writer assigns timestamps 1, 2, 3, … in
+// invocation order, so in the SWMR setting the timestamp of a value
+// equals the index k of the WRITE wr_k that wrote it.
+type TS int64
+
+// TS0 is the initial timestamp ts0 associated with the initial value ⊥.
+const TS0 TS = 0
+
+// Value is the application payload stored in the register. It is a
+// string rather than a byte slice so that tagged values are comparable
+// and usable as map keys; arbitrary binary data can still be stored.
+type Value string
+
+// Tagged is a timestamp–value pair 〈ts, val〉, the unit of storage in the
+// protocol: servers keep tagged values in their pw, w and vw fields and
+// readers select among tagged values reported by servers.
+type Tagged struct {
+	TS  TS
+	Val Value
+}
+
+// Bottom returns the initial pair 〈ts0, ⊥〉.
+func Bottom() Tagged { return Tagged{TS: TS0, Val: ""} }
+
+// IsBottom reports whether c is the initial pair 〈ts0, ⊥〉.
+func (c Tagged) IsBottom() bool { return c.TS == TS0 }
+
+// Less reports whether c is strictly older than d, comparing timestamps
+// only (values never participate in the order; the writer never assigns
+// two values to one timestamp, see Lemma 2 "No ambiguity").
+func (c Tagged) Less(d Tagged) bool { return c.TS < d.TS }
+
+// OlderThan reports whether c is "older" than d in the sense used by the
+// invalid_w and invalid_pw predicates (Fig. 2 lines 8–9): either c has a
+// strictly smaller timestamp, or it has the same timestamp but a
+// different value (which only a malicious process can produce).
+func (c Tagged) OlderThan(d Tagged) bool {
+	return c.TS < d.TS || (c.TS == d.TS && c.Val != d.Val)
+}
+
+// String renders the pair for logs and test failure messages.
+func (c Tagged) String() string {
+	if c.IsBottom() {
+		return "〈0,⊥〉"
+	}
+	v := string(c.Val)
+	if len(v) > 16 {
+		v = v[:13] + "..."
+	}
+	return fmt.Sprintf("〈%d,%q〉", c.TS, v)
+}
+
+// MaxTagged returns the pair with the highest timestamp among cs; ties
+// are broken arbitrarily (they cannot occur between values written by a
+// correct writer). It returns Bottom() for an empty slice.
+func MaxTagged(cs []Tagged) Tagged {
+	best := Bottom()
+	for _, c := range cs {
+		if best.Less(c) {
+			best = c
+		}
+	}
+	return best
+}
+
+// ReaderTS is a reader-local timestamp tsr, incremented once at the
+// beginning of every READ invocation and used by the freezing mechanism
+// to match frozen values to the READ they were frozen for.
+type ReaderTS int64
+
+// ReaderTS0 is the initial reader timestamp tsr0.
+const ReaderTS0 ReaderTS = 0
+
+// FrozenPair is the per-reader frozen slot stored by each server:
+// frozen_rj = 〈pw, tsr〉 (Fig. 3 line 2). A reader rj returns a frozen
+// value only when at least b+1 servers report the same pair with tsr
+// equal to the reader's current READ timestamp.
+type FrozenPair struct {
+	PW  Tagged
+	TSR ReaderTS
+}
+
+// InitialFrozen returns the initial per-reader frozen slot
+// 〈〈ts0,⊥〉, tsr0〉.
+func InitialFrozen() FrozenPair { return FrozenPair{PW: Bottom(), TSR: ReaderTS0} }
+
+// FrozenEntry is one element of the writer's frozen set
+// 〈rj, pw, read_ts[rj]〉 (Fig. 1 line 15), shipped to servers inside PW
+// messages (or W messages in the two-phase variant).
+type FrozenEntry struct {
+	Reader ProcID
+	PW     Tagged
+	TSR    ReaderTS
+}
+
+// ReadStamp is one element of a server's newread field: the id of a
+// reader together with the reader timestamp the server stored for it
+// (Fig. 3 line 7). Servers piggyback these on PW_ACK messages so the
+// writer can detect ongoing slow READs.
+type ReadStamp struct {
+	Reader ProcID
+	TSR    ReaderTS
+}
+
+// NthHighest returns the (n+1)-st highest TSR among stamps (n = b gives
+// the "b+1-st highest value" of Fig. 1 line 14) and true, or 0 and false
+// when fewer than n+1 stamps are present.
+func NthHighest(tsrs []ReaderTS, n int) (ReaderTS, bool) {
+	if n < 0 || len(tsrs) <= n {
+		return 0, false
+	}
+	sorted := make([]ReaderTS, len(tsrs))
+	copy(sorted, tsrs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	return sorted[n], true
+}
+
+// Role identifies the kind of process behind a ProcID.
+type Role int
+
+// Process roles. Values start at 1 so the zero Role is invalid and
+// misuse is detectable.
+const (
+	RoleServer Role = iota + 1
+	RoleWriter
+	RoleReader
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleServer:
+		return "server"
+	case RoleWriter:
+		return "writer"
+	case RoleReader:
+		return "reader"
+	default:
+		return "invalid-role(" + strconv.Itoa(int(r)) + ")"
+	}
+}
+
+// ProcID identifies a process. It is a small string ("s0".."sN" for
+// servers, "w" for the writer, "r0".."rN" for readers) so it can be used
+// as a map key and serialized on the wire without extra machinery.
+type ProcID string
+
+// ServerID returns the ProcID of the i-th server.
+func ServerID(i int) ProcID { return ProcID("s" + strconv.Itoa(i)) }
+
+// WriterID returns the ProcID of the single writer.
+func WriterID() ProcID { return "w" }
+
+// ReaderID returns the ProcID of the i-th reader.
+func ReaderID(i int) ProcID { return ProcID("r" + strconv.Itoa(i)) }
+
+// Role reports the role encoded in the id, or 0 for a malformed id.
+func (p ProcID) Role() Role {
+	if len(p) == 0 {
+		return 0
+	}
+	switch p[0] {
+	case 's':
+		if p.validIndex() {
+			return RoleServer
+		}
+	case 'w':
+		if p == "w" {
+			return RoleWriter
+		}
+	case 'r':
+		if p.validIndex() {
+			return RoleReader
+		}
+	}
+	return 0
+}
+
+// Index returns the numeric suffix of a server or reader id, or -1 for
+// the writer and malformed ids.
+func (p ProcID) Index() int {
+	if len(p) < 2 {
+		return -1
+	}
+	n, err := strconv.Atoi(string(p[1:]))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// Valid reports whether the id is a well-formed server, writer or reader
+// id.
+func (p ProcID) Valid() bool { return p.Role() != 0 }
+
+// IsServer reports whether the id denotes a server.
+func (p ProcID) IsServer() bool { return p.Role() == RoleServer }
+
+// IsWriter reports whether the id denotes the writer.
+func (p ProcID) IsWriter() bool { return p.Role() == RoleWriter }
+
+// IsReader reports whether the id denotes a reader.
+func (p ProcID) IsReader() bool { return p.Role() == RoleReader }
+
+func (p ProcID) validIndex() bool {
+	if len(p) < 2 {
+		return false
+	}
+	s := string(p[1:])
+	if len(s) > 1 && s[0] == '0' {
+		return false // no leading zeros: one canonical id per process
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ServerIDs returns the ids s0..s(n-1).
+func ServerIDs(n int) []ProcID {
+	ids := make([]ProcID, n)
+	for i := range ids {
+		ids[i] = ServerID(i)
+	}
+	return ids
+}
+
+// ReaderIDs returns the ids r0..r(n-1).
+func ReaderIDs(n int) []ProcID {
+	ids := make([]ProcID, n)
+	for i := range ids {
+		ids[i] = ReaderID(i)
+	}
+	return ids
+}
+
+// FormatIDs renders a set of ids compactly for logs, sorted.
+func FormatIDs(ids []ProcID) string {
+	ss := make([]string, len(ids))
+	for i, id := range ids {
+		ss[i] = string(id)
+	}
+	sort.Strings(ss)
+	return "{" + strings.Join(ss, ",") + "}"
+}

@@ -1,0 +1,281 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBottom(t *testing.T) {
+	b := Bottom()
+	if b.TS != TS0 {
+		t.Errorf("Bottom().TS = %d, want %d", b.TS, TS0)
+	}
+	if b.Val != "" {
+		t.Errorf("Bottom().Val = %q, want empty", b.Val)
+	}
+	if !b.IsBottom() {
+		t.Error("Bottom().IsBottom() = false, want true")
+	}
+	if (Tagged{TS: 1, Val: "x"}).IsBottom() {
+		t.Error("non-bottom pair reported as bottom")
+	}
+}
+
+func TestTaggedLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Tagged
+		want bool
+	}{
+		{"bottom vs ts1", Bottom(), Tagged{TS: 1, Val: "v"}, true},
+		{"ts1 vs bottom", Tagged{TS: 1, Val: "v"}, Bottom(), false},
+		{"equal ts", Tagged{TS: 3, Val: "a"}, Tagged{TS: 3, Val: "b"}, false},
+		{"ts2 vs ts5", Tagged{TS: 2, Val: "a"}, Tagged{TS: 5, Val: "b"}, true},
+		{"same pair", Tagged{TS: 4, Val: "x"}, Tagged{TS: 4, Val: "x"}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Less(tc.b); got != tc.want {
+				t.Errorf("(%v).Less(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOlderThan(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Tagged
+		want bool
+	}{
+		{"strictly smaller ts", Tagged{TS: 1, Val: "v"}, Tagged{TS: 2, Val: "w"}, true},
+		{"same ts same val", Tagged{TS: 2, Val: "v"}, Tagged{TS: 2, Val: "v"}, false},
+		{"same ts different val", Tagged{TS: 2, Val: "v"}, Tagged{TS: 2, Val: "w"}, true},
+		{"larger ts", Tagged{TS: 3, Val: "v"}, Tagged{TS: 2, Val: "w"}, false},
+		{"bottom vs anything", Bottom(), Tagged{TS: 1, Val: "v"}, true},
+		{"bottom vs bottom", Bottom(), Bottom(), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.OlderThan(tc.b); got != tc.want {
+				t.Errorf("(%v).OlderThan(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// OlderThan must behave like a strict order on pairs written by a
+// correct writer (one value per timestamp): irreflexive and, for pairs
+// with distinct timestamps, asymmetric and total.
+func TestOlderThanQuick(t *testing.T) {
+	irreflexive := func(ts int64, val string) bool {
+		c := Tagged{TS: TS(ts), Val: Value(val)}
+		return !c.OlderThan(c)
+	}
+	if err := quick.Check(irreflexive, nil); err != nil {
+		t.Errorf("OlderThan not irreflexive: %v", err)
+	}
+	totalOnDistinctTS := func(ts1, ts2 int64, v1, v2 string) bool {
+		if ts1 == ts2 {
+			return true
+		}
+		a := Tagged{TS: TS(ts1), Val: Value(v1)}
+		b := Tagged{TS: TS(ts2), Val: Value(v2)}
+		return a.OlderThan(b) != b.OlderThan(a)
+	}
+	if err := quick.Check(totalOnDistinctTS, nil); err != nil {
+		t.Errorf("OlderThan not total/asymmetric on distinct timestamps: %v", err)
+	}
+}
+
+func TestMaxTagged(t *testing.T) {
+	if got := MaxTagged(nil); got != Bottom() {
+		t.Errorf("MaxTagged(nil) = %v, want bottom", got)
+	}
+	cs := []Tagged{{TS: 2, Val: "b"}, {TS: 7, Val: "g"}, {TS: 5, Val: "e"}}
+	if got := MaxTagged(cs); got != (Tagged{TS: 7, Val: "g"}) {
+		t.Errorf("MaxTagged = %v, want 〈7,g〉", got)
+	}
+}
+
+// MaxTagged must return an element with a timestamp no smaller than any
+// input element.
+func TestMaxTaggedQuick(t *testing.T) {
+	f := func(tss []int64) bool {
+		cs := make([]Tagged, len(tss))
+		for i, ts := range tss {
+			cs[i] = Tagged{TS: TS(ts), Val: "v"}
+		}
+		m := MaxTagged(cs)
+		for _, c := range cs {
+			if m.TS < c.TS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNthHighest(t *testing.T) {
+	tests := []struct {
+		name   string
+		tsrs   []ReaderTS
+		n      int
+		want   ReaderTS
+		wantOK bool
+	}{
+		{"empty", nil, 0, 0, false},
+		{"n too large", []ReaderTS{5, 3}, 2, 0, false},
+		{"negative n", []ReaderTS{5}, -1, 0, false},
+		{"highest", []ReaderTS{5, 9, 3}, 0, 9, true},
+		{"second highest", []ReaderTS{5, 9, 3}, 1, 5, true},
+		{"third highest", []ReaderTS{5, 9, 3}, 2, 3, true},
+		{"duplicates", []ReaderTS{7, 7, 2}, 1, 7, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := NthHighest(tc.tsrs, tc.n)
+			if got != tc.want || ok != tc.wantOK {
+				t.Errorf("NthHighest(%v, %d) = (%d, %v), want (%d, %v)",
+					tc.tsrs, tc.n, got, ok, tc.want, tc.wantOK)
+			}
+		})
+	}
+}
+
+// NthHighest must not mutate its input and must pick exactly the value
+// at position n of the descending sort.
+func TestNthHighestDoesNotMutate(t *testing.T) {
+	in := []ReaderTS{3, 1, 4, 1, 5}
+	orig := append([]ReaderTS(nil), in...)
+	if _, ok := NthHighest(in, 2); !ok {
+		t.Fatal("NthHighest returned !ok on valid input")
+	}
+	if !reflect.DeepEqual(in, orig) {
+		t.Errorf("NthHighest mutated input: %v, want %v", in, orig)
+	}
+}
+
+func TestProcIDRoles(t *testing.T) {
+	tests := []struct {
+		id       ProcID
+		role     Role
+		index    int
+		isServer bool
+		isWriter bool
+		isReader bool
+	}{
+		{ServerID(0), RoleServer, 0, true, false, false},
+		{ServerID(12), RoleServer, 12, true, false, false},
+		{WriterID(), RoleWriter, -1, false, true, false},
+		{ReaderID(3), RoleReader, 3, false, false, true},
+		{ProcID(""), 0, -1, false, false, false},
+		{ProcID("x7"), 0, 7, false, false, false},
+		{ProcID("s"), 0, -1, false, false, false},
+		{ProcID("s-1"), 0, -1, false, false, false},
+		{ProcID("s01"), 0, 1, false, false, false}, // leading zero rejected
+		{ProcID("w2"), 0, 2, false, false, false},
+		{ProcID("r1x"), 0, -1, false, false, false},
+	}
+	for _, tc := range tests {
+		t.Run(string(tc.id), func(t *testing.T) {
+			if got := tc.id.Role(); got != tc.role {
+				t.Errorf("Role() = %v, want %v", got, tc.role)
+			}
+			if got := tc.id.Index(); got != tc.index {
+				t.Errorf("Index() = %d, want %d", got, tc.index)
+			}
+			if got := tc.id.IsServer(); got != tc.isServer {
+				t.Errorf("IsServer() = %v, want %v", got, tc.isServer)
+			}
+			if got := tc.id.IsWriter(); got != tc.isWriter {
+				t.Errorf("IsWriter() = %v, want %v", got, tc.isWriter)
+			}
+			if got := tc.id.IsReader(); got != tc.isReader {
+				t.Errorf("IsReader() = %v, want %v", got, tc.isReader)
+			}
+			if got := tc.id.Valid(); got != (tc.role != 0) {
+				t.Errorf("Valid() = %v, want %v", got, tc.role != 0)
+			}
+		})
+	}
+}
+
+// Constructed ids must always round-trip through Role/Index.
+func TestProcIDQuick(t *testing.T) {
+	f := func(raw uint16) bool {
+		i := int(raw % 1000)
+		s, r := ServerID(i), ReaderID(i)
+		return s.Role() == RoleServer && s.Index() == i &&
+			r.Role() == RoleReader && r.Index() == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerAndReaderIDs(t *testing.T) {
+	ids := ServerIDs(3)
+	want := []ProcID{"s0", "s1", "s2"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Errorf("ServerIDs(3) = %v, want %v", ids, want)
+	}
+	rids := ReaderIDs(2)
+	wantR := []ProcID{"r0", "r1"}
+	if !reflect.DeepEqual(rids, wantR) {
+		t.Errorf("ReaderIDs(2) = %v, want %v", rids, wantR)
+	}
+	if got := ServerIDs(0); len(got) != 0 {
+		t.Errorf("ServerIDs(0) = %v, want empty", got)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleServer.String() != "server" || RoleWriter.String() != "writer" || RoleReader.String() != "reader" {
+		t.Error("Role.String() mismatch for defined roles")
+	}
+	if Role(0).String() != "invalid-role(0)" {
+		t.Errorf("Role(0).String() = %q", Role(0).String())
+	}
+}
+
+func TestFormatIDs(t *testing.T) {
+	got := FormatIDs([]ProcID{"s2", "s0", "w"})
+	if got != "{s0,s2,w}" {
+		t.Errorf("FormatIDs = %q, want {s0,s2,w}", got)
+	}
+	if FormatIDs(nil) != "{}" {
+		t.Errorf("FormatIDs(nil) = %q, want {}", FormatIDs(nil))
+	}
+}
+
+func TestTaggedString(t *testing.T) {
+	if got := Bottom().String(); got != "〈0,⊥〉" {
+		t.Errorf("Bottom().String() = %q", got)
+	}
+	long := Tagged{TS: 9, Val: Value(randString(40))}
+	if s := long.String(); len(s) > 40 {
+		t.Errorf("String() did not truncate long value: %q", s)
+	}
+}
+
+func TestInitialFrozen(t *testing.T) {
+	f := InitialFrozen()
+	if f.PW != Bottom() || f.TSR != ReaderTS0 {
+		t.Errorf("InitialFrozen() = %+v", f)
+	}
+}
+
+func randString(n int) string {
+	rng := rand.New(rand.NewSource(1))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"luckystore/internal/types"
+)
+
+// Envelope is the unit transferred by every network implementation: a
+// message together with its (claimed) sender and intended receiver. On
+// the in-memory network the From field is trustworthy; on TCP it is
+// authenticated only by the connection it arrived on (the accepting
+// side overwrites it with the peer's registered identity).
+type Envelope struct {
+	From types.ProcID
+	To   types.ProcID
+	Msg  Message
+}
+
+// maxFrameSize bounds a single encoded envelope (16 MiB). Frames above
+// the limit are rejected before allocation, so a malicious peer cannot
+// force an arbitrary-size allocation with a forged length prefix.
+const maxFrameSize = 16 << 20
+
+// init registers the concrete message types with gob so they can travel
+// inside the Message interface field of Envelope. Registration is the
+// one legitimate use of init for gob-based codecs: it must happen before
+// any encode/decode and has no observable side effects beyond the gob
+// type registry.
+func init() {
+	gob.Register(PW{})
+	gob.Register(PWAck{})
+	gob.Register(W{})
+	gob.Register(WAck{})
+	gob.Register(Read{})
+	gob.Register(ReadAck{})
+	gob.Register(ABDWrite{})
+	gob.Register(ABDWriteAck{})
+	gob.Register(ABDRead{})
+	gob.Register(ABDReadAck{})
+	gob.Register(Keyed{})
+}
+
+// EncodeFrame serializes an envelope as a 4-byte big-endian length
+// prefix followed by the gob encoding.
+func EncodeFrame(w io.Writer, env Envelope) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return fmt.Errorf("encode envelope: %w", err)
+	}
+	if buf.Len() > maxFrameSize {
+		return fmt.Errorf("encode envelope: frame size %d exceeds limit %d", buf.Len(), maxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("write frame body: %w", err)
+	}
+	return nil
+}
+
+// DecodeFrame reads one length-prefixed envelope from r. It returns
+// io.EOF unchanged on a clean end of stream, and validates the decoded
+// message structurally before returning it.
+func DecodeFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Envelope{}, io.EOF
+		}
+		return Envelope{}, fmt.Errorf("read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return Envelope{}, fmt.Errorf("%w: frame size %d exceeds limit %d", ErrMalformed, n, maxFrameSize)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Envelope{}, fmt.Errorf("read frame body: %w", err)
+	}
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("%w: decode envelope: %v", ErrMalformed, err)
+	}
+	if err := Validate(env.Msg); err != nil {
+		return Envelope{}, err
+	}
+	return env, nil
+}

@@ -1,0 +1,144 @@
+// Package workload drives clusters with reproducible operation mixes
+// and records the resulting histories for the checker. It is the shared
+// engine behind the experiments (internal/experiments), the benchmarks
+// (bench_test.go) and several integration tests.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"luckystore/internal/checker"
+	"luckystore/internal/core"
+	"luckystore/internal/types"
+)
+
+// Value returns the deterministic payload of the i-th write, padded to
+// size bytes (size 0 keeps the short form). Values are unique per index
+// so the checker can associate reads with writes unambiguously.
+func Value(i, size int) types.Value {
+	v := fmt.Sprintf("v%d", i)
+	if size > len(v) {
+		v += string(make([]byte, size-len(v)))
+	}
+	return types.Value(v)
+}
+
+// Mixed drives writes sequentially from the cluster writer while
+// nReaders reader clients loop concurrently, recording every operation.
+type Mixed struct {
+	Writes         int
+	ReadsPerReader int
+	ValueSize      int
+}
+
+// Run executes the workload on a core cluster and returns the recorded
+// history. The first error from any client is returned after all
+// goroutines have stopped.
+func (m Mixed) Run(c *core.Cluster) (*checker.Recorder, error) {
+	rec := checker.NewRecorder()
+	var wg sync.WaitGroup
+	errs := make(chan error, 1+c.Config().NumReaders)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= m.Writes; i++ {
+			v := Value(i, m.ValueSize)
+			inv := time.Now()
+			err := c.Writer().Write(v)
+			ret := time.Now()
+			if err != nil {
+				errs <- fmt.Errorf("write %d: %w", i, err)
+				return
+			}
+			meta := c.Writer().LastMeta()
+			rec.Add(checker.Op{
+				Client: types.WriterID(), Kind: checker.KindWrite,
+				Value:  types.Tagged{TS: meta.TS, Val: v},
+				Invoke: inv, Return: ret, Rounds: meta.Rounds, Fast: meta.Fast,
+			})
+		}
+	}()
+
+	for r := 0; r < c.Config().NumReaders; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < m.ReadsPerReader; i++ {
+				inv := time.Now()
+				got, err := c.Reader(r).Read()
+				ret := time.Now()
+				if err != nil {
+					errs <- fmt.Errorf("reader %d op %d: %w", r, i, err)
+					return
+				}
+				meta := c.Reader(r).LastMeta()
+				rec.Add(checker.Op{
+					Client: types.ReaderID(r), Kind: checker.KindRead,
+					Value:  got,
+					Invoke: inv, Return: ret, Rounds: meta.Rounds(), Fast: meta.Fast(),
+				})
+			}
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return rec, err
+	default:
+		return rec, nil
+	}
+}
+
+// Sequential drives n writes, each followed by one read from reader 0,
+// with no concurrency at all: every operation is contention-free, and
+// on a synchronous network therefore lucky.
+func Sequential(c *core.Cluster, n int) (*checker.Recorder, error) {
+	rec := checker.NewRecorder()
+	for i := 1; i <= n; i++ {
+		v := Value(i, 0)
+		inv := time.Now()
+		if err := c.Writer().Write(v); err != nil {
+			return rec, fmt.Errorf("write %d: %w", i, err)
+		}
+		wm := c.Writer().LastMeta()
+		rec.Add(checker.Op{
+			Client: types.WriterID(), Kind: checker.KindWrite,
+			Value:  types.Tagged{TS: wm.TS, Val: v},
+			Invoke: inv, Return: time.Now(), Rounds: wm.Rounds, Fast: wm.Fast,
+		})
+		inv = time.Now()
+		got, err := c.Reader(0).Read()
+		if err != nil {
+			return rec, fmt.Errorf("read %d: %w", i, err)
+		}
+		rm := c.Reader(0).LastMeta()
+		rec.Add(checker.Op{
+			Client: types.ReaderID(0), Kind: checker.KindRead,
+			Value:  got,
+			Invoke: inv, Return: time.Now(), Rounds: rm.Rounds(), Fast: rm.Fast(),
+		})
+	}
+	return rec, nil
+}
+
+// RoundStats extracts per-kind round distributions from a history.
+func RoundStats(ops []checker.Op) (writes, reads map[int]int) {
+	writes, reads = make(map[int]int), make(map[int]int)
+	for _, op := range ops {
+		if op.Err != nil {
+			continue
+		}
+		switch op.Kind {
+		case checker.KindWrite:
+			writes[op.Rounds]++
+		case checker.KindRead:
+			reads[op.Rounds]++
+		}
+	}
+	return writes, reads
+}

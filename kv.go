@@ -1,0 +1,28 @@
+package luckystore
+
+import (
+	"luckystore/internal/core"
+	"luckystore/internal/kv"
+)
+
+// KVStore is the multi-register layer: a key-value store in which every
+// key is an independent SWMR atomic register of the lucky protocol,
+// multiplexed over one set of 2t+b+1 servers. Each key keeps the full
+// per-register guarantees — atomicity, wait-freedom, one-round lucky
+// Puts and Gets — and the composition is linearizable across keys.
+//
+// The single-writer constraint carries over per key: this process owns
+// the writer role for every key (Put); Gets go through one of the
+// NumReaders reader clients.
+type KVStore = kv.Store
+
+// KVMeta aliases for inspecting KV operation complexity.
+type (
+	// PutMeta is the round-trip metadata of a Put (see KVStore.PutMeta).
+	PutMeta = core.WriteMeta
+	// GetMeta is the round-trip metadata of a Get (see KVStore.GetMeta).
+	GetMeta = core.ReadMeta
+)
+
+// OpenKV builds and starts a key-value store on an in-memory network.
+func OpenKV(cfg Config) (*KVStore, error) { return kv.Open(cfg) }

@@ -1,0 +1,101 @@
+package luckystore_test
+
+import (
+	"testing"
+	"time"
+
+	"luckystore"
+)
+
+func TestFacadeKVStore(t *testing.T) {
+	store, err := luckystore.OpenKV(luckystore.Config{T: 2, B: 1, Fw: 1, NumReaders: 2,
+		RoundTimeout: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if err := store.Put("alpha", "a1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("beta", "b1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(0, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "a1" || got.TS != 1 {
+		t.Errorf("Get(alpha) = %v", got)
+	}
+	got, err = store.Get(1, "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "b1" || got.TS != 1 {
+		t.Errorf("Get(beta) = %v", got)
+	}
+	pm, err := store.PutMeta("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.Fast {
+		t.Errorf("KV put not fast: %+v", pm)
+	}
+}
+
+func TestFacadeKVValidation(t *testing.T) {
+	if _, err := luckystore.OpenKV(luckystore.Config{T: 1, B: 2}); err == nil {
+		t.Error("invalid KV config accepted")
+	}
+	if _, err := luckystore.OpenKVTCP(luckystore.Config{T: 1, B: 0, Fw: 1}, nil); err == nil {
+		t.Error("OpenKVTCP accepted empty address map")
+	}
+}
+
+func TestFacadeKVOverTCP(t *testing.T) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond}
+	addrs := make([]string, cfg.S())
+	for i := range addrs {
+		srv, err := luckystore.ListenTCPKV(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	store, err := luckystore.OpenKVTCP(cfg, luckystore.ServerAddrs(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if err := store.Put("tcp/key", "networked"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("tcp/other", "second register"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(0, "tcp/key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "networked" {
+		t.Errorf("Get = %v", got)
+	}
+	got, err = store.Get(0, "tcp/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "second register" {
+		t.Errorf("Get = %v", got)
+	}
+	pm, err := store.PutMeta("tcp/key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.Fast {
+		t.Errorf("TCP KV put not fast on loopback: %+v", pm)
+	}
+}

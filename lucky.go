@@ -1,0 +1,103 @@
+package luckystore
+
+import (
+	"fmt"
+
+	"luckystore/internal/core"
+	"luckystore/internal/fault"
+	"luckystore/internal/types"
+)
+
+// Re-exported data model. A Tagged couples a value with the logical
+// timestamp the single writer assigned to it; timestamp 0 is the
+// initial value ⊥.
+type (
+	// Value is the register payload.
+	Value = types.Value
+	// TS is a logical timestamp.
+	TS = types.TS
+	// Tagged is a timestamp–value pair.
+	Tagged = types.Tagged
+	// ProcID identifies a process.
+	ProcID = types.ProcID
+)
+
+// Bottom returns the register's initial pair 〈0, ⊥〉.
+func Bottom() Tagged { return types.Bottom() }
+
+// Configuration and cluster types of the core protocol.
+type (
+	// Config carries the resilience parameters: T failures tolerated, B
+	// of them Byzantine, and the fast-write budget Fw (the fast-read
+	// budget is Fr() = T − B − Fw).
+	Config = core.Config
+	// Cluster is a running deployment: S server automata plus clients.
+	Cluster = core.Cluster
+	// Writer is the single writer client.
+	Writer = core.Writer
+	// Reader is a reader client.
+	Reader = core.Reader
+	// WriteMeta reports the round-trip complexity of the last WRITE.
+	WriteMeta = core.WriteMeta
+	// ReadMeta reports the round-trip complexity of the last READ.
+	ReadMeta = core.ReadMeta
+	// Option configures a cluster.
+	Option = core.ClusterOption
+)
+
+// Sentinel errors re-exported for errors.Is checks.
+var (
+	// ErrBottomValue rejects WRITE("") — ⊥ is not a valid input.
+	ErrBottomValue = core.ErrBottomValue
+	// ErrOpTimeout reports a violated failure assumption (more than t
+	// servers unresponsive).
+	ErrOpTimeout = core.ErrOpTimeout
+)
+
+// New builds and starts a cluster on an in-memory network.
+func New(cfg Config, opts ...Option) (*Cluster, error) {
+	return core.NewCluster(cfg, opts...)
+}
+
+// WithCrashedServer starts the cluster with server i already crashed.
+func WithCrashedServer(i int) Option { return core.WithCrashedServer(i) }
+
+// WithMuteServer makes server i Byzantine-mute: it never answers.
+// Counts against both the Byzantine budget b and actual failures.
+func WithMuteServer(i int) Option {
+	return core.WithServerAutomaton(i, fault.Mute())
+}
+
+// WithForgingServer makes server i Byzantine: it acknowledges every
+// request while claiming a fabricated pair 〈ts, val〉 — the canonical
+// attack of the paper's upper-bound proof. The protocol masks it as
+// long as at most B servers are malicious.
+func WithForgingServer(i int, ts TS, val Value) Option {
+	return core.WithServerAutomaton(i, fault.ForgeHighTS(ts, val))
+}
+
+// WithStaleServer makes server i Byzantine: it acknowledges everything
+// but always reports the initial state, trying to drag readers back to
+// ⊥.
+func WithStaleServer(i int) Option {
+	return core.WithServerAutomaton(i, fault.StaleBottom())
+}
+
+// WithRandomLiarServer makes server i Byzantine with reproducible
+// pseudo-random lies.
+func WithRandomLiarServer(i int, seed int64) Option {
+	return core.WithServerAutomaton(i, fault.RandomLiar(seed))
+}
+
+// ServerID returns the ProcID of the i-th server (useful with the TCP
+// deployment helpers).
+func ServerID(i int) ProcID { return types.ServerID(i) }
+
+// ValidateConfig reports whether the resilience parameters are
+// admissible (0 ≤ b ≤ t, 0 ≤ fw ≤ t−b).
+func ValidateConfig(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("luckystore: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package luckystore
+
+import (
+	"fmt"
+	"io"
+
+	"luckystore/internal/core"
+	"luckystore/internal/kv"
+	"luckystore/internal/tcpnet"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+)
+
+// TCPServer is one storage server listening on a real TCP socket.
+type TCPServer struct {
+	inner *tcpnet.Server
+}
+
+// Addr returns the listening address (host:port).
+func (s *TCPServer) Addr() string { return s.inner.Addr() }
+
+// ID returns the server's process id ("s0", "s1", …).
+func (s *TCPServer) ID() ProcID { return s.inner.ID() }
+
+// Close stops the server; to the rest of the cluster this is a crash.
+func (s *TCPServer) Close() error { return s.inner.Close() }
+
+// ListenTCP starts storage server i on addr (use "127.0.0.1:0" to pick
+// a free port). A production deployment runs one of these per machine;
+// cmd/luckyd wraps it as a daemon.
+func ListenTCP(i int, addr string) (*TCPServer, error) {
+	inner, err := tcpnet.Listen(types.ServerID(i), addr, core.NewServer())
+	if err != nil {
+		return nil, err
+	}
+	return &TCPServer{inner: inner}, nil
+}
+
+// ServerAddrs builds the address map clients need from an ordered list
+// of server addresses (index i becomes server "si").
+func ServerAddrs(addrs []string) map[ProcID]string {
+	m := make(map[ProcID]string, len(addrs))
+	for i, a := range addrs {
+		m[types.ServerID(i)] = a
+	}
+	return m
+}
+
+// NewTCPWriter connects the writer client to a TCP cluster. The
+// returned closer tears the connections down.
+func NewTCPWriter(cfg Config, servers map[ProcID]string) (*Writer, io.Closer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(servers) != cfg.S() {
+		return nil, nil, fmt.Errorf("luckystore: %d server addresses for S=%d", len(servers), cfg.S())
+	}
+	ep, err := tcpnet.Dial(types.WriterID(), servers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.NewWriter(cfg, ep), ep, nil
+}
+
+// NewTCPReader connects reader client i to a TCP cluster. The returned
+// closer tears the connections down.
+func NewTCPReader(cfg Config, i int, servers map[ProcID]string) (*Reader, io.Closer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(servers) != cfg.S() {
+		return nil, nil, fmt.Errorf("luckystore: %d server addresses for S=%d", len(servers), cfg.S())
+	}
+	id := types.ReaderID(i)
+	ep, err := tcpnet.Dial(id, servers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.NewReader(cfg, id, ep), ep, nil
+}
+
+// ListenTCPKV starts a key-value storage server on addr: one lucky
+// register per key, multiplexed on one socket. Pair it with OpenKVTCP
+// on the client side.
+func ListenTCPKV(i int, addr string) (*TCPServer, error) {
+	inner, err := tcpnet.Listen(types.ServerID(i), addr, kv.NewServerAutomaton())
+	if err != nil {
+		return nil, err
+	}
+	return &TCPServer{inner: inner}, nil
+}
+
+// OpenKVTCP connects the client side of a key-value store to a TCP
+// cluster of ListenTCPKV servers: one writer connection plus
+// cfg.NumReaders reader connections. The returned store owns the
+// connections and closes them on Close.
+func OpenKVTCP(cfg Config, servers map[ProcID]string) (*KVStore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(servers) != cfg.S() {
+		return nil, fmt.Errorf("luckystore: %d server addresses for S=%d", len(servers), cfg.S())
+	}
+	writerEP, err := tcpnet.Dial(types.WriterID(), servers)
+	if err != nil {
+		return nil, err
+	}
+	readerEPs := make([]transport.Endpoint, cfg.NumReaders)
+	for i := range readerEPs {
+		ep, err := tcpnet.Dial(types.ReaderID(i), servers)
+		if err != nil {
+			_ = writerEP.Close()
+			for j := 0; j < i; j++ {
+				_ = readerEPs[j].Close()
+			}
+			return nil, err
+		}
+		readerEPs[i] = ep
+	}
+	return kv.OpenWithEndpoints(cfg, writerEP, readerEPs)
+}

@@ -1,0 +1,72 @@
+package luckystore_test
+
+import (
+	"testing"
+	"time"
+
+	"luckystore"
+)
+
+func TestFacadeRegularVariant(t *testing.T) {
+	cfg := luckystore.RegularConfig{T: 2, B: 1, NumReaders: 2,
+		RoundTimeout: 15 * time.Millisecond}
+	cluster, err := luckystore.NewRegular(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if err := cluster.Writer().Write("v"); err != nil {
+		t.Fatal(err)
+	}
+	// The regular variant's maximal read budget: fr = t failures.
+	cluster.CrashServer(0)
+	cluster.CrashServer(1)
+	got, err := cluster.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "v" {
+		t.Errorf("Read() = %v", got)
+	}
+	if !cluster.Reader(0).LastMeta().Fast() {
+		t.Error("regular read not fast despite fr = t budget")
+	}
+}
+
+func TestFacadeTwoPhaseVariant(t *testing.T) {
+	cfg := luckystore.TwoPhaseConfig{T: 2, B: 1, Fr: 1, NumReaders: 1,
+		RoundTimeout: 15 * time.Millisecond}
+	if cfg.S() != 7 {
+		t.Fatalf("S = %d, want 2t+b+min(b,fr)+1 = 7", cfg.S())
+	}
+	cluster, err := luckystore.NewTwoPhase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if err := cluster.Writer().Write("v"); err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Writer().Rounds() != 2 {
+		t.Errorf("two-phase write rounds = %d, want 2", cluster.Writer().Rounds())
+	}
+	cluster.CrashServer(0) // fr = 1 budget
+	got, err := cluster.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "v" || !cluster.Reader(0).LastMeta().Fast() {
+		t.Errorf("two-phase read = %v, meta %+v", got, cluster.Reader(0).LastMeta())
+	}
+}
+
+func TestFacadeVariantValidation(t *testing.T) {
+	if _, err := luckystore.NewRegular(luckystore.RegularConfig{T: 1, B: 2}); err == nil {
+		t.Error("invalid regular config accepted")
+	}
+	if _, err := luckystore.NewTwoPhase(luckystore.TwoPhaseConfig{T: 2, B: 1, Fr: 9}); err == nil {
+		t.Error("invalid two-phase config accepted")
+	}
+}
