@@ -16,6 +16,7 @@ package luckystore_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -24,7 +25,9 @@ import (
 	"luckystore/internal/abd"
 	"luckystore/internal/core"
 	"luckystore/internal/experiments"
+	"luckystore/internal/kv"
 	"luckystore/internal/regular"
+	"luckystore/internal/simnet"
 	"luckystore/internal/twophase"
 	"luckystore/internal/types"
 	"luckystore/internal/wire"
@@ -266,6 +269,181 @@ func BenchmarkABDRead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- KV engine benchmarks -------------------------------------------
+
+// BenchmarkKVShardScaling measures concurrent multi-key Put throughput
+// against the per-server shard worker count: the sharded engine's whole
+// point is that independent keys stop serializing on one automaton
+// pump, so throughput should grow from 1 shard to 4 and 16.
+func BenchmarkKVShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+				RoundTimeout: 50 * time.Millisecond}
+			st, err := luckystore.OpenKV(cfg, luckystore.WithKVShards(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			var nextKey atomic.Int64
+			b.SetParallelism(4) // 4×GOMAXPROCS concurrent per-key writers
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				key := fmt.Sprintf("key-%d", nextKey.Add(1))
+				i := 0
+				for pb.Next() {
+					i++
+					if err := st.Put(key, luckystore.Value(fmt.Sprintf("v%d", i))); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+const benchBatchKeys = 32
+
+// BenchmarkPutLooped is the baseline PutBatch is measured against: the
+// same keys written back-to-back through the blocking API.
+func BenchmarkPutLooped(b *testing.B) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond}
+	st, err := luckystore.OpenKV(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	keys := make([]string, benchBatchKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val := luckystore.Value(fmt.Sprintf("v%d", i))
+		for _, k := range keys {
+			if err := st.Put(k, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
+}
+
+// BenchmarkPutBatch writes the same 32 keys per iteration through the
+// concurrent batch API, with the fan-out coalesced into batched frames.
+func BenchmarkPutBatch(b *testing.B) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond}
+	st, err := luckystore.OpenKV(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		puts := make(map[string]luckystore.Value, benchBatchKeys)
+		val := luckystore.Value(fmt.Sprintf("v%d", i))
+		for k := 0; k < benchBatchKeys; k++ {
+			puts[fmt.Sprintf("key-%d", k)] = val
+		}
+		if err := st.PutBatch(puts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
+}
+
+// benchDelayedStore opens a KV store whose network charges a per-hop
+// delivery delay, modeling a real network instead of the free in-memory
+// one: sequential round trips now cost wall-clock time, which is what
+// the pipelined batch APIs eliminate.
+func benchDelayedStore(b *testing.B) *kv.Store {
+	b.Helper()
+	st, err := kv.Open(core.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond},
+		kv.WithSimOptions(simnet.WithDefaultDelay(200*time.Microsecond)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(st.Close)
+	return st
+}
+
+// BenchmarkPutLoopedDelayed pays one full round trip per key in
+// sequence — the baseline cost of the blocking API over a network with
+// latency.
+func BenchmarkPutLoopedDelayed(b *testing.B) {
+	st := benchDelayedStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		for k := 0; k < benchBatchKeys; k++ {
+			if err := st.Put(fmt.Sprintf("key-%d", k), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
+}
+
+// BenchmarkPutBatchDelayed overlaps the same round trips: all keys'
+// messages are in flight together (and coalesced into batch frames), so
+// the batch pays roughly one round-trip latency instead of 32.
+func BenchmarkPutBatchDelayed(b *testing.B) {
+	st := benchDelayedStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		puts := make(map[string]types.Value, benchBatchKeys)
+		val := types.Value(fmt.Sprintf("v%d", i))
+		for k := 0; k < benchBatchKeys; k++ {
+			puts[fmt.Sprintf("key-%d", k)] = val
+		}
+		if err := st.PutBatch(puts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
+}
+
+// BenchmarkGetBatch reads 32 preloaded keys per iteration through the
+// concurrent batch API.
+func BenchmarkGetBatch(b *testing.B) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond}
+	st, err := luckystore.OpenKV(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	keys := make([]string, benchBatchKeys)
+	puts := make(map[string]luckystore.Value, benchBatchKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		puts[keys[i]] = "v"
+	}
+	if err := st.PutBatch(puts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := st.GetBatch(0, keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != benchBatchKeys {
+			b.Fatalf("GetBatch returned %d values", len(got))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "gets/s")
 }
 
 // --- Component micro-benchmarks -------------------------------------

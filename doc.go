@@ -31,7 +31,9 @@
 //     readers tolerated, fw = t−b, fr = t
 //   - internal/abd — the ABD crash-only baseline
 //   - internal/keyed, internal/kv — the multi-register layer behind
-//     OpenKV/OpenKVTCP: every key an independent atomic register
+//     OpenKV/OpenKVTCP: every key an independent atomic register, run
+//     on a sharded engine (per-server shard workers, batched frames,
+//     async/batch APIs — see DESIGN.md §2)
 //   - internal/experiments — every paper claim as a measured experiment
 //     (run them with cmd/luckybench)
 //   - internal/tcpnet — the TCP transport behind ListenTCP and the

@@ -1,0 +1,3 @@
+module luckystore
+
+go 1.24

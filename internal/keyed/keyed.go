@@ -65,11 +65,17 @@ func (s *Server) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
 // Open(key) returns a transport.Endpoint that sends messages wrapped
 // for that key and receives only that key's replies. Different keys can
 // then run operations concurrently from one client process.
+//
+// Subscriptions live in a sync.Map so the routing pump does a lock-free
+// read per envelope; the mutex guards only the cold Open/Close paths,
+// keeping reply routing off every other key's critical path under
+// concurrent multi-key traffic.
 type Demux struct {
 	inner transport.Endpoint
 
-	mu     sync.Mutex
-	subs   map[string]*transport.Mailbox
+	subs sync.Map // key string → *transport.Mailbox
+
+	mu     sync.Mutex // guards closed and the subs/Close race; never taken by pump
 	closed bool
 	done   chan struct{}
 }
@@ -79,7 +85,6 @@ type Demux struct {
 func NewDemux(ep transport.Endpoint) *Demux {
 	d := &Demux{
 		inner: ep,
-		subs:  make(map[string]*transport.Mailbox),
 		done:  make(chan struct{}),
 	}
 	go d.pump()
@@ -98,10 +103,12 @@ func (d *Demux) Open(key string) (transport.Endpoint, error) {
 	if d.closed {
 		return nil, transport.ErrClosed
 	}
-	mbox, ok := d.subs[key]
-	if !ok {
+	var mbox *transport.Mailbox
+	if v, ok := d.subs.Load(key); ok {
+		mbox = v.(*transport.Mailbox)
+	} else {
 		mbox = transport.NewMailbox()
-		d.subs[key] = mbox
+		d.subs.Store(key, mbox)
 	}
 	return &subEndpoint{key: key, demux: d, mbox: mbox}, nil
 }
@@ -116,17 +123,16 @@ func (d *Demux) Close() error {
 		return nil
 	}
 	d.closed = true
-	subs := make([]*transport.Mailbox, 0, len(d.subs))
-	for _, m := range d.subs {
-		subs = append(subs, m)
-	}
 	d.mu.Unlock()
 
 	err := d.inner.Close() // unblocks the pump
 	<-d.done
-	for _, m := range subs {
-		m.Close()
-	}
+	// No Open can race here: closed is set, so the subscription set is
+	// frozen and every inbox can be joined.
+	d.subs.Range(func(_, v any) bool {
+		v.(*transport.Mailbox).Close()
+		return true
+	})
 	return err
 }
 
@@ -137,13 +143,11 @@ func (d *Demux) pump() {
 		if !ok || wire.Validate(k) != nil {
 			continue // unkeyed or malformed traffic is dropped
 		}
-		d.mu.Lock()
-		mbox := d.subs[k.Key]
-		d.mu.Unlock()
-		if mbox == nil {
+		v, ok := d.subs.Load(k.Key) // lock-free: no cross-key contention
+		if !ok {
 			continue // reply for a key this client never opened
 		}
-		_ = mbox.Put(wire.Envelope{From: env.From, To: env.To, Msg: k.Inner})
+		_ = v.(*transport.Mailbox).Put(wire.Envelope{From: env.From, To: env.To, Msg: k.Inner})
 	}
 }
 
@@ -167,8 +171,8 @@ func (s *subEndpoint) Recv() <-chan wire.Envelope { return s.mbox.Out() }
 // Close detaches the key's inbox from the demux.
 func (s *subEndpoint) Close() error {
 	s.demux.mu.Lock()
-	if s.demux.subs[s.key] == s.mbox {
-		delete(s.demux.subs, s.key)
+	if v, ok := s.demux.subs.Load(s.key); ok && v.(*transport.Mailbox) == s.mbox {
+		s.demux.subs.Delete(s.key)
 	}
 	s.demux.mu.Unlock()
 	s.mbox.Close()

@@ -1,0 +1,110 @@
+package keyed
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+
+	"luckystore/internal/node"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// ShardIndex maps a register name to its owning shard: FNV-1a over the
+// key, mod the shard count. It is the single routing function shared by
+// the server pool and anything that needs to reason about placement, so
+// a key's automaton lives on exactly one shard. Shard counts below 1
+// are treated as 1, matching NewShardedServer's floor.
+func ShardIndex(key string, shards int) int {
+	if shards < 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// ShardedServer is the keyed server split across shards: shard i holds
+// the automata of every key with ShardIndex(key, n) == i in a plain,
+// unlocked map. Each shard implements node.Automaton and must be
+// stepped by exactly one goroutine — node.ShardedRunner's per-shard
+// workers — which is what removes the global mutex keyed.Server takes
+// on every message.
+type ShardedServer struct {
+	shards []*shard
+	regs   atomic.Int64
+}
+
+// shard owns the automata of its keys exclusively; no locking anywhere.
+type shard struct {
+	parent  *ShardedServer
+	regs    map[string]node.Automaton
+	factory func() node.Automaton
+}
+
+var _ node.Automaton = (*shard)(nil)
+
+// NewShardedServer creates a keyed server split across n shards whose
+// per-register automata come from factory.
+func NewShardedServer(n int, factory func() node.Automaton) *ShardedServer {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedServer{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			parent:  s,
+			regs:    make(map[string]node.Automaton),
+			factory: factory,
+		}
+	}
+	return s
+}
+
+// Shards returns the per-shard automata, for node.NewShardedRunner.
+func (s *ShardedServer) Shards() []node.Automaton {
+	out := make([]node.Automaton, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh
+	}
+	return out
+}
+
+// Route returns the dispatch function pairing this server with
+// node.ShardedRunner: keyed messages go to their key's shard, anything
+// else to shard 0 (whose Step drops it as malformed).
+func (s *ShardedServer) Route() func(wire.Message) int {
+	n := len(s.shards)
+	return func(m wire.Message) int {
+		if k, ok := m.(wire.Keyed); ok {
+			return ShardIndex(k.Key, n)
+		}
+		return 0
+	}
+}
+
+// Regs reports the number of instantiated registers across all shards.
+// It is safe to call concurrently with stepping.
+func (s *ShardedServer) Regs() int { return int(s.regs.Load()) }
+
+// Step implements node.Automaton for one shard: unwrap, dispatch to the
+// key's automaton, re-wrap. The map access is unlocked — the shard's
+// worker goroutine is the only one ever here.
+func (sh *shard) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
+	k, ok := m.(wire.Keyed)
+	if !ok || wire.Validate(k) != nil {
+		return nil
+	}
+	reg, exists := sh.regs[k.Key]
+	if !exists {
+		reg = sh.factory()
+		sh.regs[k.Key] = reg
+		sh.parent.regs.Add(1)
+	}
+	inner := reg.Step(from, k.Inner)
+	out := make([]transport.Outgoing, len(inner))
+	for i, o := range inner {
+		out[i] = transport.Outgoing{To: o.To, Msg: wire.Keyed{Key: k.Key, Inner: o.Msg}}
+	}
+	return out
+}

@@ -7,10 +7,19 @@
 //
 // The SWMR constraint carries over per key: a single Store owns the
 // writer role for every key; readers are per-process handles.
+//
+// The engine is sharded and pipelined: every server runs its per-key
+// automata across a pool of shard workers (node.ShardedRunner over
+// keyed.ShardedServer), so no global lock serializes independent keys,
+// and client endpoints coalesce concurrent outbound messages into
+// wire.Batch frames. Blocking Put/Get stay the simple interface;
+// PutAsync/GetAsync/PutBatch/GetBatch expose the pipeline directly.
 package kv
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"luckystore/internal/core"
@@ -21,12 +30,46 @@ import (
 	"luckystore/internal/types"
 )
 
+// DefaultShards is the per-server shard count used when WithShards is
+// not given: one worker per CPU, capped — past the cap, scheduling
+// overhead outweighs parallelism for register-sized work.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// Option configures Open.
+type Option func(*openOptions)
+
+type openOptions struct {
+	shards  int
+	simOpts []simnet.Option
+}
+
+// WithShards sets the number of shard workers each server runs its
+// per-key automata on. Values below 1 mean DefaultShards.
+func WithShards(n int) Option {
+	return func(o *openOptions) { o.shards = n }
+}
+
+// WithSimOptions forwards options to the in-memory network Open builds.
+func WithSimOptions(opts ...simnet.Option) Option {
+	return func(o *openOptions) { o.simOpts = append(o.simOpts, opts...) }
+}
+
 // Store is a running multi-register deployment plus its clients.
 type Store struct {
 	cfg     core.Config
+	shards  int
 	net     transport.Network
 	sim     *simnet.Network
-	runners []*node.Runner
+	runners []*node.ShardedRunner
 
 	writerDemux  *keyed.Demux
 	readerDemuxs []*keyed.Demux
@@ -51,18 +94,26 @@ type readerHandle struct {
 }
 
 // Open builds and starts a store for cfg on an in-memory network.
-func Open(cfg core.Config, simOpts ...simnet.Option) (*Store, error) {
+func Open(cfg core.Config, opts ...Option) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	o := openOptions{shards: DefaultShards()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards < 1 {
+		o.shards = DefaultShards()
+	}
 	ids := append(types.ServerIDs(cfg.S()), types.WriterID())
 	ids = append(ids, types.ReaderIDs(cfg.NumReaders)...)
-	sim, err := simnet.New(ids, simOpts...)
+	sim, err := simnet.New(ids, o.simOpts...)
 	if err != nil {
 		return nil, err
 	}
 	st := &Store{
 		cfg:     cfg,
+		shards:  o.shards,
 		net:     sim,
 		sim:     sim,
 		writers: make(map[string]*writerHandle),
@@ -74,8 +125,8 @@ func Open(cfg core.Config, simOpts ...simnet.Option) (*Store, error) {
 			st.Close()
 			return nil, err
 		}
-		srv := keyed.NewServer(func() node.Automaton { return core.NewServer() })
-		r := node.NewRunner(ep, srv)
+		srv := keyed.NewShardedServer(o.shards, func() node.Automaton { return core.NewServer() })
+		r := node.NewShardedRunner(ep, srv.Shards(), srv.Route())
 		st.runners = append(st.runners, r)
 		r.Start()
 	}
@@ -84,22 +135,24 @@ func Open(cfg core.Config, simOpts ...simnet.Option) (*Store, error) {
 		st.Close()
 		return nil, err
 	}
-	st.writerDemux = keyed.NewDemux(wep)
+	st.writerDemux = keyed.NewDemux(transport.NewCoalescer(wep))
 	for i := 0; i < cfg.NumReaders; i++ {
 		rep, err := sim.Endpoint(types.ReaderID(i))
 		if err != nil {
 			st.Close()
 			return nil, err
 		}
-		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(rep))
+		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(transport.NewCoalescer(rep)))
 		st.readers[i] = make(map[string]*readerHandle)
 	}
 	return st, nil
 }
 
 // NewServerAutomaton returns the keyed server automaton a KV server
-// process runs: one core register per key. Use it with tcpnet.Listen
-// (or luckystore.ListenTCPKV) to host the store's server side.
+// process runs when its driver steps it from a single goroutine (e.g.
+// tcpnet.Listen, which serializes steps per server): one core register
+// per key. Sharded deployments use keyed.NewShardedServer with
+// node.NewShardedRunner instead, which is what Open assembles.
 func NewServerAutomaton() node.Automaton {
 	return keyed.NewServer(func() node.Automaton { return core.NewServer() })
 }
@@ -108,19 +161,20 @@ func NewServerAutomaton() node.Automaton {
 // endpoints (e.g. tcpnet clients dialed to a remote cluster): one
 // writer endpoint and one endpoint per reader client. The store takes
 // ownership of the endpoints and closes them on Close; the servers are
-// managed externally.
+// managed externally. Outbound traffic on every endpoint is coalesced
+// into wire.Batch frames under concurrent multi-key load.
 func OpenWithEndpoints(cfg core.Config, writerEP transport.Endpoint, readerEPs []transport.Endpoint) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	st := &Store{
 		cfg:         cfg,
-		writerDemux: keyed.NewDemux(writerEP),
+		writerDemux: keyed.NewDemux(transport.NewCoalescer(writerEP)),
 		writers:     make(map[string]*writerHandle),
 		readers:     make(map[int]map[string]*readerHandle),
 	}
 	for i, rep := range readerEPs {
-		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(rep))
+		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(transport.NewCoalescer(rep)))
 		st.readers[i] = make(map[string]*readerHandle)
 	}
 	return st, nil
@@ -128,6 +182,11 @@ func OpenWithEndpoints(cfg core.Config, writerEP transport.Endpoint, readerEPs [
 
 // Config returns the store's configuration.
 func (s *Store) Config() core.Config { return s.cfg }
+
+// Shards reports the per-server shard worker count, or 0 when the
+// servers are managed externally (OpenWithEndpoints): their sharding is
+// not this store's to know.
+func (s *Store) Shards() int { return s.shards }
 
 // Put writes value under key. Puts to different keys may run
 // concurrently; puts to one key are serialized (SWMR per register).
@@ -176,8 +235,130 @@ func (s *Store) GetMeta(idx int, key string) (core.ReadMeta, error) {
 	return h.r.LastMeta(), nil
 }
 
-// CrashServer crash-stops server i (all registers on it at once —
-// machines fail, not registers).
+// PutFuture is a pending asynchronous Put.
+type PutFuture struct {
+	done chan struct{}
+	meta core.WriteMeta
+	err  error
+}
+
+// Done returns a channel closed when the put has completed.
+func (f *PutFuture) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the put completes and returns its error.
+func (f *PutFuture) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// Meta blocks until the put completes and returns its write metadata
+// (only meaningful when Wait returns nil).
+func (f *PutFuture) Meta() core.WriteMeta {
+	<-f.done
+	return f.meta
+}
+
+// GetFuture is a pending asynchronous Get.
+type GetFuture struct {
+	done chan struct{}
+	val  types.Tagged
+	err  error
+}
+
+// Done returns a channel closed when the get has completed.
+func (f *GetFuture) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the get completes and returns its result.
+func (f *GetFuture) Wait() (types.Tagged, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// PutAsync starts a Put and returns immediately with its future.
+// Concurrent async puts to one key serialize in an unspecified order
+// (the register stays SWMR); puts to different keys run concurrently,
+// their outbound messages sharing wire.Batch frames.
+func (s *Store) PutAsync(key string, value types.Value) *PutFuture {
+	f := &PutFuture{done: make(chan struct{})}
+	h, err := s.writerFor(key)
+	if err != nil {
+		f.err = err
+		close(f.done)
+		return f
+	}
+	go func() {
+		defer close(f.done)
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		f.err = h.w.Write(value)
+		f.meta = h.w.LastMeta()
+	}()
+	return f
+}
+
+// GetAsync starts a Get through reader idx and returns immediately with
+// its future.
+func (s *Store) GetAsync(idx int, key string) *GetFuture {
+	f := &GetFuture{done: make(chan struct{})}
+	h, err := s.readerFor(idx, key)
+	if err != nil {
+		f.err = err
+		close(f.done)
+		return f
+	}
+	go func() {
+		defer close(f.done)
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		f.val, f.err = h.r.Read()
+	}()
+	return f
+}
+
+// PutBatch writes every entry of puts concurrently, coalescing the
+// fan-out into batched frames, and returns once all writes completed —
+// nil only if every one succeeded (errors.Join of the failures
+// otherwise). Each key individually keeps its atomic-register
+// guarantees; a batch is not a transaction and offers no cross-key
+// atomicity.
+func (s *Store) PutBatch(puts map[string]types.Value) error {
+	futures := make([]*PutFuture, 0, len(puts))
+	for key, value := range puts {
+		futures = append(futures, s.PutAsync(key, value))
+	}
+	var errs []error
+	for _, f := range futures {
+		if err := f.Wait(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// GetBatch reads every key through reader idx concurrently and returns
+// the values by key. Keys never written map to the initial pair 〈0,⊥〉.
+// On failures it returns the successful subset together with an
+// errors.Join of the failures.
+func (s *Store) GetBatch(idx int, keys []string) (map[string]types.Tagged, error) {
+	futures := make([]*GetFuture, len(keys))
+	for i, key := range keys {
+		futures[i] = s.GetAsync(idx, key)
+	}
+	out := make(map[string]types.Tagged, len(keys))
+	var errs []error
+	for i, f := range futures {
+		v, err := f.Wait()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("get %q: %w", keys[i], err))
+			continue
+		}
+		out[keys[i]] = v
+	}
+	return out, errors.Join(errs...)
+}
+
+// CrashServer crash-stops server i (all registers and shards on it at
+// once — machines fail, not registers).
 func (s *Store) CrashServer(i int) { s.runners[i].Crash() }
 
 // Sim returns the underlying simulated network.

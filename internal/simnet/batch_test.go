@@ -1,0 +1,87 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+func testBatch() wire.Batch {
+	return wire.Batch{Msgs: []wire.Message{
+		wire.Keyed{Key: "a", Inner: wire.Read{TSR: 1, Round: 1}},
+		wire.Keyed{Key: "b", Inner: wire.Read{TSR: 2, Round: 1}},
+		wire.Keyed{Key: "c", Inner: wire.Read{TSR: 3, Round: 1}},
+	}}
+}
+
+// assertUnwrapped drains three envelopes and checks they are the batch's
+// inner messages in order, stamped with the batch's route.
+func assertUnwrapped(t *testing.T, n *Network, b wire.Batch) {
+	t.Helper()
+	s, err := n.Endpoint(types.ServerID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range b.Msgs {
+		env := mustRecv(t, s, time.Second)
+		if env.From != types.WriterID() || env.To != types.ServerID(0) {
+			t.Errorf("envelope %d route = %s→%s", i, env.From, env.To)
+		}
+		if env.Msg != want {
+			t.Errorf("envelope %d = %+v, want %+v", i, env.Msg, want)
+		}
+	}
+}
+
+func TestBatchUnwrapsOnImmediateDelivery(t *testing.T) {
+	n, w, _ := newPair(t)
+	b := testBatch()
+	if err := w.Send(types.ServerID(0), b); err != nil {
+		t.Fatal(err)
+	}
+	assertUnwrapped(t, n, b)
+}
+
+func TestBatchUnwrapsOnDelayedDelivery(t *testing.T) {
+	n, w, _ := newPair(t)
+	n.SetLinkDelay(types.WriterID(), types.ServerID(0), time.Millisecond)
+	b := testBatch()
+	if err := w.Send(types.ServerID(0), b); err != nil {
+		t.Fatal(err)
+	}
+	assertUnwrapped(t, n, b)
+}
+
+func TestBatchStaysIntactWhileHeld(t *testing.T) {
+	n, w, _ := newPair(t)
+	n.Hold(types.WriterID(), types.ServerID(0))
+	b := testBatch()
+	if err := w.Send(types.ServerID(0), b); err != nil {
+		t.Fatal(err)
+	}
+	// In transit, a batch is one frame.
+	if got := n.HeldCount(types.WriterID(), types.ServerID(0)); got != 1 {
+		t.Errorf("held count = %d, want 1", got)
+	}
+	n.Release(types.WriterID(), types.ServerID(0))
+	assertUnwrapped(t, n, b)
+}
+
+func TestBatchStatsCountFramesAndInnerKinds(t *testing.T) {
+	n, w, _ := newPair(t)
+	if err := w.Send(types.ServerID(0), testBatch()); err != nil {
+		t.Fatal(err)
+	}
+	st := n.StatsSnapshot()
+	if st.Total != 1 {
+		t.Errorf("total frames = %d, want 1", st.Total)
+	}
+	if st.ByKind[wire.KindKeyed] != 3 {
+		t.Errorf("KEYED count = %d, want 3 (inner messages)", st.ByKind[wire.KindKeyed])
+	}
+	if st.ByKind[wire.KindBatch] != 0 {
+		t.Errorf("BATCH count = %d, want 0 (stats see through batching)", st.ByKind[wire.KindBatch])
+	}
+}

@@ -189,7 +189,24 @@ func (n *Network) Release(from, to types.ProcID) {
 		return
 	}
 	for _, env := range backlog {
-		_ = target.mbox.Put(env) // receiver may have closed; reliable channels tolerate that only via crash
+		// Receiver may have closed; reliable channels tolerate that only
+		// via crash.
+		deliver(target.mbox, env)
+	}
+}
+
+// deliver puts an envelope into an inbox, unwrapping batches at the
+// endpoint boundary: a held or delayed batch travels (and is counted)
+// as one frame, but the receiving process only ever sees the inner
+// messages, in their batch order. The common non-batch case stays
+// allocation-free.
+func deliver(mbox *transport.Mailbox, env wire.Envelope) {
+	if _, ok := env.Msg.(wire.Batch); !ok {
+		_ = mbox.Put(env)
+		return
+	}
+	for _, e := range wire.Expand(env) {
+		_ = mbox.Put(e)
 	}
 }
 
@@ -257,14 +274,24 @@ func (n *Network) route(from, to types.ProcID, m wire.Message) error {
 		return fmt.Errorf("simnet route to %q: %w", to, transport.ErrUnknownPeer)
 	}
 	l := link{from, to}
-	n.total++
+	n.total++ // frames, not inner messages: a batch costs one send
 	kinds := n.counts[l]
 	if kinds == nil {
 		kinds = make(map[wire.Kind]int)
 		n.counts[l] = kinds
 	}
+	// Per-kind stats count the protocol messages inside a batch, so
+	// experiments measuring message complexity see through batching.
 	if m != nil {
-		kinds[m.Kind()]++
+		if b, ok := m.(wire.Batch); ok {
+			for _, inner := range b.Msgs {
+				if inner != nil {
+					kinds[inner.Kind()]++
+				}
+			}
+		} else {
+			kinds[m.Kind()]++
+		}
 	}
 	if backlog, heldNow := n.held[l]; heldNow {
 		n.held[l] = append(backlog, env)
@@ -277,7 +304,7 @@ func (n *Network) route(from, to types.ProcID, m wire.Message) error {
 	}
 	if delay <= 0 {
 		n.mu.Unlock()
-		_ = target.mbox.Put(env)
+		deliver(target.mbox, env)
 		return nil
 	}
 	var timer *time.Timer
@@ -296,7 +323,7 @@ func (n *Network) route(from, to types.ProcID, m wire.Message) error {
 		if closed {
 			return
 		}
-		_ = target.mbox.Put(env)
+		deliver(target.mbox, env)
 	})
 	n.timers[timer] = struct{}{}
 	n.mu.Unlock()

@@ -130,21 +130,40 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF, malformed frame, or closed
 		}
-		// The connection authenticates the sender: ignore the claimed
-		// From and use the handshake identity.
-		s.mu.Lock()
-		out := s.auto.Step(peer, env.Msg)
-		s.mu.Unlock()
-		for _, o := range out {
-			if o.To != peer {
-				continue // a data-centric server replies only to the requester
-			}
-			reply := wire.Envelope{From: s.id, To: peer, Msg: o.Msg}
-			if err := wire.EncodeFrame(conn, reply); err != nil {
-				return
+		// A batch frame unwraps at the endpoint boundary: each inner
+		// message is a separate automaton step. Replies to one batch
+		// coalesce back into a single frame, so a lucky multi-key round
+		// trip costs one frame each way.
+		var replies []wire.Message
+		for _, e := range wire.Expand(env) {
+			// The connection authenticates the sender: ignore the claimed
+			// From and use the handshake identity.
+			s.mu.Lock()
+			out := s.auto.Step(peer, e.Msg)
+			s.mu.Unlock()
+			for _, o := range out {
+				if o.To != peer {
+					continue // a data-centric server replies only to the requester
+				}
+				replies = append(replies, o.Msg)
 			}
 		}
+		if err := writeReplies(conn, s.id, peer, replies); err != nil {
+			return
+		}
 	}
+}
+
+// writeReplies frames a step's replies back to the peer: runs of keyed
+// replies share Batch frames (size-bounded by wire.CoalesceKeyed),
+// non-keyed replies go out individually.
+func writeReplies(conn net.Conn, from, to types.ProcID, replies []wire.Message) error {
+	for _, m := range wire.CoalesceKeyed(replies) {
+		if err := wire.EncodeFrame(conn, wire.Envelope{From: from, To: to, Msg: m}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Client is a transport.Endpoint over TCP: it dials every configured
@@ -281,12 +300,23 @@ func (c *Client) readLoop(from types.ProcID, cc *clientConn) {
 			}
 			return
 		}
-		// Stamp the authenticated origin: the server this connection
-		// was dialed to.
-		env.From = from
-		env.To = c.id
-		if c.mbox.Put(env) != nil {
-			return
+		// Stamp the authenticated origin — the server this connection
+		// was dialed to — and unwrap batch frames at the endpoint
+		// boundary (non-batch frames take the allocation-free path).
+		if _, batch := env.Msg.(wire.Batch); !batch {
+			env.From = from
+			env.To = c.id
+			if c.mbox.Put(env) != nil {
+				return
+			}
+			continue
+		}
+		for _, e := range wire.Expand(env) {
+			e.From = from
+			e.To = c.id
+			if c.mbox.Put(e) != nil {
+				return
+			}
 		}
 	}
 }

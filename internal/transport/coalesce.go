@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"sync"
+
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// Coalescer wraps an endpoint with send-side group commit: Send only
+// enqueues, and a single flusher goroutine drains whatever accumulated
+// per destination into one wire.Batch frame each. While the flusher is
+// writing one round of frames, concurrent senders keep queueing, so
+// batches form exactly when concurrent multi-key traffic creates them;
+// an idle coalescer flushes a lone message immediately, adding only a
+// goroutine handoff to single-operation latency.
+//
+// Only Keyed messages are coalesced (wire.Batch carries nothing else);
+// other messages flush in their own frames, in send order relative to
+// the keyed traffic for the same destination. Per-destination FIFO
+// order is preserved end to end.
+type Coalescer struct {
+	inner Endpoint
+
+	mu      sync.Mutex
+	pending map[types.ProcID][]wire.Message
+	order   []types.ProcID // destinations in first-send order
+	wake    chan struct{}  // capacity 1: signals the flusher
+	closed  bool
+
+	done chan struct{} // closed when the flusher goroutine has exited
+}
+
+var _ Endpoint = (*Coalescer)(nil)
+
+// NewCoalescer wraps ep and starts the flusher goroutine. The coalescer
+// takes ownership: closing it closes ep.
+func NewCoalescer(ep Endpoint) *Coalescer {
+	c := &Coalescer{
+		inner:   ep,
+		pending: make(map[types.ProcID][]wire.Message),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// ID implements Endpoint.
+func (c *Coalescer) ID() types.ProcID { return c.inner.ID() }
+
+// Recv implements Endpoint. Inbound traffic is not touched: transports
+// already unwrap batches at the receiving endpoint boundary.
+func (c *Coalescer) Recv() <-chan wire.Envelope { return c.inner.Recv() }
+
+// Send implements Endpoint: it enqueues the message for its destination
+// and returns. Transport errors surface on the flusher's sends and are
+// dropped — the same "a dead server is a crashed server" stance SendAll
+// takes; a closed coalescer reports ErrClosed.
+func (c *Coalescer) Send(to types.ProcID, m wire.Message) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := c.pending[to]; !ok {
+		c.order = append(c.order, to)
+	}
+	c.pending[to] = append(c.pending[to], m)
+	c.mu.Unlock()
+	c.signal()
+	return nil
+}
+
+func (c *Coalescer) signal() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the flusher: each round drains everything queued so far and
+// writes one frame per destination run.
+func (c *Coalescer) run() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if len(c.order) == 0 {
+			c.mu.Unlock()
+			<-c.wake
+			continue
+		}
+		order := c.order
+		pending := c.pending
+		c.order = nil
+		c.pending = make(map[types.ProcID][]wire.Message)
+		c.mu.Unlock()
+
+		for _, to := range order {
+			c.sendRun(to, pending[to])
+		}
+	}
+}
+
+// sendRun writes one destination's drained queue: maximal runs of keyed
+// messages become Batch frames (size-bounded by wire.CoalesceKeyed),
+// everything else goes out alone.
+func (c *Coalescer) sendRun(to types.ProcID, msgs []wire.Message) {
+	for _, m := range wire.CoalesceKeyed(msgs) {
+		_ = c.inner.Send(to, m)
+	}
+}
+
+// Close stops the flusher — dropping anything still queued, which is
+// indistinguishable from the crash of the sending process and tolerated
+// by the protocols — and closes the underlying endpoint. The endpoint
+// closes before the flusher is joined, so a flusher wedged in a send
+// (e.g. a TCP peer that stopped reading) is unblocked by the closing
+// endpoint rather than deadlocking Close. Idempotent.
+func (c *Coalescer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	c.pending = nil
+	c.order = nil
+	c.mu.Unlock()
+	c.signal()
+	err := c.inner.Close()
+	<-c.done
+	return err
+}

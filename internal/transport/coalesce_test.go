@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// gateEndpoint records sends and can block inside Send so a test can
+// pile up messages behind an in-flight flush. When gated, each Send
+// records the frame, signals entered, and then waits for one token on
+// gate — so after receiving entered, the frame is visible in sent.
+type gateEndpoint struct {
+	sent    []wire.Envelope // owned by the flusher goroutine while gated
+	gate    chan struct{}
+	entered chan struct{}
+	mbox    *Mailbox
+}
+
+func newGateEndpoint() *gateEndpoint {
+	return &gateEndpoint{
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 64),
+		mbox:    NewMailbox(),
+	}
+}
+
+func (g *gateEndpoint) ID() types.ProcID { return types.WriterID() }
+
+func (g *gateEndpoint) Send(to types.ProcID, m wire.Message) error {
+	g.sent = append(g.sent, wire.Envelope{To: to, Msg: m})
+	g.entered <- struct{}{}
+	<-g.gate
+	return nil
+}
+
+func (g *gateEndpoint) Recv() <-chan wire.Envelope { return g.mbox.Out() }
+
+func (g *gateEndpoint) Close() error {
+	g.mbox.Close()
+	return nil
+}
+
+// release waits for the flusher to enter Send (frame recorded) and lets
+// it through.
+func (g *gateEndpoint) release(t *testing.T) {
+	t.Helper()
+	select {
+	case <-g.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never entered Send")
+	}
+	g.gate <- struct{}{}
+}
+
+func keyedMsg(key string, tsr types.ReaderTS) wire.Message {
+	return wire.Keyed{Key: key, Inner: wire.Read{TSR: tsr, Round: 1}}
+}
+
+func TestCoalescerLoneSendUnbatched(t *testing.T) {
+	inner := newGateEndpoint()
+	c := NewCoalescer(inner)
+	if err := c.Send(types.ServerID(0), keyedMsg("k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	inner.release(t)
+	c.Close()
+	if len(inner.sent) != 1 {
+		t.Fatalf("sent %d frames, want 1", len(inner.sent))
+	}
+	if _, ok := inner.sent[0].Msg.(wire.Keyed); !ok {
+		t.Errorf("lone send framed as %T, want wire.Keyed", inner.sent[0].Msg)
+	}
+}
+
+func TestCoalescerBatchesConcurrentSends(t *testing.T) {
+	inner := newGateEndpoint()
+	c := NewCoalescer(inner)
+
+	// First send: the flusher picks it up and blocks inside inner.Send.
+	if err := c.Send(types.ServerID(0), keyedMsg("k0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-inner.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never started")
+	}
+
+	// With the flusher stuck, these queue: three keyed messages for
+	// server 1 and one more for server 0.
+	for i := 1; i <= 3; i++ {
+		if err := c.Send(types.ServerID(1), keyedMsg("k", types.ReaderTS(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Send(types.ServerID(0), keyedMsg("k1", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	inner.gate <- struct{}{} // release the first frame
+	inner.release(t)         // second frame
+	inner.release(t)         // third frame
+	c.Close()
+
+	sent := inner.sent
+	if len(sent) != 3 {
+		t.Fatalf("sent %d frames, want 3 (first + one per destination): %+v", len(sent), sent)
+	}
+	var batched int
+	for _, env := range sent[1:] {
+		if b, ok := env.Msg.(wire.Batch); ok {
+			if env.To != types.ServerID(1) {
+				t.Errorf("batch went to %s, want s1", env.To)
+			}
+			if len(b.Msgs) != 3 {
+				t.Errorf("batch carries %d messages, want 3", len(b.Msgs))
+			}
+			batched++
+		}
+	}
+	if batched != 1 {
+		t.Errorf("saw %d batch frames, want exactly 1", batched)
+	}
+}
+
+func TestCoalescerDoesNotBatchUnkeyed(t *testing.T) {
+	inner := newGateEndpoint()
+	c := NewCoalescer(inner)
+
+	if err := c.Send(types.ServerID(0), keyedMsg("k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-inner.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never started")
+	}
+	if err := c.Send(types.ServerID(1), wire.ABDRead{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(types.ServerID(1), wire.ABDRead{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	inner.gate <- struct{}{}
+	inner.release(t)
+	inner.release(t)
+	c.Close()
+
+	if len(inner.sent) != 3 {
+		t.Fatalf("sent %d frames, want 3", len(inner.sent))
+	}
+	for _, env := range inner.sent {
+		if _, ok := env.Msg.(wire.Batch); ok {
+			t.Errorf("unkeyed messages were batched: %+v", env.Msg)
+		}
+	}
+}
+
+func TestCoalescerPreservesPerDestinationOrder(t *testing.T) {
+	inner := newGateEndpoint()
+	c := NewCoalescer(inner)
+
+	if err := c.Send(types.ServerID(1), keyedMsg("k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-inner.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never started")
+	}
+	for i := 2; i <= 4; i++ {
+		if err := c.Send(types.ServerID(1), keyedMsg("k", types.ReaderTS(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inner.gate <- struct{}{}
+	inner.release(t)
+	c.Close()
+
+	if len(inner.sent) != 2 {
+		t.Fatalf("sent %d frames, want 2", len(inner.sent))
+	}
+	b, ok := inner.sent[1].Msg.(wire.Batch)
+	if !ok {
+		t.Fatalf("second frame is %T, want wire.Batch", inner.sent[1].Msg)
+	}
+	for i, m := range b.Msgs {
+		got := m.(wire.Keyed).Inner.(wire.Read).TSR
+		if got != types.ReaderTS(i+2) {
+			t.Errorf("batch entry %d has tsr %d, want %d (send order)", i, got, i+2)
+		}
+	}
+}
+
+// wedgedEndpoint blocks every Send until the endpoint itself closes —
+// the shape of a TCP peer that stopped reading while the OS buffer is
+// full. Close must still complete: the coalescer closes the endpoint
+// before joining its flusher.
+type wedgedEndpoint struct {
+	mbox   *Mailbox
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (w *wedgedEndpoint) ID() types.ProcID { return types.WriterID() }
+
+func (w *wedgedEndpoint) Send(types.ProcID, wire.Message) error {
+	<-w.closed
+	return ErrClosed
+}
+
+func (w *wedgedEndpoint) Recv() <-chan wire.Envelope { return w.mbox.Out() }
+
+func (w *wedgedEndpoint) Close() error {
+	w.once.Do(func() {
+		close(w.closed)
+		w.mbox.Close()
+	})
+	return nil
+}
+
+func TestCoalescerCloseUnblocksWedgedFlusher(t *testing.T) {
+	inner := &wedgedEndpoint{mbox: NewMailbox(), closed: make(chan struct{})}
+	c := NewCoalescer(inner)
+	if err := c.Send(types.ServerID(0), keyedMsg("k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked behind a wedged send")
+	}
+}
+
+func TestCoalescerClosed(t *testing.T) {
+	inner := newGateEndpoint()
+	c := NewCoalescer(inner)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(types.ServerID(0), keyedMsg("k", 1)); err != ErrClosed {
+		t.Errorf("Send after Close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+}

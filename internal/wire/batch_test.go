@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"luckystore/internal/types"
+)
+
+func sampleBatch() Batch {
+	return Batch{Msgs: []Message{
+		Keyed{Key: "a", Inner: PW{TS: 1, PW: types.Tagged{TS: 1, Val: "v"}, W: types.Bottom()}},
+		Keyed{Key: "b", Inner: Read{TSR: 1, Round: 1}},
+		Keyed{Key: "a", Inner: W{Round: 2, Tag: 1, C: types.Tagged{TS: 1, Val: "v"}}},
+	}}
+}
+
+func TestBatchValidateAccepts(t *testing.T) {
+	if err := Validate(sampleBatch()); err != nil {
+		t.Fatalf("Validate(batch) = %v, want nil", err)
+	}
+}
+
+func TestBatchValidateRejects(t *testing.T) {
+	huge := Batch{Msgs: make([]Message, MaxBatchEntries+1)}
+	for i := range huge.Msgs {
+		huge.Msgs[i] = Keyed{Key: "k", Inner: Read{TSR: 1, Round: 1}}
+	}
+	tests := []struct {
+		name string
+		m    Message
+	}{
+		{"empty batch", Batch{}},
+		{"oversized batch", huge},
+		{"unkeyed entry", Batch{Msgs: []Message{Read{TSR: 1, Round: 1}}}},
+		{"nested batch entry", Batch{Msgs: []Message{sampleBatch()}}},
+		{"batch smuggled inside keyed", Keyed{Key: "k", Inner: sampleBatch()}},
+		{"batch inside keyed inside batch", Batch{Msgs: []Message{Keyed{Key: "k", Inner: sampleBatch()}}}},
+		{"nil entry", Batch{Msgs: []Message{nil}}},
+		{"malformed inner", Batch{Msgs: []Message{Keyed{Key: "k", Inner: Read{TSR: 0, Round: 1}}}}},
+		{"empty inner key", Batch{Msgs: []Message{Keyed{Key: "", Inner: Read{TSR: 1, Round: 1}}}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.m)
+			if err == nil {
+				t.Fatalf("Validate accepted malformed batch %+v", tc.m)
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Errorf("error %v does not wrap ErrMalformed", err)
+			}
+		})
+	}
+}
+
+func TestBatchKindString(t *testing.T) {
+	if got := KindBatch.String(); got != "BATCH" {
+		t.Errorf("KindBatch.String() = %q, want BATCH", got)
+	}
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	env := Envelope{From: types.WriterID(), To: types.ServerID(0), Msg: sampleBatch()}
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, env); err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	got, err := DecodeFrame(&buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, env)
+	}
+}
+
+func TestExpandSplitsBatch(t *testing.T) {
+	b := sampleBatch()
+	env := Envelope{From: types.WriterID(), To: types.ServerID(2), Msg: b}
+	got := Expand(env)
+	if len(got) != len(b.Msgs) {
+		t.Fatalf("Expand returned %d envelopes, want %d", len(got), len(b.Msgs))
+	}
+	for i, e := range got {
+		if e.From != env.From || e.To != env.To {
+			t.Errorf("envelope %d stamps = %s→%s, want %s→%s", i, e.From, e.To, env.From, env.To)
+		}
+		if !reflect.DeepEqual(e.Msg, b.Msgs[i]) {
+			t.Errorf("envelope %d msg = %+v, want %+v", i, e.Msg, b.Msgs[i])
+		}
+	}
+}
+
+func TestCoalesceKeyedBatchesRunsAndPassesThroughRest(t *testing.T) {
+	msgs := []Message{
+		Keyed{Key: "a", Inner: Read{TSR: 1, Round: 1}},
+		Keyed{Key: "b", Inner: Read{TSR: 2, Round: 1}},
+		ABDRead{Seq: 1}, // breaks the run
+		Keyed{Key: "c", Inner: Read{TSR: 3, Round: 1}},
+	}
+	out := CoalesceKeyed(msgs)
+	if len(out) != 3 {
+		t.Fatalf("CoalesceKeyed emitted %d frames, want 3: %+v", len(out), out)
+	}
+	b, ok := out[0].(Batch)
+	if !ok || len(b.Msgs) != 2 {
+		t.Errorf("frame 0 = %+v, want batch of 2", out[0])
+	}
+	if _, ok := out[1].(ABDRead); !ok {
+		t.Errorf("frame 1 = %T, want pass-through ABDRead", out[1])
+	}
+	if _, ok := out[2].(Keyed); !ok {
+		t.Errorf("frame 2 = %T, want lone Keyed unbatched", out[2])
+	}
+	for _, m := range out {
+		if err := Validate(m); err != nil {
+			t.Errorf("emitted frame invalid: %v", err)
+		}
+	}
+}
+
+// TestCoalesceKeyedRespectsByteBudget queues values big enough that one
+// batch would blow the frame cap: the run must split so every emitted
+// frame encodes under the limit.
+func TestCoalesceKeyedRespectsByteBudget(t *testing.T) {
+	big := types.Value(string(make([]byte, 3<<20))) // 3 MiB per value
+	var msgs []Message
+	for i := 0; i < 10; i++ { // 30 MiB total — far over the 16 MiB cap
+		msgs = append(msgs, Keyed{Key: fmt.Sprintf("k%d", i),
+			Inner: W{Round: 2, Tag: 1, C: types.Tagged{TS: 1, Val: big}}})
+	}
+	out := CoalesceKeyed(msgs)
+	if len(out) < 2 {
+		t.Fatalf("30 MiB of values coalesced into %d frame(s)", len(out))
+	}
+	total := 0
+	for i, m := range out {
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, Envelope{From: types.WriterID(), To: types.ServerID(0), Msg: m}); err != nil {
+			t.Fatalf("frame %d does not encode: %v", i, err)
+		}
+		if b, ok := m.(Batch); ok {
+			total += len(b.Msgs)
+		} else {
+			total++
+		}
+	}
+	if total != len(msgs) {
+		t.Errorf("frames carry %d messages, want %d", total, len(msgs))
+	}
+}
+
+// TestCoalesceKeyedRespectsEntryBudget checks a run longer than the
+// per-batch entry budget splits into multiple valid batches.
+func TestCoalesceKeyedRespectsEntryBudget(t *testing.T) {
+	n := MaxBatchEntries/2 + 10
+	msgs := make([]Message, n)
+	for i := range msgs {
+		msgs[i] = Keyed{Key: "k", Inner: Read{TSR: 1, Round: 1}}
+	}
+	out := CoalesceKeyed(msgs)
+	if len(out) < 2 {
+		t.Fatalf("%d messages coalesced into %d frame(s)", n, len(out))
+	}
+	total := 0
+	for _, m := range out {
+		if err := Validate(m); err != nil {
+			t.Fatalf("emitted frame invalid: %v", err)
+		}
+		if b, ok := m.(Batch); ok {
+			total += len(b.Msgs)
+		} else {
+			total++
+		}
+	}
+	if total != n {
+		t.Errorf("frames carry %d messages, want %d", total, n)
+	}
+}
+
+func TestExpandPassesThroughNonBatch(t *testing.T) {
+	env := Envelope{From: types.ServerID(0), To: types.WriterID(), Msg: PWAck{TS: 1}}
+	got := Expand(env)
+	if len(got) != 1 || !reflect.DeepEqual(got[0], env) {
+		t.Errorf("Expand(non-batch) = %+v, want [%+v]", got, env)
+	}
+}

@@ -1,0 +1,84 @@
+package wire
+
+import "luckystore/internal/types"
+
+// batchBytesBudget bounds the approximate payload carried by one Batch
+// frame, at half the frame cap so gob overhead and the estimate's slack
+// can never push an emitted frame past maxFrameSize.
+const batchBytesBudget = maxFrameSize / 2
+
+// batchEntriesBudget bounds the entries per emitted Batch, below
+// MaxBatchEntries so a frame built here always validates at the peer.
+const batchEntriesBudget = MaxBatchEntries / 2
+
+// CoalesceKeyed rewrites a send queue for one destination into frames:
+// maximal runs of Keyed messages become Batch frames — chunked so no
+// batch exceeds the entry or byte budget — and everything else passes
+// through in its own frame, preserving order. Both send-side coalescing
+// paths (transport.Coalescer and the tcpnet server's reply writer) use
+// it, so the batching limits live in exactly one place.
+func CoalesceKeyed(msgs []Message) []Message {
+	out := make([]Message, 0, len(msgs))
+	var run []Message
+	var runBytes int
+	emit := func() {
+		switch len(run) {
+		case 0:
+		case 1:
+			out = append(out, run[0])
+		default:
+			out = append(out, Batch{Msgs: run})
+		}
+		run, runBytes = nil, 0
+	}
+	for _, m := range msgs {
+		if _, ok := m.(Keyed); !ok {
+			emit()
+			out = append(out, m)
+			continue
+		}
+		sz := approxSize(m)
+		if len(run) >= batchEntriesBudget || (len(run) > 0 && runBytes+sz > batchBytesBudget) {
+			emit()
+		}
+		run = append(run, m)
+		runBytes += sz
+	}
+	emit()
+	return out
+}
+
+// approxSize estimates a message's encoded payload cost: the variable
+// parts (values, sets, keys) plus a per-message constant generous
+// enough to cover fixed fields and gob framing. Only used to keep
+// coalesced batches far from the frame cap, so it may be rough but must
+// not wildly underestimate large values.
+func approxSize(m Message) int {
+	const base = 64
+	switch v := m.(type) {
+	case Keyed:
+		return base + len(v.Key) + approxSize(v.Inner)
+	case PW:
+		return base + len(v.PW.Val) + len(v.W.Val) + frozenSize(v.Frozen)
+	case W:
+		return base + len(v.C.Val) + frozenSize(v.Frozen)
+	case ReadAck:
+		return base + len(v.PW.Val) + len(v.W.Val) + len(v.VW.Val) + len(v.Frozen.PW.Val)
+	case PWAck:
+		return base + 16*len(v.NewRead)
+	case ABDWrite:
+		return base + len(v.C.Val)
+	case ABDReadAck:
+		return base + len(v.C.Val)
+	default:
+		return base
+	}
+}
+
+func frozenSize(fs []types.FrozenEntry) int {
+	n := 0
+	for _, f := range fs {
+		n += 32 + len(f.PW.Val)
+	}
+	return n
+}

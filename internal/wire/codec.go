@@ -43,6 +43,23 @@ func init() {
 	gob.Register(ABDRead{})
 	gob.Register(ABDReadAck{})
 	gob.Register(Keyed{})
+	gob.Register(Batch{})
+}
+
+// Expand flattens a batched envelope into one envelope per inner
+// message, preserving send order and the From/To stamps; a non-batch
+// envelope expands to itself. Transports call it at the endpoint
+// boundary so everything above them sees only unbatched traffic.
+func Expand(env Envelope) []Envelope {
+	b, ok := env.Msg.(Batch)
+	if !ok {
+		return []Envelope{env}
+	}
+	out := make([]Envelope, len(b.Msgs))
+	for i, m := range b.Msgs {
+		out[i] = Envelope{From: env.From, To: env.To, Msg: m}
+	}
+	return out
 }
 
 // EncodeFrame serializes an envelope as a 4-byte big-endian length

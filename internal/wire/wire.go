@@ -34,6 +34,7 @@ const (
 	KindABDRead
 	KindABDReadAck
 	KindKeyed
+	KindBatch
 )
 
 func (k Kind) String() string {
@@ -60,6 +61,8 @@ func (k Kind) String() string {
 		return "ABD_READ_ACK"
 	case KindKeyed:
 		return "KEYED"
+	case KindBatch:
+		return "BATCH"
 	default:
 		return fmt.Sprintf("invalid-kind(%d)", int(k))
 	}
@@ -194,6 +197,24 @@ type Keyed struct {
 // Kind implements Message.
 func (Keyed) Kind() Kind { return KindKeyed }
 
+// MaxBatchEntries bounds the number of messages one Batch may carry; a
+// correct sender coalesces what accumulated during one in-flight flush,
+// which is bounded by the number of concurrent per-key operations, so an
+// enormous batch is necessarily forged.
+const MaxBatchEntries = 1 << 16
+
+// Batch carries several Keyed messages for the same destination in one
+// frame, amortizing per-message network cost under concurrent multi-key
+// traffic. Transports unwrap batches at the endpoint boundary (simnet on
+// delivery, tcpnet on decode), so automata and demultiplexers only ever
+// see the inner Keyed messages.
+type Batch struct {
+	Msgs []Message
+}
+
+// Kind implements Message.
+func (Batch) Kind() Kind { return KindBatch }
+
 // maxFrozenEntries bounds the frozen set a client accepts in one
 // message; a correct writer freezes at most one value per reader, so a
 // larger set is necessarily forged.
@@ -275,11 +296,33 @@ func Validate(m Message) error {
 		if len(v.Key) > MaxKeyLen {
 			return fmt.Errorf("%w: key longer than %d bytes", ErrMalformed, MaxKeyLen)
 		}
-		if _, nested := v.Inner.(Keyed); nested {
+		switch v.Inner.(type) {
+		case Keyed:
 			return fmt.Errorf("%w: nested keyed envelope", ErrMalformed)
+		case Batch:
+			// A batch may carry keyed messages, never the other way
+			// round: past the endpoint boundary nothing must be able to
+			// smuggle a batch into an automaton.
+			return fmt.Errorf("%w: batch inside keyed envelope", ErrMalformed)
 		}
 		if err := Validate(v.Inner); err != nil {
 			return fmt.Errorf("keyed %q: %w", v.Key, err)
+		}
+		return nil
+	case Batch:
+		if len(v.Msgs) == 0 {
+			return fmt.Errorf("%w: empty batch", ErrMalformed)
+		}
+		if len(v.Msgs) > MaxBatchEntries {
+			return fmt.Errorf("%w: batch too large (%d)", ErrMalformed, len(v.Msgs))
+		}
+		for i, inner := range v.Msgs {
+			if _, keyed := inner.(Keyed); !keyed {
+				return fmt.Errorf("%w: batch entry %d is %T, not keyed", ErrMalformed, i, inner)
+			}
+			if err := Validate(inner); err != nil {
+				return fmt.Errorf("batch entry %d: %w", i, err)
+			}
 		}
 		return nil
 	case nil:

@@ -14,6 +14,12 @@ import (
 // The single-writer constraint carries over per key: this process owns
 // the writer role for every key (Put); Gets go through one of the
 // NumReaders reader clients.
+//
+// Beyond blocking Put/Get, the store exposes the sharded engine
+// directly: PutAsync/GetAsync return futures, and PutBatch/GetBatch fan
+// out across keys concurrently with the network traffic coalesced into
+// batched frames. Each server runs its per-key registers across a pool
+// of shard workers (see WithKVShards).
 type KVStore = kv.Store
 
 // KVMeta aliases for inspecting KV operation complexity.
@@ -24,5 +30,20 @@ type (
 	GetMeta = core.ReadMeta
 )
 
+// Async KV futures (see KVStore.PutAsync and KVStore.GetAsync).
+type (
+	// PutFuture is a pending asynchronous Put.
+	PutFuture = kv.PutFuture
+	// GetFuture is a pending asynchronous Get.
+	GetFuture = kv.GetFuture
+)
+
+// KVOption configures OpenKV.
+type KVOption = kv.Option
+
+// WithKVShards sets how many shard workers each KV server runs its
+// per-key registers on; the default scales with GOMAXPROCS.
+func WithKVShards(n int) KVOption { return kv.WithShards(n) }
+
 // OpenKV builds and starts a key-value store on an in-memory network.
-func OpenKV(cfg Config) (*KVStore, error) { return kv.Open(cfg) }
+func OpenKV(cfg Config, opts ...KVOption) (*KVStore, error) { return kv.Open(cfg, opts...) }

@@ -44,6 +44,45 @@ func TestFacadeKVStore(t *testing.T) {
 	}
 }
 
+func TestFacadeKVAsyncAndBatch(t *testing.T) {
+	store, err := luckystore.OpenKV(luckystore.Config{T: 2, B: 1, Fw: 1, NumReaders: 2,
+		RoundTimeout: 15 * time.Millisecond}, luckystore.WithKVShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Shards() != 4 {
+		t.Errorf("Shards() = %d, want 4", store.Shards())
+	}
+
+	var pf *luckystore.PutFuture = store.PutAsync("async", "v1")
+	if err := pf.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var gf *luckystore.GetFuture = store.GetAsync(0, "async")
+	got, err := gf.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "v1" {
+		t.Errorf("GetAsync = %v", got)
+	}
+
+	puts := map[string]luckystore.Value{"b1": "x", "b2": "y", "b3": "z"}
+	if err := store.PutBatch(puts); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := store.GetBatch(1, []string{"b1", "b2", "b3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range puts {
+		if vals[k].Val != want {
+			t.Errorf("GetBatch[%s] = %v, want %q", k, vals[k], want)
+		}
+	}
+}
+
 func TestFacadeKVValidation(t *testing.T) {
 	if _, err := luckystore.OpenKV(luckystore.Config{T: 1, B: 2}); err == nil {
 		t.Error("invalid KV config accepted")
