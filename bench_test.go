@@ -28,6 +28,7 @@ import (
 	"luckystore/internal/kv"
 	"luckystore/internal/regular"
 	"luckystore/internal/simnet"
+	"luckystore/internal/tcpnet"
 	"luckystore/internal/twophase"
 	"luckystore/internal/types"
 	"luckystore/internal/wire"
@@ -444,6 +445,102 @@ func BenchmarkGetBatch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "gets/s")
+}
+
+// --- Loopback-TCP KV benchmarks -------------------------------------
+
+// benchTCPKVCluster starts S KV servers on loopback TCP — serialized
+// (the pre-sharding path: every step behind one global mutex, via
+// tcpnet.Listen) or sharded (ListenTCPKV's pipeline) — plus a client
+// store dialed to them.
+func benchTCPKVCluster(b *testing.B, cfg luckystore.Config, shards int) *luckystore.KVStore {
+	b.Helper()
+	addrs := make([]string, cfg.S())
+	for i := range addrs {
+		if shards == 0 {
+			srv, err := tcpnet.Listen(types.ServerID(i), "127.0.0.1:0", kv.NewServerAutomaton())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+			addrs[i] = srv.Addr()
+		} else {
+			srv, err := luckystore.ListenTCPKV(i, "127.0.0.1:0", luckystore.WithTCPShards(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+			addrs[i] = srv.Addr()
+		}
+	}
+	st, err := luckystore.OpenKVTCP(cfg, luckystore.ServerAddrs(addrs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(st.Close)
+	return st
+}
+
+// BenchmarkTCPKVStepping measures concurrent multi-key Put throughput
+// over real loopback sockets: the serialized variant is the seed
+// deployment (one mutex serializes every automaton step across all
+// connections and keys), the sharded variants step independent keys on
+// parallel shard workers. This is the deployment-level twin of
+// BenchmarkKVShardScaling — gains need GOMAXPROCS > 1; on one core it
+// bounds the pipeline's overhead instead.
+func BenchmarkTCPKVStepping(b *testing.B) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 30 * time.Second}
+	for _, v := range []struct {
+		name   string
+		shards int
+	}{
+		{"serialized", 0},
+		{"sharded=4", 4},
+		{"sharded=16", 16},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			st := benchTCPKVCluster(b, cfg, v.shards)
+			var nextKey atomic.Int64
+			b.SetParallelism(4) // 4×GOMAXPROCS concurrent per-key writers
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				key := fmt.Sprintf("key-%d", nextKey.Add(1))
+				i := 0
+				for pb.Next() {
+					i++
+					if err := st.Put(key, luckystore.Value(fmt.Sprintf("v%d", i))); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "puts/s")
+		})
+	}
+}
+
+// BenchmarkTCPKVPutBatch pushes batched multi-key rounds through the
+// sharded TCP pipeline: each iteration is one PutBatch whose fan-out
+// coalesces into batch frames and fans out across shard workers.
+func BenchmarkTCPKVPutBatch(b *testing.B) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 30 * time.Second}
+	st := benchTCPKVCluster(b, cfg, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		puts := make(map[string]luckystore.Value, benchBatchKeys)
+		val := luckystore.Value(fmt.Sprintf("v%d", i))
+		for k := 0; k < benchBatchKeys; k++ {
+			puts[fmt.Sprintf("key-%d", k)] = val
+		}
+		if err := st.PutBatch(puts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
 }
 
 // --- Component micro-benchmarks -------------------------------------

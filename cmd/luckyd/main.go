@@ -3,16 +3,24 @@
 //
 // Usage:
 //
-//	luckyd -index 0 -listen 127.0.0.1:7000
+//	luckyd -index 0 -listen 127.0.0.1:7000          # single register
+//	luckyd -index 0 -listen 127.0.0.1:7000 -kv      # key-value store
+//	luckyd -index 0 -listen 127.0.0.1:7000 -kv -shards 8
 //
-// Start 2t+b+1 of these (indexes 0..S-1), then point luckyctl at them.
-// Stopping the process is, to the rest of the cluster, a crash failure
-// — which the protocol tolerates for up to t servers.
+// Start 2t+b+1 of these (indexes 0..S-1), then point luckyctl (single
+// register) or an OpenKVTCP client (-kv) at them. In -kv mode every key
+// is an independent lucky register, stepped across a pool of shard
+// workers (-shards; 0 means one per CPU) so independent keys never
+// serialize on one lock. Stopping the process is, to the rest of the
+// cluster, a crash failure — which the protocol tolerates for up to t
+// servers.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -22,30 +30,68 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], nil, nil))
 }
 
-func run() int {
+// run starts the daemon and blocks until a termination signal (or, in
+// tests, until stop closes). A non-nil ready receives the bound listen
+// address once the server is up.
+func run(args []string, ready chan<- string, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("luckyd", flag.ContinueOnError)
 	var (
-		index  = flag.Int("index", 0, "server index i (process id becomes s<i>)")
-		listen = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		index  = fs.Int("index", 0, "server index i (process id becomes s<i>)")
+		listen = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		kvMode = fs.Bool("kv", false, "serve the key-value store (one lucky register per key) instead of the single register")
+		shards = fs.Int("shards", 0, "shard workers stepping the KV registers; 0 means one per CPU (requires -kv)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if *index < 0 {
 		fmt.Fprintln(os.Stderr, "luckyd: -index must be non-negative")
 		return 2
 	}
+	if *shards != 0 && !*kvMode {
+		fmt.Fprintln(os.Stderr, "luckyd: -shards requires -kv (a single register has no keys to shard)")
+		return 2
+	}
 
-	srv, err := luckystore.ListenTCP(*index, *listen)
+	var (
+		srv interface {
+			Addr() string
+			ID() luckystore.ProcID
+			io.Closer
+		}
+		err error
+	)
+	if *kvMode {
+		srv, err = luckystore.ListenTCPKV(*index, *listen, luckystore.WithTCPShards(*shards))
+	} else {
+		srv, err = luckystore.ListenTCP(*index, *listen)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "luckyd: %v\n", err)
 		return 1
 	}
-	log.Printf("luckyd: server %s listening on %s", srv.ID(), srv.Addr())
+	mode := "register"
+	if *kvMode {
+		mode = "kv"
+	}
+	log.Printf("luckyd: %s server %s listening on %s", mode, srv.ID(), srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	defer signal.Stop(sig)
+	if ready != nil {
+		ready <- srv.Addr()
+	}
+	select {
+	case <-sig:
+	case <-stop:
+	}
 	log.Printf("luckyd: shutting down %s", srv.ID())
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "luckyd: close: %v\n", err)

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"luckystore"
+)
+
+// startDaemon runs the daemon in-process and returns its bound address
+// and a channel carrying the exit code after stop closes.
+func startDaemon(t *testing.T, args ...string) (string, chan int, chan struct{}) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	go func() { exit <- run(args, ready, stop) }()
+	select {
+	case addr := <-ready:
+		return addr, exit, stop
+	case code := <-exit:
+		t.Fatalf("luckyd exited with %d before listening", code)
+		return "", nil, nil
+	}
+}
+
+func stopDaemon(t *testing.T, exit chan int, stop chan struct{}) {
+	t.Helper()
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("luckyd exit = %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("luckyd did not shut down")
+	}
+}
+
+// TestKVModeServesShardedStore brings up a full S=1 cluster of luckyd
+// -kv -shards daemons and drives it with an OpenKVTCP client:
+// acceptance that `luckyd -kv -shards N` serves the sharded KV
+// automaton end to end.
+func TestKVModeServesShardedStore(t *testing.T) {
+	cfg := luckystore.Config{T: 0, B: 0, Fw: 0, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 10 * time.Second}
+
+	addr, exit, stop := startDaemon(t, "-index", "0", "-listen", "127.0.0.1:0", "-kv", "-shards", "2")
+	defer stopDaemon(t, exit, stop)
+
+	store, err := luckystore.OpenKVTCP(cfg, luckystore.ServerAddrs([]string{addr}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	puts := map[string]luckystore.Value{"a": "1", "b": "2", "c": "3"}
+	if err := store.PutBatch(puts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.GetBatch(0, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range puts {
+		if got[k].Val != want {
+			t.Errorf("GetBatch[%s] = %q, want %q", k, got[k].Val, want)
+		}
+	}
+}
+
+// TestRegisterModeStillServes checks the default single-register mode
+// is unchanged: luckyctl-style clients read what they wrote.
+func TestRegisterModeStillServes(t *testing.T) {
+	cfg := luckystore.Config{T: 0, B: 0, Fw: 0, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 10 * time.Second}
+
+	addr, exit, stop := startDaemon(t, "-index", "0", "-listen", "127.0.0.1:0")
+	defer stopDaemon(t, exit, stop)
+
+	addrs := luckystore.ServerAddrs([]string{addr})
+	writer, wc, err := luckystore.NewTCPWriter(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	if err := writer.Write("daemon"); err != nil {
+		t.Fatal(err)
+	}
+	reader, rc, err := luckystore.NewTCPReader(cfg, 0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := reader.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "daemon" {
+		t.Errorf("Read() = %v", got)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	tests := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-index", "-1"}, 2},                    // negative index
+		{[]string{"-shards", "4"}, 2},                    // -shards without -kv
+		{[]string{"-listen", "256.0.0.1:bad", "-kv"}, 1}, // unbindable address
+		{[]string{"-not-a-flag"}, 2},                     // unknown flag
+		{[]string{"-h"}, 0},                              // help is not an error
+	}
+	for _, tc := range tests {
+		if code := run(tc.args, nil, nil); code != tc.want {
+			t.Errorf("run(%v) = %d, want %d", tc.args, code, tc.want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Kvtcp: the key-value store on real TCP sockets — three luckyd
+// -kv equivalent servers in-process, each stepping its keys on a pool
+// of shard workers, an OpenKVTCP client pushing batched multi-key
+// rounds, and a mid-run server crash that the store rides out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"luckystore"
+)
+
+func main() {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 100 * time.Millisecond}
+
+	// Bring up S = 3 sharded KV servers on ephemeral localhost ports —
+	// the in-process equivalent of `luckyd -kv -shards 4` per machine.
+	servers := make([]*luckystore.TCPServer, cfg.S())
+	addrs := make([]string, cfg.S())
+	for i := range servers {
+		srv, err := luckystore.ListenTCPKV(i, "127.0.0.1:0", luckystore.WithTCPShards(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+		fmt.Printf("kv server %s listening on %s\n", srv.ID(), srv.Addr())
+	}
+
+	store, err := luckystore.OpenKVTCP(cfg, luckystore.ServerAddrs(addrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// One batched round trip writes eight keys; the client coalesces the
+	// fan-out into batch frames and each server fans the keys out across
+	// its shard workers.
+	puts := make(map[string]luckystore.Value, 8)
+	for i := 0; i < 8; i++ {
+		puts[fmt.Sprintf("user:%d", i)] = luckystore.Value(fmt.Sprintf("profile-%d", i))
+	}
+	if err := store.PutBatch(puts); err != nil {
+		log.Fatal(err)
+	}
+	meta, _ := store.PutMeta("user:0")
+	fmt.Printf("\nPutBatch over TCP: %d keys, fast=%v\n", len(puts), meta.Fast)
+
+	got, err := store.GetBatch(0, []string{"user:0", "user:3", "user:7"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k, v := range got {
+		fmt.Printf("GetBatch over TCP: %s = %s (ts=%d)\n", k, v.Val, v.TS)
+	}
+
+	// Crash one server: a closed TCP server is a crashed server, within
+	// the t=1 budget the store keeps serving every key.
+	fmt.Printf("\ncrashing %s …\n", servers[2].ID())
+	servers[2].Close()
+	if err := store.Put("user:0", "profile-0-v2"); err != nil {
+		log.Fatal(err)
+	}
+	v, err := store.Get(0, "user:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash: user:0 = %s (ts=%d)\n", v.Val, v.TS)
+}

@@ -1,0 +1,164 @@
+package kv
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/core"
+	"luckystore/internal/types"
+)
+
+func fixCfg() core.Config {
+	return core.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 15 * time.Millisecond, OpTimeout: 10 * time.Second}
+}
+
+// TestMetaLookupDoesNotCreate is the regression test for
+// PutMeta/GetMeta silently allocating a handle and opening a demux
+// endpoint for a key that was never used: they must be pure lookups
+// returning the zero meta.
+func TestMetaLookupDoesNotCreate(t *testing.T) {
+	st, err := Open(fixCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	pm, err := st.PutMeta("never-put")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm != (core.WriteMeta{}) {
+		t.Errorf("PutMeta on unused key = %+v, want zero meta", pm)
+	}
+	gm, err := st.GetMeta(0, "never-got")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Rounds() != 0 {
+		t.Errorf("GetMeta on unused key = %+v, want zero meta", gm)
+	}
+	st.mu.Lock()
+	nw, nr := len(st.writers), len(st.readers[0])
+	st.mu.Unlock()
+	if nw != 0 || nr != 0 {
+		t.Errorf("meta lookups allocated handles: %d writers, %d readers", nw, nr)
+	}
+
+	// Out-of-range reader index still errors.
+	if _, err := st.GetMeta(5, "x"); err == nil {
+		t.Error("GetMeta accepted an out-of-range reader index")
+	}
+
+	// After real operations, metadata flows as before.
+	if err := st.Put("used", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(0, "used"); err != nil {
+		t.Fatal(err)
+	}
+	pm, err = st.PutMeta("used")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.TS != 1 {
+		t.Errorf("PutMeta after Put = %+v", pm)
+	}
+	gm, err = st.GetMeta(0, "used")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Rounds() == 0 {
+		t.Errorf("GetMeta after Get = %+v, want recorded rounds", gm)
+	}
+}
+
+// TestCloseIdempotent is the regression test for Close not being
+// idempotent: double Close (sequential and concurrent) must be safe,
+// and operations after Close fail fast with ErrClosed.
+func TestCloseIdempotent(t *testing.T) {
+	st, err := Open(fixCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st.Close() // second close: no panic, no hang
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); st.Close() }()
+	}
+	wg.Wait()
+
+	if err := st.Put("k", "v2"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, err := st.Get(0, "k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after Close = %v, want ErrClosed", err)
+	}
+	if err := st.PutAsync("k", "v3").Wait(); !errors.Is(err, ErrClosed) {
+		t.Errorf("PutAsync after Close = %v, want ErrClosed", err)
+	}
+	if _, err := st.GetAsync(0, "k").Wait(); !errors.Is(err, ErrClosed) {
+		t.Errorf("GetAsync after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestAsyncFuturesDrainOnClose pins async operations in flight by
+// holding all their traffic, then closes the store: every future must
+// complete with an error (their endpoints closed under them) instead of
+// hanging, and Close itself must not deadlock on them.
+func TestAsyncFuturesDrainOnClose(t *testing.T) {
+	st, err := Open(fixCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strand the writer's and reader 0's outbound messages in transit.
+	st.Sim().HoldAllFrom(types.WriterID())
+	st.Sim().HoldAllFrom(types.ReaderID(0))
+
+	var puts []*PutFuture
+	var gets []*GetFuture
+	for i := 0; i < 8; i++ {
+		puts = append(puts, st.PutAsync("key", "stuck"))
+		gets = append(gets, st.GetAsync(0, "key"))
+	}
+	time.Sleep(20 * time.Millisecond) // let the operations enter their wait loops
+
+	closed := make(chan struct{})
+	go func() { defer close(closed); st.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on in-flight async operations")
+	}
+
+	deadline := time.After(10 * time.Second)
+	for i, f := range puts {
+		select {
+		case <-f.Done():
+			if err := f.Wait(); err == nil {
+				t.Errorf("put future %d succeeded on a closed store", i)
+			}
+		case <-deadline:
+			t.Fatal("put future hung after Close")
+		}
+	}
+	for i, f := range gets {
+		select {
+		case <-f.Done():
+			if _, err := f.Wait(); err == nil {
+				t.Errorf("get future %d succeeded on a closed store", i)
+			}
+		case <-deadline:
+			t.Fatal("get future hung after Close")
+		}
+	}
+}

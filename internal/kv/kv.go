@@ -30,6 +30,9 @@ import (
 	"luckystore/internal/types"
 )
 
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = transport.ErrClosed
+
 // DefaultShards is the per-server shard count used when WithShards is
 // not given: one worker per CPU, capped — past the cap, scheduling
 // overhead outweighs parallelism for register-sized work.
@@ -77,6 +80,9 @@ type Store struct {
 	mu      sync.Mutex
 	writers map[string]*writerHandle
 	readers map[int]map[string]*readerHandle
+	closed  bool
+
+	closeOnce sync.Once
 }
 
 // writerHandle serializes per-key writes (one writer per register, one
@@ -157,6 +163,18 @@ func NewServerAutomaton() node.Automaton {
 	return keyed.NewServer(func() node.Automaton { return core.NewServer() })
 }
 
+// NewShardedServerAutomaton returns the sharded keyed server a KV
+// server process runs when its driver steps shards in parallel (e.g.
+// tcpnet.ListenSharded, or node.NewShardedRunner as Open assembles):
+// per-register core automata split across n shards, routed by key.
+// Values below 1 mean DefaultShards.
+func NewShardedServerAutomaton(n int) *keyed.ShardedServer {
+	if n < 1 {
+		n = DefaultShards()
+	}
+	return keyed.NewShardedServer(n, func() node.Automaton { return core.NewServer() })
+}
+
 // OpenWithEndpoints builds a client-side store over externally provided
 // endpoints (e.g. tcpnet clients dialed to a remote cluster): one
 // writer endpoint and one endpoint per reader client. The store takes
@@ -201,11 +219,15 @@ func (s *Store) Put(key string, value types.Value) error {
 }
 
 // PutMeta returns the write metadata of the last Put on key (only
-// meaningful after a successful Put).
+// meaningful after a successful Put). A key never Put returns the zero
+// meta: inspecting metadata is a pure lookup and allocates no writer
+// state for the key.
 func (s *Store) PutMeta(key string) (core.WriteMeta, error) {
-	h, err := s.writerFor(key)
-	if err != nil {
-		return core.WriteMeta{}, err
+	s.mu.Lock()
+	h, ok := s.writers[key]
+	s.mu.Unlock()
+	if !ok {
+		return core.WriteMeta{}, nil
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -224,11 +246,18 @@ func (s *Store) Get(idx int, key string) (types.Tagged, error) {
 	return h.r.Read()
 }
 
-// GetMeta returns the read metadata of reader idx's last Get on key.
+// GetMeta returns the read metadata of reader idx's last Get on key. A
+// key the reader never Got returns the zero meta: like PutMeta, a pure
+// lookup that opens no endpoint for the key.
 func (s *Store) GetMeta(idx int, key string) (core.ReadMeta, error) {
-	h, err := s.readerFor(idx, key)
-	if err != nil {
-		return core.ReadMeta{}, err
+	if idx < 0 || idx >= len(s.readerDemuxs) {
+		return core.ReadMeta{}, fmt.Errorf("kv: reader index %d out of range [0,%d)", idx, len(s.readerDemuxs))
+	}
+	s.mu.Lock()
+	h, ok := s.readers[idx][key]
+	s.mu.Unlock()
+	if !ok {
+		return core.ReadMeta{}, nil
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -364,25 +393,38 @@ func (s *Store) CrashServer(i int) { s.runners[i].Crash() }
 // Sim returns the underlying simulated network.
 func (s *Store) Sim() *simnet.Network { return s.sim }
 
-// Close stops every server and client, joining all goroutines.
+// Close stops every server and client, joining all goroutines. It is
+// idempotent and safe to call concurrently; every call returns only
+// once teardown has completed. Operations in flight when Close runs
+// (including PutAsync/GetAsync futures) complete with ErrClosed — their
+// endpoints close under them — and operations started after Close fail
+// fast with ErrClosed.
 func (s *Store) Close() {
-	if s.writerDemux != nil {
-		_ = s.writerDemux.Close()
-	}
-	for _, d := range s.readerDemuxs {
-		_ = d.Close()
-	}
-	if s.net != nil {
-		_ = s.net.Close()
-	}
-	for _, r := range s.runners {
-		r.Stop()
-	}
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		if s.writerDemux != nil {
+			_ = s.writerDemux.Close()
+		}
+		for _, d := range s.readerDemuxs {
+			_ = d.Close()
+		}
+		if s.net != nil {
+			_ = s.net.Close()
+		}
+		for _, r := range s.runners {
+			r.Stop()
+		}
+	})
 }
 
 func (s *Store) writerFor(key string) (*writerHandle, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("kv writer for %q: %w", key, ErrClosed)
+	}
 	if h, ok := s.writers[key]; ok {
 		return h, nil
 	}
@@ -401,6 +443,9 @@ func (s *Store) readerFor(idx int, key string) (*readerHandle, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("kv reader %d for %q: %w", idx, key, ErrClosed)
+	}
 	if h, ok := s.readers[idx][key]; ok {
 		return h, nil
 	}

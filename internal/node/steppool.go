@@ -1,0 +1,112 @@
+package node
+
+import (
+	"sync"
+
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// stepQueueDepth bounds each shard's job queue. A full queue blocks
+// Submit — backpressure on whoever feeds the pool (e.g. a TCP read
+// loop, which then stops reading its socket) instead of unbounded
+// memory growth under overload.
+const stepQueueDepth = 256
+
+// poolJob is one queued automaton step plus the callback that receives
+// its output.
+type poolJob struct {
+	from types.ProcID
+	msg  wire.Message
+	sink func([]transport.Outgoing)
+}
+
+// StepPool drives shard automata from explicit submissions, the
+// synchronous sibling of ShardedRunner: where the runner pumps an
+// endpoint and sends the outputs back through it, the pool lets a
+// caller submit individual steps and collect each step's output through
+// a per-submission callback. One worker goroutine owns each shard
+// exclusively, so shard automata (e.g. keyed.ShardedServer's unlocked
+// per-shard maps) need no locking, and independent shards step in
+// parallel.
+//
+// The sink callback runs on the shard's worker goroutine and therefore
+// must not block; a blocking sink stalls every key on that shard.
+type StepPool struct {
+	shards []Automaton
+	route  func(wire.Message) int
+	queues []chan poolJob
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewStepPool creates a pool stepping the shard automata and starts one
+// worker per shard. route maps a message to a shard index (out-of-range
+// results are clamped into [0, len(shards))); it must be pure so every
+// message for one key lands on one shard.
+func NewStepPool(shards []Automaton, route func(wire.Message) int) *StepPool {
+	if len(shards) == 0 {
+		panic("node: step pool needs at least one shard")
+	}
+	p := &StepPool{
+		shards: shards,
+		route:  route,
+		queues: make([]chan poolJob, len(shards)),
+		stop:   make(chan struct{}),
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan poolJob, stepQueueDepth)
+	}
+	p.wg.Add(len(shards))
+	for i := range shards {
+		go p.work(i)
+	}
+	return p
+}
+
+// Submit queues one step on the message's shard and returns true, or
+// returns false if the pool is closed (the sink will never be called).
+// Submit blocks while the shard's queue is full. A true return means
+// the job was queued, not that it will run: Close drops queued jobs,
+// so a caller waiting on a sink must also watch its own shutdown
+// signal (as tcpnet's write pump does).
+func (p *StepPool) Submit(from types.ProcID, m wire.Message, sink func([]transport.Outgoing)) bool {
+	i := p.route(m)
+	if i < 0 || i >= len(p.queues) {
+		i = 0
+	}
+	select {
+	case <-p.stop:
+		return false
+	case p.queues[i] <- poolJob{from: from, msg: m, sink: sink}:
+		return true
+	}
+}
+
+// Close stops every worker and waits for them to exit. Jobs queued but
+// not yet stepped are dropped — to a client this is indistinguishable
+// from the server crashing with those messages in flight, which the
+// protocols tolerate. Close is idempotent.
+func (p *StepPool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// work is shard i's worker: the only goroutine ever stepping shards[i].
+func (p *StepPool) work(i int) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case job := <-p.queues[i]:
+			out := p.shards[i].Step(job.from, job.msg)
+			if job.sink != nil {
+				job.sink(out)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"luckystore/internal/node"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// framePipelineDepth bounds how many request frames per connection may
+// be in flight between the read loop and the write pump. A full
+// pipeline blocks the read loop — backpressure through TCP flow control
+// onto a client that stopped reading its replies.
+const framePipelineDepth = 64
+
+// ListenSharded starts a server whose automaton is split into shards
+// stepped in parallel: a node.StepPool owns one worker per shard, every
+// connection's read loop routes each inbound message to its shard, and
+// a per-connection write pump sends the replies. Unlike Listen, no
+// mutex serializes steps across connections — messages for different
+// shards (different keys, under keyed.ShardedServer's routing) are
+// stepped concurrently, across and within connections.
+//
+// The reply contract matches Listen's serialized loop: all replies to
+// one request frame coalesce into batch frames (one frame per round
+// trip for a batched multi-key request), reply frames for one
+// connection go out in request order, and so per-(peer,key) FIFO order
+// is preserved end to end.
+//
+// The shards and route function typically come from a
+// keyed.ShardedServer's Shards and Route methods.
+func ListenSharded(id types.ProcID, addr string, shards []node.Automaton, route func(wire.Message) int) (*Server, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("tcpnet: sharded server needs at least one shard")
+	}
+	s, err := listen(id, addr)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = node.NewStepPool(shards, route)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// pendingFrame collects the replies of one request frame: one slot per
+// inner message, filled by shard workers as steps complete, in whatever
+// order the shards finish. ready closes when every slot is filled, and
+// the write pump flattens the slots in request order — intra-frame
+// reply order is deterministic even though stepping was parallel.
+type pendingFrame struct {
+	replies   [][]wire.Message
+	remaining atomic.Int32
+	ready     chan struct{}
+}
+
+func newPendingFrame(n int) *pendingFrame {
+	pf := &pendingFrame{
+		replies: make([][]wire.Message, n),
+		ready:   make(chan struct{}),
+	}
+	pf.remaining.Store(int32(n))
+	return pf
+}
+
+// fill stores slot i's replies and closes ready when it was the last
+// outstanding slot. Each slot is filled exactly once, by the worker
+// that stepped its message; the atomic decrement orders every fill
+// before the close, so the pump reads the slots race-free.
+func (pf *pendingFrame) fill(i int, msgs []wire.Message) {
+	pf.replies[i] = msgs
+	if pf.remaining.Add(-1) == 0 {
+		close(pf.ready)
+	}
+}
+
+// flatten returns all replies in request order. Only valid after ready.
+func (pf *pendingFrame) flatten() []wire.Message {
+	var n int
+	for _, r := range pf.replies {
+		n += len(r)
+	}
+	out := make([]wire.Message, 0, n)
+	for _, r := range pf.replies {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// servePipelined handles one connection on the sharded path: the read
+// loop (this goroutine) decodes frames and submits each inner message
+// to its shard worker, and the write pump goroutine sends each frame's
+// coalesced replies once its steps complete, in request order.
+func (s *Server) servePipelined(conn net.Conn, peer types.ProcID) {
+	frames := make(chan *pendingFrame, framePipelineDepth)
+	pumpDone := make(chan struct{})
+	go s.writePump(conn, peer, frames, pumpDone)
+
+readLoop:
+	for {
+		env, err := wire.DecodeFrame(conn)
+		if err != nil {
+			break // EOF, malformed frame, or closed
+		}
+		inner := wire.Expand(env)
+		if len(inner) == 0 {
+			continue
+		}
+		pf := newPendingFrame(len(inner))
+		select {
+		case frames <- pf:
+		case <-s.closed:
+			break readLoop
+		}
+		for i, e := range inner {
+			slot := i
+			// The connection authenticates the sender: ignore the
+			// claimed From and use the handshake identity. The sink runs
+			// on the shard worker; it only stores and decrements.
+			ok := s.pool.Submit(peer, e.Msg, func(out []transport.Outgoing) {
+				var replies []wire.Message
+				for _, o := range out {
+					if o.To != peer {
+						continue // a data-centric server replies only to the requester
+					}
+					replies = append(replies, o.Msg)
+				}
+				pf.fill(slot, replies)
+			})
+			if !ok {
+				// Pool closed mid-frame: complete the slot empty so the
+				// pump can drain and exit.
+				pf.fill(slot, nil)
+			}
+		}
+	}
+	close(frames)
+	<-pumpDone
+}
+
+// writePump is the connection's dedicated writer: it takes completed
+// frames in request order and writes each frame's replies coalesced
+// into batch frames (writeReplies), so concurrent shard workers never
+// interleave writes on one socket.
+func (s *Server) writePump(conn net.Conn, peer types.ProcID, frames <-chan *pendingFrame, done chan<- struct{}) {
+	defer close(done)
+	broken := false
+	for pf := range frames {
+		if broken {
+			continue // keep draining so the read loop never blocks
+		}
+		select {
+		case <-pf.ready:
+		case <-s.closed:
+			broken = true
+			_ = conn.Close()
+			continue
+		}
+		if err := writeReplies(conn, s.id, peer, pf.flatten()); err != nil {
+			broken = true
+			_ = conn.Close() // stop the read loop too
+		}
+	}
+}

@@ -32,22 +32,41 @@ const handshakeTimeout = 10 * time.Second
 // maxIDLen bounds the handshake identity length.
 const maxIDLen = 64
 
-// Server serves one automaton over TCP.
+// Server serves one automaton over TCP, in one of two stepping modes:
+// Listen serializes every step behind a mutex (one plain automaton),
+// ListenSharded steps a shard pool in parallel (see sharded.go).
 type Server struct {
 	id   types.ProcID
 	ln   net.Listener
-	auto node.Automaton
+	auto node.Automaton // serialized mode; nil when sharded
+	pool *node.StepPool // sharded mode; nil when serialized
 
-	mu     sync.Mutex // serializes automaton steps across connections
-	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-	closed chan struct{}
+	mu        sync.Mutex // serializes automaton steps across connections
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 // Listen starts a server for the automaton on addr (e.g.
-// "127.0.0.1:0"); the chosen address is available via Addr.
+// "127.0.0.1:0"); the chosen address is available via Addr. Every
+// automaton step is serialized behind one mutex; a keyed store meant to
+// step independent keys in parallel should use ListenSharded instead.
 func Listen(id types.ProcID, addr string, auto node.Automaton) (*Server, error) {
+	s, err := listen(id, addr)
+	if err != nil {
+		return nil, err
+	}
+	s.auto = auto
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// listen validates the id and binds the listener; the caller installs
+// the stepping backend and starts the accept loop.
+func listen(id types.ProcID, addr string) (*Server, error) {
 	if !id.IsServer() {
 		return nil, fmt.Errorf("tcpnet: %q is not a server id", id)
 	}
@@ -55,14 +74,11 @@ func Listen(id types.ProcID, addr string, auto node.Automaton) (*Server, error) 
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet listen %s: %w", addr, err)
 	}
-	s := &Server{
-		id: id, ln: ln, auto: auto,
+	return &Server{
+		id: id, ln: ln,
 		conns:  make(map[net.Conn]struct{}),
 		closed: make(chan struct{}),
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
+	}, nil
 }
 
 // Addr returns the listening address.
@@ -72,21 +88,23 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) ID() types.ProcID { return s.id }
 
 // Close stops the listener and every connection, waiting for all
-// server goroutines to exit.
+// server goroutines to exit. It is idempotent and safe to call
+// concurrently; every call returns only once teardown has completed.
 func (s *Server) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
+	var err error
+	s.closeOnce.Do(func() {
 		close(s.closed)
-	}
-	err := s.ln.Close()
-	s.connMu.Lock()
-	for c := range s.conns {
-		_ = c.Close()
-	}
-	s.connMu.Unlock()
-	s.wg.Wait()
+		err = s.ln.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+		if s.pool != nil {
+			s.pool.Close()
+		}
+	})
 	return err
 }
 
@@ -124,6 +142,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	peer, err := readHello(conn)
 	if err != nil || !peer.Valid() || peer.IsServer() {
 		return // reject unidentified or server-impersonating peers
+	}
+	if s.pool != nil {
+		s.servePipelined(conn, peer)
+		return
 	}
 	for {
 		env, err := wire.DecodeFrame(conn)
@@ -172,9 +194,11 @@ type Client struct {
 	id    types.ProcID
 	addrs map[types.ProcID]string
 	mbox  *transport.Mailbox
+	dial  func(addr string) (net.Conn, error) // swappable in tests
 
 	mu     sync.Mutex
 	conns  map[types.ProcID]*clientConn
+	dials  map[types.ProcID]*dialCall // in-flight dials, one per destination
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -182,6 +206,17 @@ type Client struct {
 type clientConn struct {
 	conn net.Conn
 	mu   sync.Mutex // serializes frame writes
+}
+
+// dialCall is a single-flight dial to one destination: the first sender
+// dials, concurrent senders to the same destination wait on done and
+// share the result. Senders to other destinations are never involved —
+// c.mu is not held while dialing, so one unreachable server cannot
+// stall traffic to live ones.
+type dialCall struct {
+	done chan struct{}
+	cc   *clientConn
+	err  error
 }
 
 var _ transport.Endpoint = (*Client)(nil)
@@ -204,7 +239,9 @@ func Dial(id types.ProcID, servers map[types.ProcID]string) (*Client, error) {
 		id:    id,
 		addrs: addrs,
 		mbox:  transport.NewMailbox(),
+		dial:  func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
 		conns: make(map[types.ProcID]*clientConn),
+		dials: make(map[types.ProcID]*dialCall),
 	}, nil
 }
 
@@ -253,30 +290,70 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// connFor returns the connection to one server, dialing it on first
+// use. The dial itself runs outside c.mu behind a per-destination
+// single-flight, so a slow or unreachable server only delays senders to
+// that server — sends to live servers proceed concurrently.
 func (c *Client) connFor(to types.ProcID) (*clientConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, transport.ErrClosed
 	}
 	if cc, ok := c.conns[to]; ok {
+		c.mu.Unlock()
 		return cc, nil
 	}
 	addr, ok := c.addrs[to]
 	if !ok {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("tcpnet %s: %w", to, transport.ErrUnknownPeer)
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("tcpnet dial %s (%s): %w", to, addr, err)
+	if call, inFlight := c.dials[to]; inFlight {
+		c.mu.Unlock()
+		<-call.done
+		return call.cc, call.err
 	}
-	if err := writeHello(conn, c.id); err != nil {
+	call := &dialCall{done: make(chan struct{})}
+	c.dials[to] = call
+	c.mu.Unlock()
+
+	call.cc, call.err = c.dialConn(to, addr)
+	close(call.done)
+	return call.cc, call.err
+}
+
+// dialConn dials and registers the connection for one destination. It
+// owns the destination's dialCall; on return (and only then) the call
+// entry is cleared, so a failed dial can be retried by a later send.
+func (c *Client) dialConn(to types.ProcID, addr string) (*clientConn, error) {
+	conn, err := c.dial(addr)
+	if err == nil {
+		if herr := writeHello(conn, c.id); herr != nil {
+			_ = conn.Close()
+			err = fmt.Errorf("tcpnet hello to %s: %w", to, herr)
+		}
+	} else {
+		err = fmt.Errorf("tcpnet dial %s (%s): %w", to, addr, err)
+	}
+
+	c.mu.Lock()
+	delete(c.dials, to)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		// Close ran while we were dialing: it cannot have seen this
+		// connection, so close it here rather than leak it.
+		c.mu.Unlock()
 		_ = conn.Close()
-		return nil, fmt.Errorf("tcpnet hello to %s: %w", to, err)
+		return nil, transport.ErrClosed
 	}
 	cc := &clientConn{conn: conn}
 	c.conns[to] = cc
-	c.wg.Add(1)
+	c.wg.Add(1) // under c.mu and before closed: never races Close's Wait
+	c.mu.Unlock()
 	go c.readLoop(to, cc)
 	return cc, nil
 }

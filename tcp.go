@@ -79,11 +79,35 @@ func NewTCPReader(cfg Config, i int, servers map[ProcID]string) (*Reader, io.Clo
 	return core.NewReader(cfg, id, ep), ep, nil
 }
 
+// TCPOption configures ListenTCPKV.
+type TCPOption func(*tcpOptions)
+
+type tcpOptions struct {
+	shards int
+}
+
+// WithTCPShards sets how many shard workers the TCP KV server steps its
+// per-key registers on. Values below 1 mean the default (one per CPU,
+// capped — see kv.DefaultShards).
+func WithTCPShards(n int) TCPOption {
+	return func(o *tcpOptions) { o.shards = n }
+}
+
 // ListenTCPKV starts a key-value storage server on addr: one lucky
 // register per key, multiplexed on one socket. Pair it with OpenKVTCP
 // on the client side.
-func ListenTCPKV(i int, addr string) (*TCPServer, error) {
-	inner, err := tcpnet.Listen(types.ServerID(i), addr, kv.NewServerAutomaton())
+//
+// The server steps its keys across a pool of shard workers
+// (WithTCPShards; defaults to one per CPU), so independent keys —
+// including keys from different connections — never serialize on one
+// automaton pump; see tcpnet.ListenSharded for the pipeline.
+func ListenTCPKV(i int, addr string, opts ...TCPOption) (*TCPServer, error) {
+	var o tcpOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	srv := kv.NewShardedServerAutomaton(o.shards)
+	inner, err := tcpnet.ListenSharded(types.ServerID(i), addr, srv.Shards(), srv.Route())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,159 @@
+package luckystore_test
+
+// End-to-end coverage of the TCP KV deployment: ListenTCPKV×S sharded
+// servers, an OpenKVTCP client store, concurrent PutBatch/GetBatch
+// traffic, and a server closed mid-run — crash tolerance over real
+// sockets, which the simulated-network suites cannot exercise.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore"
+)
+
+func startKVCluster(t *testing.T, cfg luckystore.Config, opts ...luckystore.TCPOption) ([]*luckystore.TCPServer, map[luckystore.ProcID]string) {
+	t.Helper()
+	servers := make([]*luckystore.TCPServer, cfg.S())
+	addrs := make([]string, cfg.S())
+	for i := range servers {
+		srv, err := luckystore.ListenTCPKV(i, "127.0.0.1:0", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	return servers, luckystore.ServerAddrs(addrs)
+}
+
+// TestTCPKVBatchWithServerCrashMidRun drives batched multi-key traffic
+// over loopback TCP against sharded servers, closes one server halfway
+// through, and checks every key still round-trips correctly: to the
+// protocol a closed TCP server is a crashed server, within the t=1
+// budget.
+func TestTCPKVBatchWithServerCrashMidRun(t *testing.T) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 2,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 20 * time.Second}
+	servers, addrMap := startKVCluster(t, cfg, luckystore.WithTCPShards(4))
+
+	store, err := luckystore.OpenKVTCP(cfg, addrMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	const keys = 16
+	batch := func(round int) map[string]luckystore.Value {
+		puts := make(map[string]luckystore.Value, keys)
+		for k := 0; k < keys; k++ {
+			puts[fmt.Sprintf("key-%d", k)] = luckystore.Value(fmt.Sprintf("r%d", round))
+		}
+		return puts
+	}
+	keyList := make([]string, keys)
+	for k := range keyList {
+		keyList[k] = fmt.Sprintf("key-%d", k)
+	}
+
+	check := func(round int) {
+		t.Helper()
+		got, err := store.GetBatch(round%cfg.NumReaders, keyList)
+		if err != nil {
+			t.Fatalf("round %d GetBatch: %v", round, err)
+		}
+		want := luckystore.Value(fmt.Sprintf("r%d", round))
+		for _, k := range keyList {
+			if got[k].Val != want {
+				t.Fatalf("round %d: %s = %q, want %q", round, k, got[k].Val, want)
+			}
+		}
+	}
+
+	// Rounds 1–2 with all servers up.
+	for round := 1; round <= 2; round++ {
+		if err := store.PutBatch(batch(round)); err != nil {
+			t.Fatalf("round %d PutBatch: %v", round, err)
+		}
+		check(round)
+	}
+
+	// Crash one server mid-run (t=1 tolerated), with a put in flight so
+	// the crash lands under load rather than between operations.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		servers[2].Close()
+	}()
+	if err := store.PutBatch(batch(3)); err != nil {
+		t.Fatalf("PutBatch during crash: %v", err)
+	}
+	wg.Wait()
+	check(3)
+
+	// Rounds after the crash keep full batch semantics on S−1 servers.
+	if err := store.PutBatch(batch(4)); err != nil {
+		t.Fatalf("PutBatch after crash: %v", err)
+	}
+	check(4)
+
+	// Metadata reflects the post-crash regime without allocating state
+	// for unknown keys.
+	if pm, err := store.PutMeta("key-0"); err != nil || pm.TS != 4 {
+		t.Errorf("PutMeta(key-0) = %+v, %v; want ts=4", pm, err)
+	}
+	if pm, err := store.PutMeta("no-such-key"); err != nil || pm != (luckystore.PutMeta{}) {
+		t.Errorf("PutMeta on unused key = %+v, %v; want zero meta", pm, err)
+	}
+}
+
+// TestTCPKVConcurrentClients runs put and get load from many goroutines
+// at once over the sharded TCP path — the contention pattern the
+// per-shard workers exist for — and is most interesting under -race.
+func TestTCPKVConcurrentClients(t *testing.T) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 2,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 20 * time.Second}
+	_, addrMap := startKVCluster(t, cfg, luckystore.WithTCPShards(4))
+
+	store, err := luckystore.OpenKVTCP(cfg, addrMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	const workers = 8
+	const opsPerWorker = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("worker-%d", w)
+			for i := 1; i <= opsPerWorker; i++ {
+				if err := store.Put(key, luckystore.Value(fmt.Sprintf("v%d", i))); err != nil {
+					errs <- fmt.Errorf("%s put %d: %w", key, i, err)
+					return
+				}
+				got, err := store.Get(w%cfg.NumReaders, key)
+				if err != nil {
+					errs <- fmt.Errorf("%s get %d: %w", key, i, err)
+					return
+				}
+				if got.Val != luckystore.Value(fmt.Sprintf("v%d", i)) {
+					errs <- fmt.Errorf("%s read %q after writing v%d", key, got.Val, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
