@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync/atomic"
@@ -100,9 +101,10 @@ func (s *Server) servePipelined(conn net.Conn, peer types.ProcID) {
 	pumpDone := make(chan struct{})
 	go s.writePump(conn, peer, frames, pumpDone)
 
+	br := bufio.NewReaderSize(conn, connBufSize)
 readLoop:
 	for {
-		env, err := wire.DecodeFrame(conn)
+		env, err := wire.DecodeFrame(br)
 		if err != nil {
 			break // EOF, malformed frame, or closed
 		}
@@ -146,23 +148,54 @@ readLoop:
 // frames in request order and writes each frame's replies coalesced
 // into batch frames (writeReplies), so concurrent shard workers never
 // interleave writes on one socket.
+//
+// Replies accumulate in a buffered writer with two flush points, both
+// chosen so no client ever waits on buffered bytes: before blocking —
+// on a frame whose steps are still running, or on an empty pipeline —
+// everything written so far is flushed; while completed frames are
+// already queued, replies keep accumulating, amortizing one syscall
+// over a burst. The one-reply-frame-per-request contract and request-
+// order frame sequence are untouched: buffering delays bytes, never
+// reorders or merges frames.
 func (s *Server) writePump(conn net.Conn, peer types.ProcID, frames <-chan *pendingFrame, done chan<- struct{}) {
 	defer close(done)
+	bw := bufio.NewWriterSize(conn, connBufSize)
 	broken := false
+	flush := func() {
+		if !broken && bw.Flush() != nil {
+			broken = true
+			_ = conn.Close() // stop the read loop too
+		}
+	}
 	for pf := range frames {
 		if broken {
 			continue // keep draining so the read loop never blocks
 		}
 		select {
 		case <-pf.ready:
-		case <-s.closed:
-			broken = true
-			_ = conn.Close()
-			continue
+		default:
+			// This frame's steps are still running: flush what earlier
+			// frames buffered, then wait.
+			flush()
+			select {
+			case <-pf.ready:
+			case <-s.closed:
+				broken = true
+				_ = conn.Close()
+				continue
+			}
+			if broken {
+				continue
+			}
 		}
-		if err := writeReplies(conn, s.id, peer, pf.flatten()); err != nil {
+		if err := writeReplies(bw, s.id, peer, pf.flatten()); err != nil {
 			broken = true
 			_ = conn.Close() // stop the read loop too
+			continue
+		}
+		if len(frames) == 0 {
+			flush() // nothing completed is queued: the pipe would go idle
 		}
 	}
+	flush()
 }

@@ -1,8 +1,17 @@
 // Package tcpnet runs the protocol over real TCP connections: servers
 // listen, clients dial every server, and envelopes travel as
-// length-prefixed gob frames (internal/wire's codec). The client side
-// implements transport.Endpoint, so the writers and readers of every
-// protocol variant work unchanged over TCP.
+// length-prefixed binary frames (internal/wire's versioned codec; see
+// DESIGN.md §4). The client side implements transport.Endpoint, so the
+// writers and readers of every protocol variant work unchanged over
+// TCP.
+//
+// The hot path is allocation- and syscall-frugal: each connection reads
+// through a bufio.Reader, server replies accumulate in a bufio.Writer
+// flushed once per request frame, the client encodes into a per-
+// connection reusable buffer written with one syscall per frame, and
+// coalesced batches are encoded directly into that buffer
+// (transport.BatchSender) instead of materializing intermediate Batch
+// values.
 //
 // Identity handling matches the model's point-to-point channels: a
 // client announces its ProcID in a handshake; the server replies only
@@ -13,6 +22,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +41,16 @@ const handshakeTimeout = 10 * time.Second
 
 // maxIDLen bounds the handshake identity length.
 const maxIDLen = 64
+
+// connBufSize sizes the per-connection read and write buffers. Frames
+// on the hot path are tens to hundreds of bytes; 32 KiB amortizes one
+// syscall over many frames without pinning real memory per connection.
+const connBufSize = 32 << 10
+
+// maxRetainedConnBuf caps the encode buffer a client connection keeps
+// between sends; a one-off giant frame should not pin its memory for
+// the connection's lifetime.
+const maxRetainedConnBuf = 1 << 20
 
 // Server serves one automaton over TCP, in one of two stepping modes:
 // Listen serializes every step behind a mutex (one plain automaton),
@@ -147,8 +167,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.servePipelined(conn, peer)
 		return
 	}
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
 	for {
-		env, err := wire.DecodeFrame(conn)
+		env, err := wire.DecodeFrame(br)
 		if err != nil {
 			return // EOF, malformed frame, or closed
 		}
@@ -170,22 +192,25 @@ func (s *Server) serveConn(conn net.Conn) {
 				replies = append(replies, o.Msg)
 			}
 		}
-		if err := writeReplies(conn, s.id, peer, replies); err != nil {
+		// One flush per request frame: the buffered writer turns a
+		// multi-frame reply set into one syscall, and flushing here (not
+		// later) keeps the one-reply-frame-per-round-trip latency
+		// contract — nothing a client is waiting for sits in the buffer.
+		if err := writeReplies(bw, s.id, peer, replies); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
 }
 
 // writeReplies frames a step's replies back to the peer: runs of keyed
-// replies share Batch frames (size-bounded by wire.CoalesceKeyed),
-// non-keyed replies go out individually.
-func writeReplies(conn net.Conn, from, to types.ProcID, replies []wire.Message) error {
-	for _, m := range wire.CoalesceKeyed(replies) {
-		if err := wire.EncodeFrame(conn, wire.Envelope{From: from, To: to, Msg: m}); err != nil {
-			return err
-		}
-	}
-	return nil
+// replies share Batch frames, encoded straight into a pooled buffer and
+// handed to w in one Write (wire.WriteCoalesced applies the same batch
+// budgets as wire.CoalesceKeyed).
+func writeReplies(w io.Writer, from, to types.ProcID, replies []wire.Message) error {
+	return wire.WriteCoalesced(w, from, to, replies)
 }
 
 // Client is a transport.Endpoint over TCP: it dials every configured
@@ -206,6 +231,28 @@ type Client struct {
 type clientConn struct {
 	conn net.Conn
 	mu   sync.Mutex // serializes frame writes
+	buf  []byte     // reusable encode buffer, guarded by mu
+}
+
+// write encodes env into the connection's reusable buffer and writes it
+// as one frame with a single syscall. Callers hold cc.mu.
+func (cc *clientConn) write(env wire.Envelope) error {
+	buf, err := wire.AppendFrame(cc.buf[:0], env)
+	if err != nil {
+		return err
+	}
+	cc.buf = buf
+	_, werr := cc.conn.Write(buf)
+	cc.shrink()
+	return werr
+}
+
+// shrink drops an oversized encode buffer so one giant frame does not
+// pin megabytes for the connection's lifetime. Callers hold cc.mu.
+func (cc *clientConn) shrink() {
+	if cap(cc.buf) > maxRetainedConnBuf {
+		cc.buf = nil
+	}
 }
 
 // dialCall is a single-flight dial to one destination: the first sender
@@ -219,7 +266,10 @@ type dialCall struct {
 	err  error
 }
 
-var _ transport.Endpoint = (*Client)(nil)
+var (
+	_ transport.Endpoint    = (*Client)(nil)
+	_ transport.BatchSender = (*Client)(nil)
+)
 
 // Dial creates a client endpoint for the process id, configured with
 // the server address map. Connections are established on first send to
@@ -261,11 +311,41 @@ func (c *Client) Send(to types.ProcID, m wire.Message) error {
 	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	if err := wire.EncodeFrame(cc.conn, wire.Envelope{From: c.id, To: to, Msg: m}); err != nil {
+	if err := cc.write(wire.Envelope{From: c.id, To: to, Msg: m}); err != nil {
 		c.dropConn(to, cc)
 		return fmt.Errorf("tcpnet send to %s: %w", to, err)
 	}
 	return nil
+}
+
+// SendBatched implements transport.BatchSender: a drained
+// per-destination queue is encoded directly into the connection's
+// reusable buffer — runs of keyed messages streamed into Batch frames,
+// split by the wire package's batch budgets — and every resulting frame
+// leaves in a single Write call. The bytes on the wire are identical to
+// looping Send over wire.CoalesceKeyed's frames; the savings are the
+// intermediate []Message runs, the Batch values, the per-frame encode
+// walk, and the per-frame syscalls.
+func (c *Client) SendBatched(to types.ProcID, msgs []wire.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	cc, err := c.connFor(to)
+	if err != nil {
+		return err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	buf, encErr := wire.AppendCoalesced(cc.buf[:0], c.id, to, msgs)
+	cc.buf = buf
+	if len(buf) > 0 {
+		if _, err := cc.conn.Write(buf); err != nil {
+			c.dropConn(to, cc)
+			return fmt.Errorf("tcpnet send to %s: %w", to, err)
+		}
+	}
+	cc.shrink()
+	return encErr
 }
 
 // Close tears down every connection and the mailbox, joining all
@@ -369,8 +449,9 @@ func (c *Client) dropConn(id types.ProcID, cc *clientConn) {
 
 func (c *Client) readLoop(from types.ProcID, cc *clientConn) {
 	defer c.wg.Done()
+	br := bufio.NewReaderSize(cc.conn, connBufSize)
 	for {
-		env, err := wire.DecodeFrame(cc.conn)
+		env, err := wire.DecodeFrame(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				c.dropConn(from, cc)

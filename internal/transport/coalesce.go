@@ -21,6 +21,7 @@ import (
 // order is preserved end to end.
 type Coalescer struct {
 	inner Endpoint
+	batch BatchSender // inner's direct-encode fast path, nil if unsupported
 
 	mu      sync.Mutex
 	pending map[types.ProcID][]wire.Message
@@ -42,6 +43,7 @@ func NewCoalescer(ep Endpoint) *Coalescer {
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
+	c.batch, _ = ep.(BatchSender)
 	go c.run()
 	return c
 }
@@ -108,8 +110,15 @@ func (c *Coalescer) run() {
 
 // sendRun writes one destination's drained queue: maximal runs of keyed
 // messages become Batch frames (size-bounded by wire.CoalesceKeyed),
-// everything else goes out alone.
+// everything else goes out alone. When the inner endpoint can frame the
+// run itself (BatchSender — the TCP client), the queue is handed over
+// whole and encoded directly into the connection buffer; the in-memory
+// transports take the generic CoalesceKeyed path.
 func (c *Coalescer) sendRun(to types.ProcID, msgs []wire.Message) {
+	if c.batch != nil {
+		_ = c.batch.SendBatched(to, msgs)
+		return
+	}
 	for _, m := range wire.CoalesceKeyed(msgs) {
 		_ = c.inner.Send(to, m)
 	}

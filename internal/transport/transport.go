@@ -35,6 +35,19 @@ type Endpoint interface {
 	Close() error
 }
 
+// BatchSender is an optional Endpoint fast path for drained send
+// queues: a transport that can frame a whole per-destination run itself
+// — e.g. tcpnet's client, which streams keyed runs into Batch frames
+// directly inside its connection buffer — implements it, and the
+// Coalescer hands the queue over instead of materializing intermediate
+// wire.Batch values and encoding them frame by frame. Implementations
+// must produce exactly the frames wire.CoalesceKeyed would (same
+// splitting budgets, same order), so the fast path is indistinguishable
+// on the wire.
+type BatchSender interface {
+	SendBatched(to types.ProcID, msgs []wire.Message) error
+}
+
 // Network hands out endpoints for registered processes.
 type Network interface {
 	// Endpoint returns the endpoint of the process with the given id.

@@ -1,0 +1,47 @@
+//go:build !race
+
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestCodecSteadyStateAllocs pins the allocation contract of the hot
+// path: encoding frames allocates nothing in steady state (pooled
+// scratch buffer, single Write), and decoding a fixed-size message
+// allocates only the unavoidable Message interface boxing. Payload-
+// carrying messages additionally pay exactly one string per distinct
+// value — memory the caller must own — which the readack case bounds.
+// Excluded under -race, whose instrumentation inflates counts.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	for _, tc := range benchEnvelopes() {
+		frame, err := AppendFrame(nil, tc.env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encAllocs := testing.AllocsPerRun(500, func() {
+			if err := EncodeFrame(io.Discard, tc.env); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if encAllocs > 0.5 {
+			t.Errorf("EncodeFrame(%s): %.1f allocs/op, want 0 steady-state", tc.name, encAllocs)
+		}
+		r := bytes.NewReader(frame)
+		decAllocs := testing.AllocsPerRun(500, func() {
+			r.Reset(frame)
+			if _, err := DecodeFrame(r); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// Boxing + one string/slice per variable-size field carried by
+		// the message (batch32: 32 keyed boxes + 32 inner boxes + 32
+		// keys + 32 values + the Msgs slice + the Batch box).
+		budget := map[string]float64{"read": 1, "readack": 4, "pw_frozen": 6, "batch32": 130}[tc.name]
+		if decAllocs > budget+0.5 {
+			t.Errorf("DecodeFrame(%s): %.1f allocs/op, budget %.0f", tc.name, decAllocs, budget)
+		}
+	}
+}

@@ -3,8 +3,8 @@ package wire
 import "luckystore/internal/types"
 
 // batchBytesBudget bounds the approximate payload carried by one Batch
-// frame, at half the frame cap so gob overhead and the estimate's slack
-// can never push an emitted frame past maxFrameSize.
+// frame, at half the frame cap so framing overhead and the estimate's
+// slack can never push an emitted frame past maxFrameSize.
 const batchBytesBudget = maxFrameSize / 2
 
 // batchEntriesBudget bounds the entries per emitted Batch, below
@@ -50,9 +50,9 @@ func CoalesceKeyed(msgs []Message) []Message {
 
 // approxSize estimates a message's encoded payload cost: the variable
 // parts (values, sets, keys) plus a per-message constant generous
-// enough to cover fixed fields and gob framing. Only used to keep
-// coalesced batches far from the frame cap, so it may be rough but must
-// not wildly underestimate large values.
+// enough to cover fixed fields and framing. Only used to keep coalesced
+// batches far from the frame cap, so it may be rough but must not
+// wildly underestimate large values.
 func approxSize(m Message) int {
 	const base = 64
 	switch v := m.(type) {

@@ -1,11 +1,11 @@
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
+	"slices"
+	"sync"
 
 	"luckystore/internal/types"
 )
@@ -26,24 +26,34 @@ type Envelope struct {
 // force an arbitrary-size allocation with a forged length prefix.
 const maxFrameSize = 16 << 20
 
-// init registers the concrete message types with gob so they can travel
-// inside the Message interface field of Envelope. Registration is the
-// one legitimate use of init for gob-based codecs: it must happen before
-// any encode/decode and has no observable side effects beyond the gob
-// type registry.
-func init() {
-	gob.Register(PW{})
-	gob.Register(PWAck{})
-	gob.Register(W{})
-	gob.Register(WAck{})
-	gob.Register(Read{})
-	gob.Register(ReadAck{})
-	gob.Register(ABDWrite{})
-	gob.Register(ABDWriteAck{})
-	gob.Register(ABDRead{})
-	gob.Register(ABDReadAck{})
-	gob.Register(Keyed{})
-	gob.Register(Batch{})
+// frameReadChunk bounds how much DecodeFrame's body buffer grows ahead
+// of bytes actually arriving. A hostile peer can claim a 16 MiB frame
+// in the length prefix and then stall; reading through chunks of this
+// size means such a connection pins at most one chunk, not the whole
+// claimed frame.
+const frameReadChunk = 64 << 10
+
+// maxPooledBuf caps the capacity of scratch buffers returned to the
+// frame pool; occasional giant frames should not turn the pool into a
+// permanent reservation of per-connection megabytes.
+const maxPooledBuf = 1 << 20
+
+// framePool holds codec scratch buffers: EncodeFrame builds each frame
+// in one, DecodeFrame reads each body through one. In steady state the
+// encode/decode paths therefore allocate nothing for framing.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		framePool.Put(bp)
+	}
 }
 
 // Expand flattens a batched envelope into one envelope per inner
@@ -62,52 +72,96 @@ func Expand(env Envelope) []Envelope {
 	return out
 }
 
-// EncodeFrame serializes an envelope as a 4-byte big-endian length
-// prefix followed by the gob encoding.
+// EncodeFrame serializes an envelope in the binary wire format — 4-byte
+// big-endian length prefix, format version byte, envelope — building
+// the frame in a pooled scratch buffer and handing header and body to
+// the writer as a single Write call (the seed's gob codec issued two
+// unbuffered writes per frame).
 func EncodeFrame(w io.Writer, env Envelope) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
-		return fmt.Errorf("encode envelope: %w", err)
+	bp := getFrameBuf()
+	buf, err := AppendFrame((*bp)[:0], env)
+	if err != nil {
+		*bp = buf
+		putFrameBuf(bp)
+		return err
 	}
-	if buf.Len() > maxFrameSize {
-		return fmt.Errorf("encode envelope: frame size %d exceeds limit %d", buf.Len(), maxFrameSize)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
-	}
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("write frame body: %w", err)
+	_, werr := w.Write(buf)
+	*bp = buf
+	putFrameBuf(bp)
+	if werr != nil {
+		return fmt.Errorf("write frame: %w", werr)
 	}
 	return nil
 }
 
 // DecodeFrame reads one length-prefixed envelope from r. It returns
 // io.EOF unchanged on a clean end of stream, and validates the decoded
-// message structurally before returning it.
+// message structurally before returning it. The body is read through a
+// pooled scratch buffer that grows only as bytes arrive (frameReadChunk
+// at a time), so a forged length prefix cannot pin megabytes per
+// connection.
 func DecodeFrame(r io.Reader) (Envelope, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header is read through the pooled buffer too: a stack array
+	// would escape through the io.Reader interface and cost one heap
+	// allocation per frame.
+	bp := getFrameBuf()
+	hdr := grow((*bp)[:0], 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		*bp = hdr
+		putFrameBuf(bp)
 		if err == io.EOF {
 			return Envelope{}, io.EOF
 		}
 		return Envelope{}, fmt.Errorf("read frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr))
 	if n > maxFrameSize {
+		*bp = hdr
+		putFrameBuf(bp)
 		return Envelope{}, fmt.Errorf("%w: frame size %d exceeds limit %d", ErrMalformed, n, maxFrameSize)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Envelope{}, fmt.Errorf("read frame body: %w", err)
+	if n < 2 { // version byte + at least an empty envelope's length bytes
+		*bp = hdr
+		putFrameBuf(bp)
+		return Envelope{}, fmt.Errorf("%w: frame size %d too small", ErrMalformed, n)
 	}
-	var env Envelope
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
-		return Envelope{}, fmt.Errorf("%w: decode envelope: %v", ErrMalformed, err)
+	buf := hdr[:0]
+	for len(buf) < n {
+		chunk := n - len(buf)
+		if chunk > frameReadChunk {
+			chunk = frameReadChunk
+		}
+		start := len(buf)
+		buf = grow(buf, start+chunk)
+		if _, err := io.ReadFull(r, buf[start : start+chunk]); err != nil {
+			*bp = buf
+			putFrameBuf(bp)
+			return Envelope{}, fmt.Errorf("read frame body: %w", err)
+		}
+		// The version byte arrives with the first chunk; checking it
+		// here rejects an unsupported-version frame before its (up to
+		// 16 MiB) body is transferred and buffered.
+		if start == 0 && buf[0] != FormatVersion {
+			v := buf[0]
+			*bp = buf
+			putFrameBuf(bp)
+			return Envelope{}, fmt.Errorf("%w: unsupported wire format version %d (want %d)", ErrMalformed, v, FormatVersion)
+		}
+	}
+	env, err := DecodeEnvelope(buf[1:])
+	*bp = buf
+	putFrameBuf(bp)
+	if err != nil {
+		return Envelope{}, err
 	}
 	if err := Validate(env.Msg); err != nil {
 		return Envelope{}, err
 	}
 	return env, nil
+}
+
+// grow extends buf to length n, reallocating amortized so chunked
+// frame reads stay cheap.
+func grow(buf []byte, n int) []byte {
+	return slices.Grow(buf, n-len(buf))[:n]
 }

@@ -28,8 +28,8 @@ func TestDecodeFrameNeverPanicsOnRandomBytes(t *testing.T) {
 }
 
 // Flipping any single byte of a valid frame must not produce a decoded
-// envelope that panics downstream; it either still decodes (gob is
-// partly redundant) to a Validate-checked message or errors.
+// envelope that panics downstream; it either still decodes to a
+// Validate-checked message or errors.
 func TestDecodeFrameBitFlips(t *testing.T) {
 	env := Envelope{
 		From: types.ServerID(2), To: types.ReaderID(0),

@@ -3,7 +3,8 @@
 // two-phase variant (Figures 6–8), the regular variant (Appendix D) and
 // the ABD baseline. It also provides structural validation — essential
 // in a Byzantine setting, where a malicious server may send arbitrarily
-// malformed payloads — and a gob codec used by the TCP transport.
+// malformed payloads — and the versioned binary codec used by the TCP
+// transport (binary.go, codec.go; DESIGN.md §4 specifies the format).
 //
 // Servers in the paper never talk to each other and never send
 // unsolicited messages; every message below therefore flows either
@@ -277,10 +278,19 @@ func Validate(m Message) error {
 		if v.Round < 1 {
 			return fmt.Errorf("%w: READ_ACK.round %d not positive", ErrMalformed, v.Round)
 		}
-		for name, c := range map[string]types.Tagged{"pw": v.PW, "w": v.W, "vw": v.VW, "frozen.pw": v.Frozen.PW} {
-			if err := validTagged(c); err != nil {
-				return fmt.Errorf("READ_ACK.%s: %w", name, err)
-			}
+		// Checked field by field — READ_ACK is the hottest ack on the
+		// wire, and a map literal here costs an allocation per call.
+		if err := validTagged(v.PW); err != nil {
+			return fmt.Errorf("READ_ACK.pw: %w", err)
+		}
+		if err := validTagged(v.W); err != nil {
+			return fmt.Errorf("READ_ACK.w: %w", err)
+		}
+		if err := validTagged(v.VW); err != nil {
+			return fmt.Errorf("READ_ACK.vw: %w", err)
+		}
+		if err := validTagged(v.Frozen.PW); err != nil {
+			return fmt.Errorf("READ_ACK.frozen.pw: %w", err)
 		}
 		return nil
 	case ABDWrite:
@@ -342,19 +352,37 @@ func validTagged(c types.Tagged) error {
 	return nil
 }
 
+// smallFrozenSet is the size up to which duplicate detection scans the
+// prefix linearly instead of building a map. Frozen sets hold at most
+// one entry per reader with an outstanding slow READ, so in practice
+// they are tiny and the allocation-free scan is both the common and the
+// fast case.
+const smallFrozenSet = 8
+
 func validFrozenSet(fs []types.FrozenEntry) error {
 	if len(fs) > maxFrozenEntries {
 		return fmt.Errorf("%w: frozen set too large (%d)", ErrMalformed, len(fs))
 	}
-	seen := make(map[types.ProcID]bool, len(fs))
-	for _, f := range fs {
+	var seen map[types.ProcID]bool
+	if len(fs) > smallFrozenSet {
+		seen = make(map[types.ProcID]bool, len(fs))
+	}
+	for i, f := range fs {
 		if !f.Reader.IsReader() {
 			return fmt.Errorf("%w: frozen entry for non-reader %q", ErrMalformed, f.Reader)
 		}
-		if seen[f.Reader] {
-			return fmt.Errorf("%w: duplicate frozen entry for %q", ErrMalformed, f.Reader)
+		if seen != nil {
+			if seen[f.Reader] {
+				return fmt.Errorf("%w: duplicate frozen entry for %q", ErrMalformed, f.Reader)
+			}
+			seen[f.Reader] = true
+		} else {
+			for _, g := range fs[:i] {
+				if g.Reader == f.Reader {
+					return fmt.Errorf("%w: duplicate frozen entry for %q", ErrMalformed, f.Reader)
+				}
+			}
 		}
-		seen[f.Reader] = true
 		if err := validTagged(f.PW); err != nil {
 			return fmt.Errorf("frozen entry for %q: %w", f.Reader, err)
 		}

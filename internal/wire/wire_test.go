@@ -153,7 +153,7 @@ func TestDecodeFrameRejectsOversizedHeader(t *testing.T) {
 }
 
 func TestDecodeFrameRejectsGarbageBody(t *testing.T) {
-	body := []byte("this is not gob")
+	body := []byte("this is not a frame")
 	var buf bytes.Buffer
 	buf.Write([]byte{0, 0, 0, byte(len(body))})
 	buf.Write(body)

@@ -9,7 +9,15 @@ import (
 	"luckystore/internal/tcpnet"
 	"luckystore/internal/transport"
 	"luckystore/internal/types"
+	"luckystore/internal/wire"
 )
+
+// WireFormatVersion is the version byte of the binary wire format TCP
+// frames carry (DESIGN.md §4). Peers reject frames with any other
+// version, so a cluster must be upgraded together when the format
+// evolves; exposing the constant lets deployment tooling check
+// compatibility before rolling.
+const WireFormatVersion = wire.FormatVersion
 
 // TCPServer is one storage server listening on a real TCP socket.
 type TCPServer struct {
