@@ -1,0 +1,21 @@
+package luckystore_test
+
+// Allocation benchmarks for the steady-state operation hot path: the
+// per-op allocation cost of core WRITE/READ on the in-memory network,
+// the same operations through the KV engine, and the heap held per
+// idle register on a server. The benchmark bodies live in
+// internal/allocbench, shared with cmd/luckybench's -allocs mode
+// (which emits the machine-readable BENCH_core.json); EXPERIMENTS.md
+// records the before/after tables.
+
+import (
+	"testing"
+
+	"luckystore/internal/allocbench"
+)
+
+func BenchmarkPutAllocs(b *testing.B)   { allocbench.CorePut(b) }
+func BenchmarkGetAllocs(b *testing.B)   { allocbench.CoreGet(b) }
+func BenchmarkKVPutAllocs(b *testing.B) { allocbench.KVPut(b) }
+func BenchmarkKVGetAllocs(b *testing.B) { allocbench.KVGet(b) }
+func BenchmarkIdleKeyHeap(b *testing.B) { allocbench.IdleKeyHeap(b) }

@@ -1,0 +1,86 @@
+package main
+
+// The -allocs mode: operation-level allocation and heap benchmarks for
+// the zero-allocation hot path (DESIGN.md §5), run programmatically via
+// testing.Benchmark. The benchmark bodies live in internal/allocbench,
+// shared with the root `go test -bench` entry points, so this table and
+// the BENCH_core.json it can emit measure exactly the workloads
+// EXPERIMENTS.md records.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"luckystore/internal/allocbench"
+)
+
+// allocResult is one benchmark row, shaped for both the text table and
+// BENCH_core.json.
+type allocResult struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	// Extra carries a benchmark-specific metric (e.g. heap bytes per
+	// idle key); empty otherwise.
+	Extra     float64 `json:"extra,omitempty"`
+	ExtraUnit string  `json:"extra_unit,omitempty"`
+}
+
+// runAllocs executes the allocation benchmarks and returns exit status.
+func runAllocs(jsonPath string) int {
+	results := collectAllocResults()
+	fmt.Printf("%-22s %12s %10s %12s %s\n", "benchmark", "ns/op", "B/op", "allocs/op", "extra")
+	for _, r := range results {
+		extra := ""
+		if r.ExtraUnit != "" {
+			extra = fmt.Sprintf("%.1f %s", r.Extra, r.ExtraUnit)
+		}
+		fmt.Printf("%-22s %12.0f %10d %12d %s\n", r.Name, r.NsPerOp, r.BPerOp, r.AllocsOp, extra)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "luckybench -allocs: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "luckybench -allocs: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return 0
+}
+
+func collectAllocResults() []allocResult {
+	benches := []struct {
+		name      string
+		extraUnit string // taken from the benchmark's ReportMetric extras
+		fn        func(b *testing.B)
+	}{
+		{"core/put", "", allocbench.CorePut},
+		{"core/get", "", allocbench.CoreGet},
+		{"kv/put", "", allocbench.KVPut},
+		{"kv/get", "", allocbench.KVGet},
+		{"server/idle-key-heap", "heapB/key", allocbench.IdleKeyHeap},
+	}
+	results := make([]allocResult, 0, len(benches))
+	for _, bench := range benches {
+		res := testing.Benchmark(bench.fn)
+		r := allocResult{
+			Name:     bench.name,
+			NsPerOp:  float64(res.NsPerOp()),
+			BPerOp:   res.AllocedBytesPerOp(),
+			AllocsOp: res.AllocsPerOp(),
+		}
+		if bench.extraUnit != "" {
+			r.Extra, r.ExtraUnit = res.Extra[bench.extraUnit], bench.extraUnit
+		}
+		results = append(results, r)
+	}
+	return results
+}

@@ -8,9 +8,11 @@
 //	luckybench -run E5     # one experiment
 //	luckybench -markdown   # emit markdown tables (EXPERIMENTS.md rows)
 //	luckybench -list       # list experiment ids and titles
+//	luckybench -allocs     # allocation/heap report for the hot path
+//	luckybench -allocs -json BENCH_core.json  # machine-readable output
 //
 // Exit status 1 means at least one measured shape diverged from the
-// paper's claim.
+// paper's claim (or, with -allocs, that a benchmark failed).
 package main
 
 import (
@@ -32,6 +34,8 @@ func run(args []string) int {
 		only     = fs.String("run", "", "run a single experiment id (e.g. E5)")
 		markdown = fs.Bool("markdown", false, "emit markdown tables")
 		list     = fs.Bool("list", false, "list experiment ids")
+		allocs   = fs.Bool("allocs", false, "run allocation/heap benchmarks (B/op, allocs/op) instead of experiments")
+		jsonOut  = fs.String("json", "", "with -allocs: also write results as JSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -42,6 +46,9 @@ func run(args []string) int {
 			fmt.Println(id)
 		}
 		return 0
+	}
+	if *allocs {
+		return runAllocs(*jsonOut)
 	}
 
 	var results []*experiments.Result

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}); code != 0 {
@@ -29,5 +34,41 @@ func TestUnknownExperiment(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if code := run([]string{"-definitely-not-a-flag"}); code == 0 {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestAllocsMode(t *testing.T) {
+	if raceEnabled {
+		t.Skip("benchmark calibration is too slow under -race")
+	}
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_core.json")
+	if code := run([]string{"-allocs", "-json", path}); code != 0 {
+		t.Fatalf("-allocs exit = %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []allocResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("BENCH_core.json is not valid JSON: %v", err)
+	}
+	want := map[string]bool{
+		"core/put": false, "core/get": false,
+		"kv/put": false, "kv/get": false,
+		"server/idle-key-heap": false,
+	}
+	for _, r := range results {
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("BENCH_core.json missing benchmark %q", name)
+		}
 	}
 }

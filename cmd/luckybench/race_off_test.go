@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled lets the -allocs smoke test skip under the race
+// detector; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled lets the -allocs smoke test skip under the race
+// detector, whose instrumentation makes benchmark calibration an
+// order of magnitude slower without testing anything extra here.
+const raceEnabled = true

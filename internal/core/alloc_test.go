@@ -1,0 +1,91 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+)
+
+// The steady-state allocation contract of the operation hot path
+// (modeled on wire's TestCodecSteadyStateAllocs): once a client's
+// pooled round state and every server's lazy state are warm, a fast
+// WRITE or fast READ on the in-memory network costs at most 5
+// allocations — across *all* goroutines (testing.AllocsPerRun counts
+// globally, so the servers, runners and mailboxes are included).
+//
+// The remaining allocations are the interface boxings of the messages
+// themselves: one request boxed by the client plus one ack boxed per
+// server, 1 + S = 4 for the t=1, b=0 deployment pinned here. Excluded
+// under -race, whose instrumentation inflates counts.
+const steadyStateAllocBudget = 5
+
+func allocContractCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(Config{T: 1, B: 0, Fw: 0, NumReaders: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestPutSteadyStateAllocs(t *testing.T) {
+	cl := allocContractCluster(t)
+	w := cl.Writer()
+	for i := 0; i < 64; i++ { // warm pooled round state and map buckets
+		if err := w.Write("warm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if err := w.Write("steady-state-value"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > steadyStateAllocBudget+0.5 {
+		t.Errorf("steady-state Write: %.1f allocs/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+	if !w.LastMeta().Fast {
+		t.Fatal("writes were not fast; the measurement did not hit the steady-state path")
+	}
+}
+
+func TestGetSteadyStateAllocs(t *testing.T) {
+	cl := allocContractCluster(t)
+	if err := cl.Writer().Write("stored"); err != nil {
+		t.Fatal(err)
+	}
+	r := cl.Reader(0)
+	for i := 0; i < 64; i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > steadyStateAllocBudget+0.5 {
+		t.Errorf("steady-state Read: %.1f allocs/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+	if !r.LastMeta().Fast() {
+		t.Fatal("reads were not fast; the measurement did not hit the steady-state path")
+	}
+}
+
+// TestNewServerZeroMapAllocs pins the lazy-state contract: an idle
+// register costs the Server struct alone — the per-reader maps appear
+// only when a slow READ first touches them.
+func TestNewServerZeroMapAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		s := NewServer()
+		if s.frozen != nil || s.readerTS != nil {
+			t.Fatal("fresh server eagerly allocated its per-reader maps")
+		}
+	})
+	// Exactly one allocation: the Server struct itself.
+	if allocs > 1.5 {
+		t.Errorf("NewServer: %.1f allocs, want 1 (struct only, zero maps)", allocs)
+	}
+}

@@ -457,6 +457,18 @@ func TestConcurrentWritesAndReadsStress(t *testing.T) {
 	}
 }
 
+// feedPWAcks loads a PW_ACK set into the writer's pooled round state,
+// the way acceptPWAck does during a live pre-write phase.
+func feedPWAcks(w *Writer, acks map[types.ProcID]wire.PWAck) {
+	w.resetAcks()
+	for id, a := range acks {
+		i := id.Index()
+		w.acks[i] = a
+		w.ackSeen[i] = true
+		w.ackCount++
+	}
+}
+
 // The writer's freezevalues picks the (b+1)-st highest reported
 // timestamp and freezes at most one value per reader per write.
 func TestWriterFreezeValuesSelection(t *testing.T) {
@@ -465,12 +477,12 @@ func TestWriterFreezeValuesSelection(t *testing.T) {
 	w.ts = 7
 	w.pw = types.Tagged{TS: 7, Val: "v7"}
 	rj := types.ReaderID(0)
-	acks := map[types.ProcID]wire.PWAck{
+	feedPWAcks(w, map[types.ProcID]wire.PWAck{
 		types.ServerID(0): {TS: 7, NewRead: []types.ReadStamp{{Reader: rj, TSR: 5}}},
 		types.ServerID(1): {TS: 7, NewRead: []types.ReadStamp{{Reader: rj, TSR: 9}}},
 		types.ServerID(2): {TS: 7, NewRead: []types.ReadStamp{{Reader: rj, TSR: 3}}},
-	}
-	w.freezeValues(acks)
+	})
+	w.freezeValues()
 	if len(w.frozen) != 1 {
 		t.Fatalf("frozen = %+v, want exactly one entry", w.frozen)
 	}
@@ -485,9 +497,10 @@ func TestWriterFreezeValuesSelection(t *testing.T) {
 	// A lone report (< b+1) must not freeze.
 	w2 := NewWriter(cfg, nil)
 	w2.ts, w2.pw = 1, types.Tagged{TS: 1, Val: "x"}
-	w2.freezeValues(map[types.ProcID]wire.PWAck{
+	feedPWAcks(w2, map[types.ProcID]wire.PWAck{
 		types.ServerID(0): {TS: 1, NewRead: []types.ReadStamp{{Reader: rj, TSR: 2}}},
 	})
+	w2.freezeValues()
 	if len(w2.frozen) != 0 {
 		t.Errorf("froze on a single report: %+v", w2.frozen)
 	}
@@ -495,11 +508,12 @@ func TestWriterFreezeValuesSelection(t *testing.T) {
 	// Duplicate stamps inside one malicious ack count once.
 	w3 := NewWriter(cfg, nil)
 	w3.ts, w3.pw = 1, types.Tagged{TS: 1, Val: "x"}
-	w3.freezeValues(map[types.ProcID]wire.PWAck{
+	feedPWAcks(w3, map[types.ProcID]wire.PWAck{
 		types.ServerID(0): {TS: 1, NewRead: []types.ReadStamp{
 			{Reader: rj, TSR: 2}, {Reader: rj, TSR: 8},
 		}},
 	})
+	w3.freezeValues()
 	if len(w3.frozen) != 0 {
 		t.Errorf("duplicate stamps from one server caused a freeze: %+v", w3.frozen)
 	}

@@ -42,13 +42,26 @@ func (c Config) Thresholds() Thresholds {
 // arrays to 〈ts0,⊥〉, but the correctness proofs (Lemmas 5 and 6,
 // Theorem 2) count servers "that responded", and counting placeholders
 // would let invalid_w/invalid_pw fire without evidence. See DESIGN.md.
+//
+// The view is flat and reusable: one slot per server, indexed by the
+// server id's numeric index, with slot.round == 0 marking "has not
+// responded" (correct servers only ever ack rounds ≥ 1). A reader keeps
+// one View for its lifetime and calls Reset per READ — no maps, no
+// per-operation allocation (DESIGN.md §5).
 type View struct {
-	th  Thresholds
-	tsr types.ReaderTS // current READ timestamp, for safeFrozen matching
+	th        Thresholds
+	tsr       types.ReaderTS // current READ timestamp, for safeFrozen matching
+	srv       []viewSlot     // indexed by server index; round == 0 means no ack yet
+	responded int
+}
 
-	pw, w, vw map[types.ProcID]types.Tagged
-	frozen    map[types.ProcID]types.FrozenPair
-	round     map[types.ProcID]int // freshest ack round per server (rnd_i)
+// viewSlot is one server's freshest reported state.
+type viewSlot struct {
+	round  int // freshest ack round (rnd_i); 0 until the first valid ack
+	pw     types.Tagged
+	w      types.Tagged
+	vw     types.Tagged
+	frozen types.FrozenPair
 }
 
 // NewView creates an empty view for a READ with timestamp tsr.
@@ -59,49 +72,65 @@ func NewView(cfg Config, tsr types.ReaderTS) *View {
 // NewViewWithThresholds creates an empty view with explicit thresholds.
 func NewViewWithThresholds(th Thresholds, tsr types.ReaderTS) *View {
 	return &View{
-		th:     th,
-		tsr:    tsr,
-		pw:     make(map[types.ProcID]types.Tagged),
-		w:      make(map[types.ProcID]types.Tagged),
-		vw:     make(map[types.ProcID]types.Tagged),
-		frozen: make(map[types.ProcID]types.FrozenPair),
-		round:  make(map[types.ProcID]int),
+		th:  th,
+		tsr: tsr,
+		srv: make([]viewSlot, th.S),
 	}
+}
+
+// Reset clears the view for a new READ with timestamp tsr, reusing the
+// slot array: the per-operation equivalent of NewViewWithThresholds
+// without the allocation.
+func (v *View) Reset(tsr types.ReaderTS) {
+	v.tsr = tsr
+	v.responded = 0
+	clear(v.srv)
 }
 
 // Update ingests one READ_ACK from server si, keeping only the freshest
 // round per server (Fig. 2 lines 23–25). It reports whether the ack was
-// fresher than what the view already held.
+// fresher than what the view already held. Acks claiming a round below
+// 1, or an id outside the view's server set, are ignored.
 func (v *View) Update(si types.ProcID, round int, pw, w, vw types.Tagged, frozen types.FrozenPair) bool {
-	if round <= v.round[si] {
+	i := si.Index()
+	if i < 0 || i >= len(v.srv) || !si.IsServer() {
 		return false
 	}
-	v.round[si] = round
-	v.pw[si] = pw
-	v.w[si] = w
-	v.vw[si] = vw
-	v.frozen[si] = frozen
+	s := &v.srv[i]
+	if round <= s.round {
+		return false
+	}
+	if s.round == 0 {
+		v.responded++
+	}
+	s.round = round
+	s.pw = pw
+	s.w = w
+	s.vw = vw
+	s.frozen = frozen
 	return true
 }
 
 // Responded returns the number of servers with at least one valid ack.
-func (v *View) Responded() int { return len(v.round) }
+func (v *View) Responded() int { return v.responded }
 
 // ReadLive reports readLive(c, i): server si's freshest pw or w equals
 // c (Fig. 2 line 1).
 func (v *View) ReadLive(c types.Tagged, si types.ProcID) bool {
-	if _, ok := v.round[si]; !ok {
+	i := si.Index()
+	if i < 0 || i >= len(v.srv) || v.srv[i].round == 0 {
 		return false
 	}
-	return v.pw[si] == c || v.w[si] == c
+	return v.srv[i].pw == c || v.srv[i].w == c
 }
 
 // Safe reports safe(c): at least b+1 servers readLive(c) (Fig. 2
 // line 3).
 func (v *View) Safe(c types.Tagged) bool {
 	n := 0
-	for si := range v.round {
-		if v.ReadLive(c, si) {
+	for i := range v.srv {
+		s := &v.srv[i]
+		if s.round != 0 && (s.pw == c || s.w == c) {
 			n++
 		}
 	}
@@ -113,9 +142,9 @@ func (v *View) Safe(c types.Tagged) bool {
 // (Fig. 2 lines 2 and 4).
 func (v *View) SafeFrozen(c types.Tagged) bool {
 	n := 0
-	for si := range v.round {
-		f := v.frozen[si]
-		if f.PW == c && f.TSR == v.tsr {
+	for i := range v.srv {
+		s := &v.srv[i]
+		if s.round != 0 && s.frozen.PW == c && s.frozen.TSR == v.tsr {
 			n++
 		}
 	}
@@ -126,8 +155,8 @@ func (v *View) SafeFrozen(c types.Tagged) bool {
 // (Fig. 2 line 5).
 func (v *View) FastPW(c types.Tagged) bool {
 	n := 0
-	for si := range v.round {
-		if v.pw[si] == c {
+	for i := range v.srv {
+		if v.srv[i].round != 0 && v.srv[i].pw == c {
 			n++
 		}
 	}
@@ -138,8 +167,8 @@ func (v *View) FastPW(c types.Tagged) bool {
 // (Fig. 2 line 6).
 func (v *View) FastVW(c types.Tagged) bool {
 	n := 0
-	for si := range v.round {
-		if v.vw[si] == c {
+	for i := range v.srv {
+		if v.srv[i].round != 0 && v.srv[i].vw == c {
 			n++
 		}
 	}
@@ -154,8 +183,8 @@ func (v *View) Fast(c types.Tagged) bool { return v.FastPW(c) || v.FastVW(c) }
 // predicate as CountW(c) ≥ S − t − fr (Fig. 7 line 5).
 func (v *View) CountW(c types.Tagged) int {
 	n := 0
-	for si := range v.round {
-		if v.w[si] == c {
+	for i := range v.srv {
+		if v.srv[i].round != 0 && v.srv[i].w == c {
 			n++
 		}
 	}
@@ -166,8 +195,9 @@ func (v *View) CountW(c types.Tagged) int {
 // some readLive value older than c (Fig. 2 line 8).
 func (v *View) InvalidW(c types.Tagged) bool {
 	n := 0
-	for si := range v.round {
-		if v.pw[si].OlderThan(c) || v.w[si].OlderThan(c) {
+	for i := range v.srv {
+		s := &v.srv[i]
+		if s.round != 0 && (s.pw.OlderThan(c) || s.w.OlderThan(c)) {
 			n++
 		}
 	}
@@ -178,8 +208,8 @@ func (v *View) InvalidW(c types.Tagged) bool {
 // with a pw value older than c (Fig. 2 line 9).
 func (v *View) InvalidPW(c types.Tagged) bool {
 	n := 0
-	for si := range v.round {
-		if v.pw[si].OlderThan(c) {
+	for i := range v.srv {
+		if v.srv[i].round != 0 && v.srv[i].pw.OlderThan(c) {
 			n++
 		}
 	}
@@ -189,20 +219,38 @@ func (v *View) InvalidPW(c types.Tagged) bool {
 // HighCand reports highCand(c): every readLive pair c′ ≠ c with
 // c′.ts ≥ c.ts is both invalid_w and invalid_pw (Fig. 2 line 10).
 func (v *View) HighCand(c types.Tagged) bool {
-	for _, cp := range v.liveCandidates() {
-		if cp == c || cp.TS < c.TS {
+	for i := range v.srv {
+		s := &v.srv[i]
+		if s.round == 0 {
 			continue
 		}
-		if !v.InvalidW(cp) || !v.InvalidPW(cp) {
+		if !v.highCandAgainst(c, s.pw) || !v.highCandAgainst(c, s.w) {
 			return false
 		}
 	}
 	return true
 }
 
+// highCandAgainst checks the highCand condition for one competing live
+// pair cp.
+func (v *View) highCandAgainst(c, cp types.Tagged) bool {
+	if cp == c || cp.TS < c.TS {
+		return true
+	}
+	return v.InvalidW(cp) && v.InvalidPW(cp)
+}
+
+// isCandidate reports whether c is in the selection set C of Fig. 2
+// line 18: (safe ∧ highCand) or safeFrozen.
+func (v *View) isCandidate(c types.Tagged) bool {
+	return (v.Safe(c) && v.HighCand(c)) || v.SafeFrozen(c)
+}
+
 // Candidates returns the selection set C of Fig. 2 line 18: every pair
 // that is (safe ∧ highCand) or safeFrozen, sorted by timestamp
-// ascending for deterministic iteration.
+// ascending for deterministic iteration. It allocates its result and is
+// meant for tests and experiment assertions; the READ loop uses Select,
+// which scans the view without allocating.
 func (v *View) Candidates() []types.Tagged {
 	seen := make(map[types.Tagged]bool)
 	var out []types.Tagged
@@ -211,17 +259,22 @@ func (v *View) Candidates() []types.Tagged {
 			return
 		}
 		seen[c] = true
-		if (v.Safe(c) && v.HighCand(c)) || v.SafeFrozen(c) {
+		if v.isCandidate(c) {
 			out = append(out, c)
 		}
 	}
-	for _, c := range v.liveCandidates() {
-		consider(c)
+	for i := range v.srv {
+		s := &v.srv[i]
+		if s.round == 0 {
+			continue
+		}
+		consider(s.pw)
+		consider(s.w)
 	}
-	for si := range v.round {
-		f := v.frozen[si]
-		if f.TSR == v.tsr {
-			consider(f.PW)
+	for i := range v.srv {
+		s := &v.srv[i]
+		if s.round != 0 && s.frozen.TSR == v.tsr {
+			consider(s.frozen.PW)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -234,27 +287,37 @@ func (v *View) Candidates() []types.Tagged {
 }
 
 // Select returns the candidate with the highest timestamp (Fig. 2
-// line 20) and whether any candidate exists.
+// line 20) and whether any candidate exists. It scans the slots
+// directly — no candidate list, no map, no allocation — evaluating the
+// predicates per distinct live/frozen pair; re-evaluating a pair
+// reported by several servers is idempotent and cheaper than
+// deduplicating. Ties on the timestamp (only producible by malicious
+// processes) break toward the larger value, matching Candidates' sort
+// order.
 func (v *View) Select() (types.Tagged, bool) {
-	cs := v.Candidates()
-	if len(cs) == 0 {
-		return types.Tagged{}, false
-	}
-	return cs[len(cs)-1], true
-}
-
-// liveCandidates enumerates every distinct pair present in some
-// responding server's pw or w field.
-func (v *View) liveCandidates() []types.Tagged {
-	seen := make(map[types.Tagged]bool)
-	var out []types.Tagged
-	for si := range v.round {
-		for _, c := range [2]types.Tagged{v.pw[si], v.w[si]} {
-			if !seen[c] {
-				seen[c] = true
-				out = append(out, c)
-			}
+	var best types.Tagged
+	found := false
+	for i := range v.srv {
+		s := &v.srv[i]
+		if s.round == 0 {
+			continue
+		}
+		best, found = v.selectBetter(best, found, s.pw)
+		best, found = v.selectBetter(best, found, s.w)
+		if s.frozen.TSR == v.tsr {
+			best, found = v.selectBetter(best, found, s.frozen.PW)
 		}
 	}
-	return out
+	return best, found
+}
+
+// selectBetter folds one potential candidate into the running maximum.
+func (v *View) selectBetter(best types.Tagged, found bool, c types.Tagged) (types.Tagged, bool) {
+	if found && (c.TS < best.TS || (c.TS == best.TS && c.Val <= best.Val)) {
+		return best, found // cannot improve; skip the predicate work
+	}
+	if v.isCandidate(c) {
+		return c, true
+	}
+	return best, found
 }

@@ -33,13 +33,26 @@ func (m ReadMeta) Fast() bool { return m.Rounds() == 1 }
 
 // Reader implements the READ protocol of Figure 2. A Reader is not
 // safe for concurrent use: each reader process invokes one operation at
-// a time (wait-freedom is across clients, not within one).
+// a time (wait-freedom is across clients, not within one) — which is
+// what makes its round state poolable. The view, timers, round-ack set
+// and outgoing buffer live on the Reader and are reset per READ instead
+// of reallocated, so a steady-state fast READ allocates nothing beyond
+// the messages themselves (DESIGN.md §5).
 type Reader struct {
 	cfg Config
 	ep  transport.Endpoint
 	id  types.ProcID
 
-	tsr      types.ReaderTS
+	tsr types.ReaderTS
+
+	// pooled per-operation round state, reset per READ
+	view       *View
+	opTimer    *time.Timer
+	roundTimer *time.Timer
+	roundSeen  []bool // this round's ack set, slot per server
+	outBuf     []transport.Outgoing
+	serverIDs  []types.ProcID // cached broadcast target list
+
 	lastMeta ReadMeta
 	stats    OpStats
 }
@@ -55,18 +68,42 @@ func (r *Reader) ID() types.ProcID { return r.id }
 // LastMeta returns metadata about the most recent completed READ.
 func (r *Reader) LastMeta() ReadMeta { return r.lastMeta }
 
+// resetView prepares the reusable view for a READ with the current tsr.
+func (r *Reader) resetView() *View {
+	if r.view == nil {
+		r.view = NewView(r.cfg, r.tsr)
+	} else {
+		r.view.Reset(r.tsr)
+	}
+	return r.view
+}
+
+// resetRoundSeen clears the per-round ack set.
+func (r *Reader) resetRoundSeen() {
+	if r.roundSeen == nil {
+		r.roundSeen = make([]bool, r.cfg.S())
+	} else {
+		clear(r.roundSeen)
+	}
+}
+
 // Read returns the register's value: the value of a concurrent write,
 // or the last value written. The returned Tagged carries the value and
 // the timestamp the writer assigned to it (the k of wr_k).
 func (r *Reader) Read() (types.Tagged, error) {
-	opDeadline := time.NewTimer(r.cfg.opTimeout())
+	opDeadline := resetTimer(&r.opTimer, r.cfg.opTimeout())
 	defer opDeadline.Stop()
 
 	// Fig. 2 lines 12–13: new READ timestamp, fresh view.
 	r.tsr++
-	view := NewView(r.cfg, r.tsr)
+	view := r.resetView()
 
 	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	expired := false
 	rnd := 0
 	var sel types.Tagged
@@ -77,29 +114,29 @@ func (r *Reader) Read() (types.Tagged, error) {
 			return types.Tagged{}, err
 		}
 		if rnd == 1 {
-			timer = time.NewTimer(r.cfg.roundTimeout())
-			defer timer.Stop()
+			timer = resetTimer(&r.roundTimer, r.cfg.roundTimeout())
 		}
 
 		// Fig. 2 line 17: wait for S−t acks of this round, and in round
 		// 1 also for the synchrony timer (early exit when all S servers
 		// answered this round).
-		roundAcks := make(map[types.ProcID]bool, r.cfg.S())
-		for len(roundAcks) < r.cfg.S() &&
-			!(len(roundAcks) >= r.cfg.Quorum() && (rnd > 1 || expired)) {
+		r.resetRoundSeen()
+		roundAcks := 0
+		for roundAcks < r.cfg.S() &&
+			!(roundAcks >= r.cfg.Quorum() && (rnd > 1 || expired)) {
 			select {
 			case env, ok := <-r.ep.Recv():
 				if !ok {
 					return types.Tagged{}, transport.ErrClosed
 				}
-				r.acceptAck(view, roundAcks, rnd, env)
+				roundAcks += r.acceptAck(view, rnd, env)
 			case <-timer.C:
 				expired = true
 			case <-opDeadline.C:
 				return types.Tagged{}, fmt.Errorf("READ(tsr=%d) round %d: %w", r.tsr, rnd, ErrOpTimeout)
 			}
 		}
-		r.drainAcks(view, roundAcks, rnd)
+		r.drainAcks(view, rnd)
 
 		// Fig. 2 lines 18–20: stop as soon as a candidate exists.
 		if c, ok := view.Select(); ok {
@@ -122,34 +159,41 @@ func (r *Reader) Read() (types.Tagged, error) {
 	return sel, nil
 }
 
-// acceptAck folds one envelope into the view; acks for the current
-// round are counted toward the round quorum, and any fresher-round ack
+// acceptAck folds one envelope into the view and reports whether it
+// counted toward the current round's quorum; any fresher-round ack
 // updates the per-server arrays (Fig. 2 lines 23–25).
-func (r *Reader) acceptAck(view *View, roundAcks map[types.ProcID]bool, rnd int, env wire.Envelope) {
+func (r *Reader) acceptAck(view *View, rnd int, env wire.Envelope) int {
 	a, ok := env.Msg.(wire.ReadAck)
-	if !ok || !validServer(r.cfg, env.From) || a.TSR != r.tsr || wire.Validate(a) != nil {
-		return
+	// Validate the envelope's interface value, not the unboxed a —
+	// re-boxing it would allocate on every ack.
+	if !ok || !validServer(r.cfg, env.From) || a.TSR != r.tsr || wire.Validate(env.Msg) != nil {
+		return 0
 	}
 	if a.Round > rnd {
-		return // no correct server answers a round not yet started
+		return 0 // no correct server answers a round not yet started
 	}
+	counted := 0
 	if a.Round == rnd {
-		roundAcks[env.From] = true
+		if i := env.From.Index(); !r.roundSeen[i] {
+			r.roundSeen[i] = true
+			counted = 1
+		}
 	}
 	view.Update(env.From, a.Round, a.PW, a.W, a.VW, a.Frozen)
+	return counted
 }
 
 // drainAcks consumes acks already queued when the round's wait
 // condition was met, so predicate evaluation sees every reply that
 // arrived in time.
-func (r *Reader) drainAcks(view *View, roundAcks map[types.ProcID]bool, rnd int) {
+func (r *Reader) drainAcks(view *View, rnd int) {
 	for {
 		select {
 		case env, ok := <-r.ep.Recv():
 			if !ok {
 				return
 			}
-			r.acceptAck(view, roundAcks, rnd, env)
+			r.acceptAck(view, rnd, env)
 		default:
 			return
 		}
@@ -164,8 +208,9 @@ func (r *Reader) writeBack(c types.Tagged, opDeadline *time.Timer) error {
 		if err := r.broadcast(wire.W{Round: round, Tag: int64(r.tsr), C: c}); err != nil {
 			return err
 		}
-		got := make(map[types.ProcID]bool, r.cfg.S())
-		for len(got) < r.cfg.Quorum() {
+		r.resetRoundSeen()
+		got := 0
+		for got < r.cfg.Quorum() {
 			select {
 			case env, ok := <-r.ep.Recv():
 				if !ok {
@@ -175,7 +220,10 @@ func (r *Reader) writeBack(c types.Tagged, opDeadline *time.Timer) error {
 				if !isAck || !validServer(r.cfg, env.From) || a.Round != round || a.Tag != int64(r.tsr) {
 					continue
 				}
-				got[env.From] = true
+				if i := env.From.Index(); !r.roundSeen[i] {
+					r.roundSeen[i] = true
+					got++
+				}
 			case <-opDeadline.C:
 				return fmt.Errorf("READ(tsr=%d) write-back round %d: %w", r.tsr, round, ErrOpTimeout)
 			}
@@ -184,10 +232,17 @@ func (r *Reader) writeBack(c types.Tagged, opDeadline *time.Timer) error {
 	return nil
 }
 
+// broadcast fans m out to every server through the reader's reusable
+// outgoing buffer and cached id list (building a server id is a string
+// allocation; building S of them per round is not).
 func (r *Reader) broadcast(m wire.Message) error {
-	out := make([]transport.Outgoing, r.cfg.S())
-	for i := range out {
-		out[i] = transport.Outgoing{To: types.ServerID(i), Msg: m}
+	if r.serverIDs == nil {
+		r.serverIDs = types.ServerIDs(r.cfg.S())
 	}
+	out := r.outBuf[:0]
+	for _, id := range r.serverIDs {
+		out = append(out, transport.Outgoing{To: id, Msg: m})
+	}
+	r.outBuf = out
 	return transport.SendAll(r.ep, out)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"luckystore/internal/node"
 	"luckystore/internal/transport"
 	"luckystore/internal/types"
 	"luckystore/internal/wire"
@@ -17,13 +18,27 @@ import (
 // The automaton is pure and single-threaded: Step consumes one message
 // and returns the replies to send. It never initiates communication
 // (servers reply only to clients, per the paper's data-centric model).
+//
+// Memory discipline (DESIGN.md §5): the per-reader maps are nil until
+// the first slow READ touches them. At millions-of-keys scale every KV
+// key pins one Server per server process, and the overwhelmingly common
+// key never sees a slow READ — so the idle per-key footprint is the
+// bare struct, with no map headers or buckets. NewServer performs zero
+// map allocations.
 type Server struct {
 	// mu guards all fields: the runner serializes Step calls, but tests
 	// and experiments inspect server state concurrently.
 	mu        sync.Mutex
 	pw, w, vw types.Tagged
-	frozen    map[types.ProcID]types.FrozenPair
-	readerTS  map[types.ProcID]types.ReaderTS
+	frozen    map[types.ProcID]types.FrozenPair // nil until the first freeze applies
+	readerTS  map[types.ProcID]types.ReaderTS   // nil until the first slow READ round
+
+	// newreadScratch accumulates onPW's newread set without per-entry
+	// growth reallocations; the set is cloned into the PW_ACK (the ack
+	// escapes into mailboxes and client round state, so the scratch
+	// itself must never leave the automaton). Steady state — no
+	// outstanding slow READs — appends nothing and allocates nothing.
+	newreadScratch []types.ReadStamp
 
 	// ignoreReaderWrites makes the automaton drop W messages from
 	// readers: the regular variant of Appendix D, which tolerates
@@ -31,16 +46,20 @@ type Server struct {
 	ignoreReaderWrites bool
 }
 
+var (
+	_ node.Automaton     = (*Server)(nil)
+	_ node.AppendStepper = (*Server)(nil)
+)
+
 // NewServer creates a server in its initial state
 // (pw = w = vw = 〈ts0,⊥〉, all frozen slots initial, all reader
-// timestamps tsr0).
+// timestamps tsr0). The per-reader maps are allocated lazily on first
+// use, so an idle register costs only the struct itself.
 func NewServer() *Server {
 	return &Server{
-		pw:       types.Bottom(),
-		w:        types.Bottom(),
-		vw:       types.Bottom(),
-		frozen:   make(map[types.ProcID]types.FrozenPair),
-		readerTS: make(map[types.ProcID]types.ReaderTS),
+		pw: types.Bottom(),
+		w:  types.Bottom(),
+		vw: types.Bottom(),
 	}
 }
 
@@ -92,43 +111,50 @@ func (s *Server) InjectState(pw, w, vw types.Tagged) {
 	s.pw, s.w, s.vw = pw, w, vw
 }
 
-// Step implements node.Automaton. Messages that fail structural
-// validation, or arrive from a process whose role may not send them,
-// are dropped without a reply — a correct server never acts on
-// garbage, and in the Byzantine model an unanswered message is
-// indistinguishable from a slow channel.
+// Step implements node.Automaton.
 func (s *Server) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
+	return s.StepAppend(from, m, nil)
+}
+
+// StepAppend implements node.AppendStepper: replies are appended to out
+// instead of allocated per message, so a driver with a reusable buffer
+// steps the automaton without a single slice allocation. Messages that
+// fail structural validation, or arrive from a process whose role may
+// not send them, are dropped without a reply — a correct server never
+// acts on garbage, and in the Byzantine model an unanswered message is
+// indistinguishable from a slow channel.
+func (s *Server) StepAppend(from types.ProcID, m wire.Message, out []transport.Outgoing) []transport.Outgoing {
 	if wire.Validate(m) != nil {
-		return nil
+		return out
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch v := m.(type) {
 	case wire.PW:
 		if !from.IsWriter() {
-			return nil
+			return out
 		}
-		return s.onPW(from, v)
+		return s.onPW(from, v, out)
 	case wire.Read:
 		if !from.IsReader() {
-			return nil
+			return out
 		}
-		return s.onRead(from, v)
+		return s.onRead(from, v, out)
 	case wire.W:
 		if !from.IsWriter() && !from.IsReader() {
-			return nil
+			return out
 		}
 		if from.IsReader() && s.ignoreReaderWrites {
-			return nil
+			return out
 		}
-		return s.onW(from, v)
+		return s.onW(from, v, out)
 	default:
-		return nil
+		return out
 	}
 }
 
 // onPW handles the pre-write message (Fig. 3 lines 3–8).
-func (s *Server) onPW(from types.ProcID, m wire.PW) []transport.Outgoing {
+func (s *Server) onPW(from types.ProcID, m wire.PW, out []transport.Outgoing) []transport.Outgoing {
 	s.update(&s.pw, m.PW)
 	s.update(&s.w, m.W)
 	// Apply the frozen set even when pw'/w' are older than the local
@@ -136,28 +162,42 @@ func (s *Server) onPW(from types.ProcID, m wire.PW) []transport.Outgoing {
 	// when its read timestamp is at least the one the server stored.
 	for _, f := range m.Frozen {
 		if f.TSR >= s.readerTS[f.Reader] {
+			if s.frozen == nil {
+				s.frozen = make(map[types.ProcID]types.FrozenPair)
+			}
 			s.frozen[f.Reader] = types.FrozenPair{PW: f.PW, TSR: f.TSR}
 		}
 	}
 	// newread: every reader whose announced READ timestamp the writer
-	// has not yet frozen a value for (Fig. 3 line 7).
-	var newread []types.ReadStamp
+	// has not yet frozen a value for (Fig. 3 line 7). Built in the
+	// reusable scratch, then cloned: the ack is retained by the client
+	// past this step, so it must not alias automaton-owned memory.
+	scratch := s.newreadScratch[:0]
 	for rj, tsr := range s.readerTS {
 		if tsr > s.frozenTSR(rj) {
-			newread = append(newread, types.ReadStamp{Reader: rj, TSR: tsr})
+			scratch = append(scratch, types.ReadStamp{Reader: rj, TSR: tsr})
 		}
 	}
-	return []transport.Outgoing{{To: from, Msg: wire.PWAck{TS: m.TS, NewRead: newread}}}
+	s.newreadScratch = scratch
+	var newread []types.ReadStamp
+	if len(scratch) > 0 {
+		newread = make([]types.ReadStamp, len(scratch))
+		copy(newread, scratch)
+	}
+	return append(out, transport.Outgoing{To: from, Msg: wire.PWAck{TS: m.TS, NewRead: newread}})
 }
 
 // onRead handles a READ round message (Fig. 3 lines 9–11). The reader
 // timestamp is recorded only from the second round on: a fast READ
 // leaves no trace, and only slow READs signal the writer via freezing.
-func (s *Server) onRead(from types.ProcID, m wire.Read) []transport.Outgoing {
+func (s *Server) onRead(from types.ProcID, m wire.Read, out []transport.Outgoing) []transport.Outgoing {
 	if m.TSR > s.readerTS[from] && m.Round > 1 {
+		if s.readerTS == nil {
+			s.readerTS = make(map[types.ProcID]types.ReaderTS)
+		}
 		s.readerTS[from] = m.TSR
 	}
-	return []transport.Outgoing{{
+	return append(out, transport.Outgoing{
 		To: from,
 		Msg: wire.ReadAck{
 			TSR:    m.TSR,
@@ -167,12 +207,12 @@ func (s *Server) onRead(from types.ProcID, m wire.Read) []transport.Outgoing {
 			VW:     s.vw,
 			Frozen: s.frozenLocked(from),
 		},
-	}}
+	})
 }
 
 // onW handles a write-phase or write-back message (Fig. 3 lines 12–16):
 // round 1 updates pw, round 2 additionally w, round 3 additionally vw.
-func (s *Server) onW(from types.ProcID, m wire.W) []transport.Outgoing {
+func (s *Server) onW(from types.ProcID, m wire.W, out []transport.Outgoing) []transport.Outgoing {
 	s.update(&s.pw, m.C)
 	if m.Round > 1 {
 		s.update(&s.w, m.C)
@@ -180,7 +220,7 @@ func (s *Server) onW(from types.ProcID, m wire.W) []transport.Outgoing {
 	if m.Round > 2 {
 		s.update(&s.vw, m.C)
 	}
-	return []transport.Outgoing{{To: from, Msg: wire.WAck{Round: m.Round, Tag: m.Tag}}}
+	return append(out, transport.Outgoing{To: from, Msg: wire.WAck{Round: m.Round, Tag: m.Tag}})
 }
 
 // update replaces *local with c only if c is strictly newer

@@ -43,16 +43,38 @@ type WriteFault struct {
 
 // Writer implements the WRITE protocol of Figure 1. A Writer is not
 // safe for concurrent use: the model has a single writer that invokes
-// one operation at a time.
+// one operation at a time — which is also what makes its round state
+// poolable. All per-operation machinery (timers, the PW_ACK set, the
+// outgoing-message buffer, the freeze scratch) lives on the Writer and
+// is reset per WRITE instead of reallocated, so a steady-state fast
+// WRITE allocates nothing beyond the messages themselves
+// (DESIGN.md §5).
 type Writer struct {
 	cfg Config
 	ep  transport.Endpoint
 
 	ts      types.TS
 	pw, w   types.Tagged
-	readTS  map[types.ProcID]types.ReaderTS
+	readTS  map[types.ProcID]types.ReaderTS // nil until the first freeze
 	frozen  []types.FrozenEntry
 	crashed bool
+
+	// serverIDs caches the all-servers broadcast target list.
+	serverIDs []types.ProcID
+
+	// pooled per-operation round state, reset per WRITE
+	opTimer    *time.Timer
+	roundTimer *time.Timer
+	acks       []wire.PWAck // slot per server, valid where ackSeen
+	ackSeen    []bool
+	ackCount   int
+	wackSeen   []bool
+	outBuf     []transport.Outgoing
+
+	// freezeValues scratch, touched only when a slow READ is in
+	// progress somewhere (nil/empty in steady state)
+	reported map[types.ProcID][]types.ReaderTS
+	dupSeen  map[types.ProcID]bool
 
 	lastMeta WriteMeta
 	stats    OpStats
@@ -61,11 +83,10 @@ type Writer struct {
 // NewWriter creates the writer client on the given endpoint.
 func NewWriter(cfg Config, ep transport.Endpoint) *Writer {
 	return &Writer{
-		cfg:    cfg,
-		ep:     ep,
-		pw:     types.Bottom(),
-		w:      types.Bottom(),
-		readTS: make(map[types.ProcID]types.ReaderTS),
+		cfg: cfg,
+		ep:  ep,
+		pw:  types.Bottom(),
+		w:   types.Bottom(),
 	}
 }
 
@@ -86,6 +107,30 @@ func (w *Writer) LastMeta() WriteMeta { return w.lastMeta }
 // NextTS returns the timestamp the next WRITE will use (for tests).
 func (w *Writer) NextTS() types.TS { return w.ts + 1 }
 
+// resetTimer arms a pooled timer, creating it on first use. Go 1.23+
+// timer semantics make Reset safe without draining: a pending fire from
+// a previous operation is discarded by the Reset.
+func resetTimer(t **time.Timer, d time.Duration) *time.Timer {
+	if *t == nil {
+		*t = time.NewTimer(d)
+	} else {
+		(*t).Reset(d)
+	}
+	return *t
+}
+
+// resetAcks clears the PW_ACK set for a new pre-write round.
+func (w *Writer) resetAcks() {
+	if w.acks == nil {
+		w.acks = make([]wire.PWAck, w.cfg.S())
+		w.ackSeen = make([]bool, w.cfg.S())
+	} else {
+		clear(w.acks)
+		clear(w.ackSeen)
+	}
+	w.ackCount = 0
+}
+
 func (w *Writer) write(v types.Value, f *WriteFault) error {
 	if w.crashed {
 		return ErrCrashed
@@ -93,7 +138,7 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 	if v == "" {
 		return ErrBottomValue
 	}
-	opDeadline := time.NewTimer(w.cfg.opTimeout())
+	opDeadline := resetTimer(&w.opTimer, w.cfg.opTimeout())
 	defer opDeadline.Stop()
 
 	// Pre-write phase (Fig. 1 lines 3–4): advance the timestamp, ship
@@ -102,7 +147,7 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 	w.ts++
 	w.pw = types.Tagged{TS: w.ts, Val: v}
 	pwMsg := wire.PW{TS: w.ts, PW: w.pw, W: w.w, Frozen: w.frozen}
-	if err := w.sendTo(pwTargets(w.cfg, f), pwMsg); err != nil {
+	if err := w.sendTo(w.pwTargets(f), pwMsg); err != nil {
 		return err
 	}
 	if f != nil && f.CrashAfterPW {
@@ -112,34 +157,34 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 
 	// Fig. 1 line 5: wait for S−t valid PW_ACKs and timer expiry (early
 	// exit when all S servers have answered — nothing more can arrive).
-	timer := time.NewTimer(w.cfg.roundTimeout())
+	timer := resetTimer(&w.roundTimer, w.cfg.roundTimeout())
 	defer timer.Stop()
-	acks := make(map[types.ProcID]wire.PWAck, w.cfg.S())
+	w.resetAcks()
 	expired := false
-	for len(acks) < w.cfg.S() && !(len(acks) >= w.cfg.Quorum() && expired) {
+	for w.ackCount < w.cfg.S() && !(w.ackCount >= w.cfg.Quorum() && expired) {
 		select {
 		case env, ok := <-w.ep.Recv():
 			if !ok {
 				return transport.ErrClosed
 			}
-			w.acceptPWAck(acks, env)
+			w.acceptPWAck(env)
 		case <-timer.C:
 			expired = true
 		case <-opDeadline.C:
 			return fmt.Errorf("WRITE(ts=%d) pre-write phase: %w", w.ts, ErrOpTimeout)
 		}
 	}
-	w.drainPWAcks(acks)
+	w.drainPWAcks()
 
 	// Fig. 1 lines 6–7: record the value as written, then detect slow
 	// READs and freeze values for them.
 	w.frozen = nil
 	w.w = w.pw
-	w.freezeValues(acks)
+	w.freezeValues()
 
 	// Fig. 1 line 8: fast path.
-	if len(acks) >= w.cfg.FastWriteAcks() {
-		w.lastMeta = WriteMeta{TS: w.ts, Rounds: 1, Fast: true, PWAcks: len(acks)}
+	if w.ackCount >= w.cfg.FastWriteAcks() {
+		w.lastMeta = WriteMeta{TS: w.ts, Rounds: 1, Fast: true, PWAcks: w.ackCount}
 		w.stats.record(1)
 		return nil
 	}
@@ -147,7 +192,7 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 	// Write phase (Fig. 1 lines 9–11): two more rounds.
 	for round := 2; round <= 3; round++ {
 		msg := wire.W{Round: round, Tag: int64(w.ts), C: w.pw}
-		if err := w.sendTo(wTargets(w.cfg, f, round), msg); err != nil {
+		if err := w.sendTo(w.wTargets(f, round), msg); err != nil {
 			return err
 		}
 		if f != nil && f.CrashAfterW[round] {
@@ -158,34 +203,38 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 			return err
 		}
 	}
-	w.lastMeta = WriteMeta{TS: w.ts, Rounds: 3, Fast: false, PWAcks: len(acks)}
+	w.lastMeta = WriteMeta{TS: w.ts, Rounds: 3, Fast: false, PWAcks: w.ackCount}
 	w.stats.record(3)
 	return nil
 }
 
 // acceptPWAck records a structurally valid, correctly tagged PW_ACK
 // from a server not yet counted.
-func (w *Writer) acceptPWAck(acks map[types.ProcID]wire.PWAck, env wire.Envelope) {
+func (w *Writer) acceptPWAck(env wire.Envelope) {
 	a, ok := env.Msg.(wire.PWAck)
-	if !ok || !validServer(w.cfg, env.From) || a.TS != w.ts || wire.Validate(a) != nil {
+	// Validate the envelope's interface value, not the unboxed a —
+	// re-boxing it would allocate on every ack.
+	if !ok || !validServer(w.cfg, env.From) || a.TS != w.ts || wire.Validate(env.Msg) != nil {
 		return
 	}
-	if _, dup := acks[env.From]; !dup {
-		acks[env.From] = a
+	if i := env.From.Index(); !w.ackSeen[i] {
+		w.ackSeen[i] = true
+		w.acks[i] = a
+		w.ackCount++
 	}
 }
 
 // drainPWAcks consumes acks that are already queued when the wait
 // condition is met, so the fast-path check of line 8 sees every reply
 // that arrived within the timer.
-func (w *Writer) drainPWAcks(acks map[types.ProcID]wire.PWAck) {
+func (w *Writer) drainPWAcks() {
 	for {
 		select {
 		case env, ok := <-w.ep.Recv():
 			if !ok {
 				return
 			}
-			w.acceptPWAck(acks, env)
+			w.acceptPWAck(env)
 		default:
 			return
 		}
@@ -196,21 +245,44 @@ func (w *Writer) drainPWAcks(acks map[types.ProcID]wire.PWAck) {
 // by at least b+1 servers with a READ timestamp above the writer's
 // recorded one, advance the record to the (b+1)-st highest reported
 // timestamp and freeze the current pre-written pair for that reader.
-func (w *Writer) freezeValues(acks map[types.ProcID]wire.PWAck) {
-	reported := make(map[types.ProcID][]types.ReaderTS)
-	for _, a := range acks {
-		seen := make(map[types.ProcID]bool, len(a.NewRead))
-		for _, rs := range a.NewRead {
-			if seen[rs.Reader] {
+//
+// The steady state — no slow READ in progress anywhere, so every
+// NewRead set is empty — is detected with one scan and skips the
+// tallying machinery entirely. The slow path reuses the writer's
+// scratch map across operations and scans small NewRead sets linearly
+// for duplicates (a map is built only for implausibly large, i.e.
+// forged-but-valid, sets).
+func (w *Writer) freezeValues() {
+	any := false
+	for i, seen := range w.ackSeen {
+		if seen && len(w.acks[i].NewRead) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	if w.reported == nil {
+		w.reported = make(map[types.ProcID][]types.ReaderTS)
+	} else {
+		clear(w.reported)
+	}
+	for i, seen := range w.ackSeen {
+		if !seen {
+			continue
+		}
+		newread := w.acks[i].NewRead
+		for j, rs := range newread {
+			if w.duplicateStamp(newread, j) {
 				continue // a malicious server may repeat a reader; count it once
 			}
-			seen[rs.Reader] = true
 			if rs.TSR > w.readTS[rs.Reader] {
-				reported[rs.Reader] = append(reported[rs.Reader], rs.TSR)
+				w.reported[rs.Reader] = append(w.reported[rs.Reader], rs.TSR)
 			}
 		}
 	}
-	for rj, tsrs := range reported {
+	for rj, tsrs := range w.reported {
 		if len(tsrs) < w.cfg.SafeThreshold() {
 			continue
 		}
@@ -218,15 +290,55 @@ func (w *Writer) freezeValues(acks map[types.ProcID]wire.PWAck) {
 		if !ok {
 			continue
 		}
+		if w.readTS == nil {
+			w.readTS = make(map[types.ProcID]types.ReaderTS)
+		}
 		w.readTS[rj] = nth
 		w.frozen = append(w.frozen, types.FrozenEntry{Reader: rj, PW: w.pw, TSR: nth})
 	}
 }
 
+// smallNewReadSet is the size up to which duplicate detection scans the
+// prefix linearly; correct servers report at most one stamp per reader
+// with an outstanding slow READ, so real sets are tiny.
+const smallNewReadSet = 8
+
+// duplicateStamp reports whether newread[j] repeats an earlier entry's
+// reader. Large (necessarily forged) sets switch to the reusable map so
+// a Byzantine server cannot force a quadratic scan.
+func (w *Writer) duplicateStamp(newread []types.ReadStamp, j int) bool {
+	rj := newread[j].Reader
+	if len(newread) <= smallNewReadSet {
+		for _, prev := range newread[:j] {
+			if prev.Reader == rj {
+				return true
+			}
+		}
+		return false
+	}
+	if j == 0 {
+		if w.dupSeen == nil {
+			w.dupSeen = make(map[types.ProcID]bool, len(newread))
+		} else {
+			clear(w.dupSeen)
+		}
+	}
+	if w.dupSeen[rj] {
+		return true
+	}
+	w.dupSeen[rj] = true
+	return false
+}
+
 // awaitWAcks waits for S−t valid WRITE_ACKs for the given round.
 func (w *Writer) awaitWAcks(round int, tag int64, opDeadline *time.Timer) error {
-	got := make(map[types.ProcID]bool, w.cfg.S())
-	for len(got) < w.cfg.Quorum() {
+	if w.wackSeen == nil {
+		w.wackSeen = make([]bool, w.cfg.S())
+	} else {
+		clear(w.wackSeen)
+	}
+	got := 0
+	for got < w.cfg.Quorum() {
 		select {
 		case env, ok := <-w.ep.Recv():
 			if !ok {
@@ -236,7 +348,10 @@ func (w *Writer) awaitWAcks(round int, tag int64, opDeadline *time.Timer) error 
 			if !isAck || !validServer(w.cfg, env.From) || a.Round != round || a.Tag != tag {
 				continue
 			}
-			got[env.From] = true
+			if i := env.From.Index(); !w.wackSeen[i] {
+				w.wackSeen[i] = true
+				got++
+			}
 		case <-opDeadline.C:
 			return fmt.Errorf("WRITE(ts=%d) W round %d: %w", w.ts, round, ErrOpTimeout)
 		}
@@ -244,26 +359,37 @@ func (w *Writer) awaitWAcks(round int, tag int64, opDeadline *time.Timer) error 
 	return nil
 }
 
+// sendTo fans m out to targets through the writer's reusable outgoing
+// buffer.
 func (w *Writer) sendTo(targets []types.ProcID, m wire.Message) error {
-	out := make([]transport.Outgoing, len(targets))
-	for i, id := range targets {
-		out[i] = transport.Outgoing{To: id, Msg: m}
+	out := w.outBuf[:0]
+	for _, id := range targets {
+		out = append(out, transport.Outgoing{To: id, Msg: m})
 	}
+	w.outBuf = out
 	return transport.SendAll(w.ep, out)
 }
 
-func pwTargets(cfg Config, f *WriteFault) []types.ProcID {
+// allServers returns the cached all-servers broadcast list.
+func (w *Writer) allServers() []types.ProcID {
+	if w.serverIDs == nil {
+		w.serverIDs = types.ServerIDs(w.cfg.S())
+	}
+	return w.serverIDs
+}
+
+func (w *Writer) pwTargets(f *WriteFault) []types.ProcID {
 	if f != nil && f.PWTo != nil {
 		return f.PWTo
 	}
-	return types.ServerIDs(cfg.S())
+	return w.allServers()
 }
 
-func wTargets(cfg Config, f *WriteFault, round int) []types.ProcID {
+func (w *Writer) wTargets(f *WriteFault, round int) []types.ProcID {
 	if f != nil && f.WTo != nil && f.WTo[round] != nil {
 		return f.WTo[round]
 	}
-	return types.ServerIDs(cfg.S())
+	return w.allServers()
 }
 
 // validServer reports whether id names one of the cluster's S servers;

@@ -27,6 +27,11 @@ type Server struct {
 	factory func() node.Automaton
 }
 
+var (
+	_ node.Automaton     = (*Server)(nil)
+	_ node.AppendStepper = (*Server)(nil)
+)
+
 // NewServer creates a keyed server whose per-register automata come
 // from factory (e.g. func() node.Automaton { return core.NewServer() }).
 func NewServer(factory func() node.Automaton) *Server {
@@ -42,9 +47,17 @@ func (s *Server) Regs() int {
 
 // Step implements node.Automaton: unwrap, dispatch, re-wrap.
 func (s *Server) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
+	return s.StepAppend(from, m, nil)
+}
+
+// StepAppend implements node.AppendStepper: the inner automaton appends
+// its replies directly into out and the suffix is re-wrapped for the
+// key in place — no intermediate slice per message.
+func (s *Server) StepAppend(from types.ProcID, m wire.Message, out []transport.Outgoing) []transport.Outgoing {
 	k, ok := m.(wire.Keyed)
-	if !ok || wire.Validate(k) != nil {
-		return nil
+	// Validate m, not the unboxed k: re-boxing would allocate per step.
+	if !ok || wire.Validate(m) != nil {
+		return out
 	}
 	s.mu.Lock()
 	reg, exists := s.regs[k.Key]
@@ -53,10 +66,14 @@ func (s *Server) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
 		s.regs[k.Key] = reg
 	}
 	s.mu.Unlock()
-	inner := reg.Step(from, k.Inner)
-	out := make([]transport.Outgoing, len(inner))
-	for i, o := range inner {
-		out[i] = transport.Outgoing{To: o.To, Msg: wire.Keyed{Key: k.Key, Inner: o.Msg}}
+	return rewrapAppended(k.Key, out, node.StepInto(reg, from, k.Inner, out))
+}
+
+// rewrapAppended wraps the replies a keyed step appended past the
+// caller's prefix back into the register's Keyed envelope.
+func rewrapAppended(key string, prefix, out []transport.Outgoing) []transport.Outgoing {
+	for i := len(prefix); i < len(out); i++ {
+		out[i].Msg = wire.Keyed{Key: key, Inner: out[i].Msg}
 	}
 	return out
 }
@@ -140,7 +157,9 @@ func (d *Demux) pump() {
 	defer close(d.done)
 	for env := range d.inner.Recv() {
 		k, ok := env.Msg.(wire.Keyed)
-		if !ok || wire.Validate(k) != nil {
+		// Validate env.Msg, not the unboxed k: re-boxing would allocate
+		// on every routed reply.
+		if !ok || wire.Validate(env.Msg) != nil {
 			continue // unkeyed or malformed traffic is dropped
 		}
 		v, ok := d.subs.Load(k.Key) // lock-free: no cross-key contention

@@ -42,7 +42,10 @@ type shard struct {
 	factory func() node.Automaton
 }
 
-var _ node.Automaton = (*shard)(nil)
+var (
+	_ node.Automaton     = (*shard)(nil)
+	_ node.AppendStepper = (*shard)(nil)
+)
 
 // NewShardedServer creates a keyed server split across n shards whose
 // per-register automata come from factory.
@@ -91,9 +94,18 @@ func (s *ShardedServer) Regs() int { return int(s.regs.Load()) }
 // key's automaton, re-wrap. The map access is unlocked — the shard's
 // worker goroutine is the only one ever here.
 func (sh *shard) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
+	return sh.StepAppend(from, m, nil)
+}
+
+// StepAppend implements node.AppendStepper: the key's automaton appends
+// its replies directly into out and the suffix is re-wrapped in place,
+// so a shard worker with a scratch buffer steps without slice
+// allocations.
+func (sh *shard) StepAppend(from types.ProcID, m wire.Message, out []transport.Outgoing) []transport.Outgoing {
 	k, ok := m.(wire.Keyed)
-	if !ok || wire.Validate(k) != nil {
-		return nil
+	// Validate m, not the unboxed k: re-boxing would allocate per step.
+	if !ok || wire.Validate(m) != nil {
+		return out
 	}
 	reg, exists := sh.regs[k.Key]
 	if !exists {
@@ -101,10 +113,5 @@ func (sh *shard) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
 		sh.regs[k.Key] = reg
 		sh.parent.regs.Add(1)
 	}
-	inner := reg.Step(from, k.Inner)
-	out := make([]transport.Outgoing, len(inner))
-	for i, o := range inner {
-		out[i] = transport.Outgoing{To: o.To, Msg: wire.Keyed{Key: k.Key, Inner: o.Msg}}
-	}
-	return out
+	return rewrapAppended(k.Key, out, node.StepInto(reg, from, k.Inner, out))
 }

@@ -40,9 +40,9 @@ func TestMetaLookupDoesNotCreate(t *testing.T) {
 	if gm.Rounds() != 0 {
 		t.Errorf("GetMeta on unused key = %+v, want zero meta", gm)
 	}
-	st.mu.Lock()
-	nw, nr := len(st.writers), len(st.readers[0])
-	st.mu.Unlock()
+	nw, nr := 0, 0
+	st.writers.Range(func(_, _ any) bool { nw++; return true })
+	st.readers[0].Range(func(_, _ any) bool { nr++; return true })
 	if nw != 0 || nr != 0 {
 		t.Errorf("meta lookups allocated handles: %d writers, %d readers", nw, nr)
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"luckystore/internal/core"
 	"luckystore/internal/keyed"
@@ -67,6 +68,14 @@ func WithSimOptions(opts ...simnet.Option) Option {
 }
 
 // Store is a running multi-register deployment plus its clients.
+//
+// Handle lookup is lock-free on the hot path: the per-key writer and
+// reader handles live in sync.Maps, so concurrent Put/Get on existing
+// keys never contend on a store-wide lock (the old mu serialized every
+// operation's handle fetch). openMu serializes only the cold path —
+// opening a demux endpoint for a key's first operation — and closed is
+// an atomic flag checked there; operations racing Close are cut off by
+// their endpoints closing under them, which surfaces ErrClosed.
 type Store struct {
 	cfg     core.Config
 	shards  int
@@ -77,10 +86,11 @@ type Store struct {
 	writerDemux  *keyed.Demux
 	readerDemuxs []*keyed.Demux
 
-	mu      sync.Mutex
-	writers map[string]*writerHandle
-	readers map[int]map[string]*readerHandle
-	closed  bool
+	writers sync.Map   // key string → *writerHandle
+	readers []sync.Map // per reader client: key string → *readerHandle
+
+	openMu sync.Mutex // cold path: first-use handle creation
+	closed atomic.Bool
 
 	closeOnce sync.Once
 }
@@ -122,8 +132,7 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 		shards:  o.shards,
 		net:     sim,
 		sim:     sim,
-		writers: make(map[string]*writerHandle),
-		readers: make(map[int]map[string]*readerHandle),
+		readers: make([]sync.Map, cfg.NumReaders),
 	}
 	for i := 0; i < cfg.S(); i++ {
 		ep, err := sim.Endpoint(types.ServerID(i))
@@ -149,7 +158,6 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 			return nil, err
 		}
 		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(transport.NewCoalescer(rep)))
-		st.readers[i] = make(map[string]*readerHandle)
 	}
 	return st, nil
 }
@@ -188,12 +196,10 @@ func OpenWithEndpoints(cfg core.Config, writerEP transport.Endpoint, readerEPs [
 	st := &Store{
 		cfg:         cfg,
 		writerDemux: keyed.NewDemux(transport.NewCoalescer(writerEP)),
-		writers:     make(map[string]*writerHandle),
-		readers:     make(map[int]map[string]*readerHandle),
+		readers:     make([]sync.Map, len(readerEPs)),
 	}
-	for i, rep := range readerEPs {
+	for _, rep := range readerEPs {
 		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(transport.NewCoalescer(rep)))
-		st.readers[i] = make(map[string]*readerHandle)
 	}
 	return st, nil
 }
@@ -223,12 +229,11 @@ func (s *Store) Put(key string, value types.Value) error {
 // meta: inspecting metadata is a pure lookup and allocates no writer
 // state for the key.
 func (s *Store) PutMeta(key string) (core.WriteMeta, error) {
-	s.mu.Lock()
-	h, ok := s.writers[key]
-	s.mu.Unlock()
+	v, ok := s.writers.Load(key)
 	if !ok {
 		return core.WriteMeta{}, nil
 	}
+	h := v.(*writerHandle)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.w.LastMeta(), nil
@@ -253,12 +258,11 @@ func (s *Store) GetMeta(idx int, key string) (core.ReadMeta, error) {
 	if idx < 0 || idx >= len(s.readerDemuxs) {
 		return core.ReadMeta{}, fmt.Errorf("kv: reader index %d out of range [0,%d)", idx, len(s.readerDemuxs))
 	}
-	s.mu.Lock()
-	h, ok := s.readers[idx][key]
-	s.mu.Unlock()
+	v, ok := s.readers[idx].Load(key)
 	if !ok {
 		return core.ReadMeta{}, nil
 	}
+	h := v.(*readerHandle)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.r.LastMeta(), nil
@@ -401,9 +405,7 @@ func (s *Store) Sim() *simnet.Network { return s.sim }
 // fast with ErrClosed.
 func (s *Store) Close() {
 	s.closeOnce.Do(func() {
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
+		s.closed.Store(true)
 		if s.writerDemux != nil {
 			_ = s.writerDemux.Close()
 		}
@@ -419,41 +421,51 @@ func (s *Store) Close() {
 	})
 }
 
+// writerFor returns key's writer handle. The hot path is one lock-free
+// sync.Map load; only a key's first Put takes the cold path below.
 func (s *Store) writerFor(key string) (*writerHandle, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if v, ok := s.writers.Load(key); ok {
+		return v.(*writerHandle), nil
+	}
+	s.openMu.Lock()
+	defer s.openMu.Unlock()
+	if s.closed.Load() {
 		return nil, fmt.Errorf("kv writer for %q: %w", key, ErrClosed)
 	}
-	if h, ok := s.writers[key]; ok {
-		return h, nil
+	if v, ok := s.writers.Load(key); ok {
+		return v.(*writerHandle), nil // lost the open race; reuse the winner
 	}
 	ep, err := s.writerDemux.Open(key)
 	if err != nil {
 		return nil, fmt.Errorf("kv writer for %q: %w", key, err)
 	}
 	h := &writerHandle{w: core.NewWriter(s.cfg, ep)}
-	s.writers[key] = h
+	s.writers.Store(key, h)
 	return h, nil
 }
 
+// readerFor returns reader idx's handle for key, lock-free once the
+// handle exists (see writerFor).
 func (s *Store) readerFor(idx int, key string) (*readerHandle, error) {
 	if idx < 0 || idx >= len(s.readerDemuxs) {
 		return nil, fmt.Errorf("kv: reader index %d out of range [0,%d)", idx, len(s.readerDemuxs))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if v, ok := s.readers[idx].Load(key); ok {
+		return v.(*readerHandle), nil
+	}
+	s.openMu.Lock()
+	defer s.openMu.Unlock()
+	if s.closed.Load() {
 		return nil, fmt.Errorf("kv reader %d for %q: %w", idx, key, ErrClosed)
 	}
-	if h, ok := s.readers[idx][key]; ok {
-		return h, nil
+	if v, ok := s.readers[idx].Load(key); ok {
+		return v.(*readerHandle), nil
 	}
 	ep, err := s.readerDemuxs[idx].Open(key)
 	if err != nil {
 		return nil, fmt.Errorf("kv reader %d for %q: %w", idx, key, err)
 	}
 	h := &readerHandle{r: core.NewReader(s.cfg, types.ReaderID(idx), ep)}
-	s.readers[idx][key] = h
+	s.readers[idx].Store(key, h)
 	return h, nil
 }

@@ -21,6 +21,33 @@ type Automaton interface {
 	Step(from types.ProcID, m wire.Message) []transport.Outgoing
 }
 
+// AppendStepper is the allocation-free variant of Automaton's step: the
+// caller passes a reusable output buffer and the automaton appends its
+// replies instead of allocating a fresh slice per message.
+//
+// Buffer ownership (the step-sink contract, DESIGN.md §5): the caller
+// owns the backing array and may reuse it as soon as it has finished
+// with the returned slice; the callee must not retain the slice (or any
+// subslice) past the call. The message *values* appended are handed off
+// for good — they travel through mailboxes and sockets — so a callee
+// must never append a message it plans to mutate later.
+type AppendStepper interface {
+	StepAppend(from types.ProcID, m wire.Message, out []transport.Outgoing) []transport.Outgoing
+}
+
+// StepInto drives one step through the append-based API when a
+// implements it, falling back to Step and copying its result. Every
+// driver (Runner, ShardedRunner, StepPool, tcpnet's serve loops) steps
+// through this helper, so an automaton only has to implement
+// AppendStepper to put its whole deployment on the zero-allocation
+// path.
+func StepInto(a Automaton, from types.ProcID, m wire.Message, out []transport.Outgoing) []transport.Outgoing {
+	if as, ok := a.(AppendStepper); ok {
+		return as.StepAppend(from, m, out)
+	}
+	return append(out, a.Step(from, m)...)
+}
+
 // Runner drives one automaton from one endpoint.
 type Runner struct {
 	ep transport.Endpoint
@@ -85,6 +112,10 @@ func (r *Runner) Stop() { r.Crash() }
 
 func (r *Runner) run() {
 	defer close(r.done)
+	// scratch is the pump's reusable step-output buffer: one backing
+	// array for the runner's lifetime instead of one slice per message
+	// (see the AppendStepper ownership contract).
+	var scratch []transport.Outgoing
 	for {
 		select {
 		case <-r.stop:
@@ -99,12 +130,12 @@ func (r *Runner) run() {
 				r.stopOnce.Do(func() { close(r.stop) })
 				return
 			}
-			out := r.a.Step(env.From, env.Msg)
+			scratch = StepInto(r.a, env.From, env.Msg, scratch[:0])
 			r.steps.Add(1)
 			// Best effort: the network may be shutting down underneath a
 			// still-running server; a correct server has nothing better
 			// to do with a send error than keep serving.
-			_ = transport.SendAll(r.ep, out)
+			_ = transport.SendAll(r.ep, scratch)
 		}
 	}
 }

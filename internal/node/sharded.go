@@ -144,8 +144,10 @@ func (r *ShardedRunner) dispatch() {
 	}
 }
 
-// work is shard i's pump: it owns r.shards[i] exclusively.
+// work is shard i's pump: it owns r.shards[i] exclusively, including
+// the worker-local step-output buffer reused across its steps.
 func (r *ShardedRunner) work(i int) {
+	var scratch []transport.Outgoing
 	for {
 		select {
 		case <-r.stop:
@@ -157,11 +159,11 @@ func (r *ShardedRunner) work(i int) {
 			if !r.reserveStep() {
 				return
 			}
-			out := r.shards[i].Step(env.From, env.Msg)
+			scratch = StepInto(r.shards[i], env.From, env.Msg, scratch[:0])
 			// Best effort: the network may be shutting down underneath a
 			// still-running server; a correct server has nothing better
 			// to do with a send error than keep serving.
-			_ = transport.SendAll(r.ep, out)
+			_ = transport.SendAll(r.ep, scratch)
 		}
 	}
 }

@@ -32,7 +32,12 @@ type poolJob struct {
 // parallel.
 //
 // The sink callback runs on the shard's worker goroutine and therefore
-// must not block; a blocking sink stalls every key on that shard.
+// must not block; a blocking sink stalls every key on that shard. The
+// slice handed to the sink is the worker's reusable scratch buffer
+// (the step-sink contract, DESIGN.md §5): it is valid only for the
+// duration of the callback, so a sink that needs the replies later
+// must copy the message values out (the values themselves are safe to
+// retain — only the slice is reused).
 type StepPool struct {
 	shards []Automaton
 	route  func(wire.Message) int
@@ -95,17 +100,19 @@ func (p *StepPool) Close() {
 	p.wg.Wait()
 }
 
-// work is shard i's worker: the only goroutine ever stepping shards[i].
+// work is shard i's worker: the only goroutine ever stepping shards[i],
+// and the exclusive owner of the scratch buffer its sinks see.
 func (p *StepPool) work(i int) {
 	defer p.wg.Done()
+	var scratch []transport.Outgoing
 	for {
 		select {
 		case <-p.stop:
 			return
 		case job := <-p.queues[i]:
-			out := p.shards[i].Step(job.from, job.msg)
+			scratch = StepInto(p.shards[i], job.from, job.msg, scratch[:0])
 			if job.sink != nil {
-				job.sink(out)
+				job.sink(scratch)
 			}
 		}
 	}

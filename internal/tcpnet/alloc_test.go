@@ -1,0 +1,101 @@
+//go:build !race
+
+package tcpnet
+
+import (
+	"testing"
+
+	"luckystore/internal/core"
+	"luckystore/internal/types"
+)
+
+// tcpSteadyStateAllocBudget bounds a steady-state fast operation over
+// loopback TCP, across all goroutines. On top of simnet's boxings
+// (request + S acks) the TCP path pays one decode boxing per frame on
+// each side (the codec's unavoidable Message boxing, see
+// wire.TestCodecSteadyStateAllocs) — but no per-frame buffers: encode
+// goes through pooled/reusable buffers on both client and server, and
+// decode through the codec's chunk pool. Structurally that is
+// 1 + 2·S boxings client+server plus S decode boxings back at the
+// client = 10 for S = 3; the budget has two allocs of headroom.
+//
+// The tests write one-byte values (interned by the runtime) to pin the
+// *structural* cost: multi-byte payloads additionally pay the
+// unavoidable one-string-per-decoded-value term, which scales with the
+// number of value fields decoded (2·S for PW, up to 3·S for READ_ACK),
+// not with the pipeline.
+const tcpSteadyStateAllocBudget = 12
+
+// tcpAllocCluster starts S serialized-mode servers and a client
+// endpoint for id over loopback TCP.
+func tcpAllocCluster(t *testing.T, cfg core.Config, id types.ProcID) *Client {
+	t.Helper()
+	servers := make(map[types.ProcID]string, cfg.S())
+	for i := 0; i < cfg.S(); i++ {
+		srv, err := Listen(types.ServerID(i), "127.0.0.1:0", core.NewServer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		servers[srv.ID()] = srv.Addr()
+	}
+	c, err := Dial(id, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestPutSteadyStateAllocsTCP(t *testing.T) {
+	cfg := core.Config{T: 1, B: 0, Fw: 0, NumReaders: 1}
+	c := tcpAllocCluster(t, cfg, types.WriterID())
+	w := core.NewWriter(cfg, c)
+	for i := 0; i < 64; i++ {
+		if err := w.Write("warm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.Write("v"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > tcpSteadyStateAllocBudget+0.5 {
+		t.Errorf("steady-state Write over TCP: %.1f allocs/op, budget %d", allocs, tcpSteadyStateAllocBudget)
+	}
+	if !w.LastMeta().Fast {
+		t.Fatal("writes were not fast; the measurement did not hit the steady-state path")
+	}
+}
+
+func TestGetSteadyStateAllocsTCP(t *testing.T) {
+	cfg := core.Config{T: 1, B: 0, Fw: 0, NumReaders: 1}
+	wc := tcpAllocCluster(t, cfg, types.WriterID())
+	w := core.NewWriter(cfg, wc)
+	if err := w.Write("s"); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Dial(types.ReaderID(0), wc.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rc.Close() })
+	r := core.NewReader(cfg, types.ReaderID(0), rc)
+	for i := 0; i < 64; i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > tcpSteadyStateAllocBudget+0.5 {
+		t.Errorf("steady-state Read over TCP: %.1f allocs/op, budget %d", allocs, tcpSteadyStateAllocBudget)
+	}
+	if !r.LastMeta().Fast() {
+		t.Fatal("reads were not fast; the measurement did not hit the steady-state path")
+	}
+}

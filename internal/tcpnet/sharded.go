@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 
 	"luckystore/internal/node"
@@ -48,48 +49,83 @@ func ListenSharded(id types.ProcID, addr string, shards []node.Automaton, route 
 	return s, nil
 }
 
+// replySlot holds one inner message's replies to the peer. A step of
+// this protocol family produces at most one reply to the requester, so
+// the slot stores that message inline; rest exists only for exotic
+// automata and stays nil on the hot path.
+type replySlot struct {
+	msg  wire.Message
+	rest []wire.Message
+}
+
 // pendingFrame collects the replies of one request frame: one slot per
 // inner message, filled by shard workers as steps complete, in whatever
 // order the shards finish. ready closes when every slot is filled, and
-// the write pump flattens the slots in request order — intra-frame
-// reply order is deterministic even though stepping was parallel.
+// the write pump reads the slots in request order — intra-frame reply
+// order is deterministic even though stepping was parallel.
+//
+// Frames are pooled: in the steady state a request frame costs one
+// channel allocation, not a struct + slot array + per-slot reply slice.
 type pendingFrame struct {
-	replies   [][]wire.Message
+	slots     []replySlot
 	remaining atomic.Int32
 	ready     chan struct{}
 }
 
+var framePool = sync.Pool{New: func() any { return new(pendingFrame) }}
+
 func newPendingFrame(n int) *pendingFrame {
-	pf := &pendingFrame{
-		replies: make([][]wire.Message, n),
-		ready:   make(chan struct{}),
+	pf := framePool.Get().(*pendingFrame)
+	if cap(pf.slots) < n {
+		pf.slots = make([]replySlot, n)
+	} else {
+		pf.slots = pf.slots[:n]
 	}
+	pf.ready = make(chan struct{})
 	pf.remaining.Store(int32(n))
 	return pf
 }
 
-// fill stores slot i's replies and closes ready when it was the last
-// outstanding slot. Each slot is filled exactly once, by the worker
-// that stepped its message; the atomic decrement orders every fill
-// before the close, so the pump reads the slots race-free.
-func (pf *pendingFrame) fill(i int, msgs []wire.Message) {
-	pf.replies[i] = msgs
+// release clears the slots' message references (so pooling does not
+// pin replies for GC) and returns the frame to the pool. Only the
+// write pump calls it, after the frame has been written or dropped.
+func (pf *pendingFrame) release() {
+	clear(pf.slots)
+	framePool.Put(pf)
+}
+
+// fill stores slot i's replies — selected from the worker's scratch
+// output, which is only valid during this call — and closes ready when
+// it was the last outstanding slot. Each slot is filled exactly once,
+// by the worker that stepped its message; the atomic decrement orders
+// every fill before the close, so the pump reads the slots race-free.
+func (pf *pendingFrame) fill(i int, out []transport.Outgoing, peer types.ProcID) {
+	slot := &pf.slots[i]
+	for _, o := range out {
+		if o.To != peer {
+			continue // a data-centric server replies only to the requester
+		}
+		if slot.msg == nil {
+			slot.msg = o.Msg
+		} else {
+			slot.rest = append(slot.rest, o.Msg)
+		}
+	}
 	if pf.remaining.Add(-1) == 0 {
 		close(pf.ready)
 	}
 }
 
-// flatten returns all replies in request order. Only valid after ready.
-func (pf *pendingFrame) flatten() []wire.Message {
-	var n int
-	for _, r := range pf.replies {
-		n += len(r)
+// appendReplies appends all replies in request order to buf. Only valid
+// after ready.
+func (pf *pendingFrame) appendReplies(buf []wire.Message) []wire.Message {
+	for i := range pf.slots {
+		if pf.slots[i].msg != nil {
+			buf = append(buf, pf.slots[i].msg)
+		}
+		buf = append(buf, pf.slots[i].rest...)
 	}
-	out := make([]wire.Message, 0, n)
-	for _, r := range pf.replies {
-		out = append(out, r...)
-	}
-	return out
+	return buf
 }
 
 // servePipelined handles one connection on the sharded path: the read
@@ -116,27 +152,22 @@ readLoop:
 		select {
 		case frames <- pf:
 		case <-s.closed:
+			pf.release() // never reached the pump; don't leak it from the pool
 			break readLoop
 		}
 		for i, e := range inner {
 			slot := i
 			// The connection authenticates the sender: ignore the
 			// claimed From and use the handshake identity. The sink runs
-			// on the shard worker; it only stores and decrements.
+			// on the shard worker; it only copies the peer-bound replies
+			// out of the worker's scratch and decrements.
 			ok := s.pool.Submit(peer, e.Msg, func(out []transport.Outgoing) {
-				var replies []wire.Message
-				for _, o := range out {
-					if o.To != peer {
-						continue // a data-centric server replies only to the requester
-					}
-					replies = append(replies, o.Msg)
-				}
-				pf.fill(slot, replies)
+				pf.fill(slot, out, peer)
 			})
 			if !ok {
 				// Pool closed mid-frame: complete the slot empty so the
 				// pump can drain and exit.
-				pf.fill(slot, nil)
+				pf.fill(slot, nil, peer)
 			}
 		}
 	}
@@ -147,7 +178,9 @@ readLoop:
 // writePump is the connection's dedicated writer: it takes completed
 // frames in request order and writes each frame's replies coalesced
 // into batch frames (writeReplies), so concurrent shard workers never
-// interleave writes on one socket.
+// interleave writes on one socket. Completed frames are recycled into
+// the frame pool, and the reply list is gathered into a pump-local
+// reusable buffer.
 //
 // Replies accumulate in a buffered writer with two flush points, both
 // chosen so no client ever waits on buffered bytes: before blocking —
@@ -160,6 +193,7 @@ readLoop:
 func (s *Server) writePump(conn net.Conn, peer types.ProcID, frames <-chan *pendingFrame, done chan<- struct{}) {
 	defer close(done)
 	bw := bufio.NewWriterSize(conn, connBufSize)
+	var replyBuf []wire.Message
 	broken := false
 	flush := func() {
 		if !broken && bw.Flush() != nil {
@@ -169,7 +203,8 @@ func (s *Server) writePump(conn net.Conn, peer types.ProcID, frames <-chan *pend
 	}
 	for pf := range frames {
 		if broken {
-			continue // keep draining so the read loop never blocks
+			s.awaitAndRelease(pf) // keep draining so the read loop never blocks
+			continue
 		}
 		select {
 		case <-pf.ready:
@@ -182,13 +217,17 @@ func (s *Server) writePump(conn net.Conn, peer types.ProcID, frames <-chan *pend
 			case <-s.closed:
 				broken = true
 				_ = conn.Close()
+				s.awaitAndRelease(pf)
 				continue
 			}
 			if broken {
+				pf.release()
 				continue
 			}
 		}
-		if err := writeReplies(bw, s.id, peer, pf.flatten()); err != nil {
+		replyBuf = pf.appendReplies(replyBuf[:0])
+		pf.release()
+		if err := writeReplies(bw, s.id, peer, replyBuf); err != nil {
 			broken = true
 			_ = conn.Close() // stop the read loop too
 			continue
@@ -198,4 +237,18 @@ func (s *Server) writePump(conn net.Conn, peer types.ProcID, frames <-chan *pend
 		}
 	}
 	flush()
+}
+
+// awaitAndRelease returns a dropped frame to the pool once its last
+// fill has happened — a frame still being filled by shard workers must
+// not be recycled under them.
+func (s *Server) awaitAndRelease(pf *pendingFrame) {
+	select {
+	case <-pf.ready:
+		pf.release()
+	default:
+		// Workers are still filling slots (or the pool dropped the jobs
+		// on Close and ready will never close): leave the frame to the
+		// GC rather than risk recycling it mid-fill.
+	}
 }

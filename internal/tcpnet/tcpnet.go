@@ -169,6 +169,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	br := bufio.NewReaderSize(conn, connBufSize)
 	bw := bufio.NewWriterSize(conn, connBufSize)
+	// Per-connection reusable buffers: the automaton appends step output
+	// into scratch (the step-sink contract) and peer-bound replies
+	// accumulate in replies, both backed by one array across frames.
+	var scratch []transport.Outgoing
+	var replies []wire.Message
 	for {
 		env, err := wire.DecodeFrame(br)
 		if err != nil {
@@ -178,14 +183,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		// message is a separate automaton step. Replies to one batch
 		// coalesce back into a single frame, so a lucky multi-key round
 		// trip costs one frame each way.
-		var replies []wire.Message
+		replies = replies[:0]
 		for _, e := range wire.Expand(env) {
 			// The connection authenticates the sender: ignore the claimed
 			// From and use the handshake identity.
 			s.mu.Lock()
-			out := s.auto.Step(peer, e.Msg)
+			scratch = node.StepInto(s.auto, peer, e.Msg, scratch[:0])
 			s.mu.Unlock()
-			for _, o := range out {
+			for _, o := range scratch {
 				if o.To != peer {
 					continue // a data-centric server replies only to the requester
 				}

@@ -19,17 +19,33 @@ import (
 // other messages flush in their own frames, in send order relative to
 // the keyed traffic for the same destination. Per-destination FIFO
 // order is preserved end to end.
+//
+// Queues are double-buffered per destination (DESIGN.md §5): each
+// destination keeps two message slices that ping-pong between the
+// senders and the flusher, and the round-order list ping-pongs the same
+// way, so a steady-state flush cycle performs no map or slice
+// allocation. The destination set is the (small, stable) server set, so
+// entries are never evicted.
 type Coalescer struct {
 	inner Endpoint
 	batch BatchSender // inner's direct-encode fast path, nil if unsupported
 
-	mu      sync.Mutex
-	pending map[types.ProcID][]wire.Message
-	order   []types.ProcID // destinations in first-send order
-	wake    chan struct{}  // capacity 1: signals the flusher
-	closed  bool
+	mu         sync.Mutex
+	pending    map[types.ProcID]*destQueue
+	order      []types.ProcID // destinations with queued traffic, first-send order
+	orderSpare []types.ProcID // drained order list being recycled
+	closed     bool
+	wake       chan struct{} // capacity 1: signals the flusher
 
-	done chan struct{} // closed when the flusher goroutine has exited
+	drained [][]wire.Message // flusher-owned scratch, parallel to its order
+	done    chan struct{}    // closed when the flusher goroutine has exited
+}
+
+// destQueue is one destination's double-buffered send queue.
+type destQueue struct {
+	msgs   []wire.Message // accumulating buffer, guarded by Coalescer.mu
+	spare  []wire.Message // drained buffer awaiting reuse
+	queued bool           // whether this destination is in order
 }
 
 var _ Endpoint = (*Coalescer)(nil)
@@ -39,7 +55,7 @@ var _ Endpoint = (*Coalescer)(nil)
 func NewCoalescer(ep Endpoint) *Coalescer {
 	c := &Coalescer{
 		inner:   ep,
-		pending: make(map[types.ProcID][]wire.Message),
+		pending: make(map[types.ProcID]*destQueue),
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
@@ -65,10 +81,16 @@ func (c *Coalescer) Send(to types.ProcID, m wire.Message) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := c.pending[to]; !ok {
+	dq := c.pending[to]
+	if dq == nil {
+		dq = &destQueue{}
+		c.pending[to] = dq
+	}
+	if !dq.queued {
+		dq.queued = true
 		c.order = append(c.order, to)
 	}
-	c.pending[to] = append(c.pending[to], m)
+	dq.msgs = append(dq.msgs, m)
 	c.mu.Unlock()
 	c.signal()
 	return nil
@@ -81,8 +103,9 @@ func (c *Coalescer) signal() {
 	}
 }
 
-// run is the flusher: each round drains everything queued so far and
-// writes one frame per destination run.
+// run is the flusher: each round detaches everything queued so far —
+// swapping in each destination's spare buffer — sends one frame per
+// destination run, then recycles the drained buffers.
 func (c *Coalescer) run() {
 	defer close(c.done)
 	for {
@@ -97,14 +120,36 @@ func (c *Coalescer) run() {
 			continue
 		}
 		order := c.order
-		pending := c.pending
-		c.order = nil
-		c.pending = make(map[types.ProcID][]wire.Message)
+		c.order = c.orderSpare[:0]
+		c.orderSpare = nil
+		drained := c.drained[:0]
+		for _, to := range order {
+			dq := c.pending[to]
+			drained = append(drained, dq.msgs)
+			dq.msgs = dq.spare[:0]
+			dq.spare = nil
+			dq.queued = false
+		}
+		c.drained = drained
 		c.mu.Unlock()
 
-		for _, to := range order {
-			c.sendRun(to, pending[to])
+		for i, to := range order {
+			c.sendRun(to, drained[i])
 		}
+
+		// Recycle: drop message references from the drained buffers and
+		// hand them back as each destination's spare.
+		c.mu.Lock()
+		for i, to := range order {
+			if dq := c.pending[to]; dq != nil && dq.spare == nil {
+				q := drained[i]
+				clear(q)
+				dq.spare = q[:0]
+			}
+			drained[i] = nil
+		}
+		c.mu.Unlock()
+		c.orderSpare = order[:0]
 	}
 }
 
@@ -113,10 +158,16 @@ func (c *Coalescer) run() {
 // everything else goes out alone. When the inner endpoint can frame the
 // run itself (BatchSender — the TCP client), the queue is handed over
 // whole and encoded directly into the connection buffer; the in-memory
-// transports take the generic CoalesceKeyed path.
+// transports take the generic CoalesceKeyed path, with a direct send
+// for the ubiquitous single-message round (no coalescing, and none of
+// CoalesceKeyed's bookkeeping).
 func (c *Coalescer) sendRun(to types.ProcID, msgs []wire.Message) {
 	if c.batch != nil {
 		_ = c.batch.SendBatched(to, msgs)
+		return
+	}
+	if len(msgs) == 1 {
+		_ = c.inner.Send(to, msgs[0])
 		return
 	}
 	for _, m := range wire.CoalesceKeyed(msgs) {

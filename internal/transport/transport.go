@@ -96,10 +96,14 @@ func SendAll(ep Endpoint, out []Outgoing) error {
 //
 // The implementation uses a queue guarded by a mutex and a single
 // drainer goroutine, which is joined by Close — no goroutine outlives
-// the mailbox.
+// the mailbox. The queue is a slice with a head index, compacted in
+// place when it fills: the backing array is reused across
+// put/drain cycles instead of sliding forward and reallocating, so a
+// steady-state mailbox allocates nothing per envelope.
 type Mailbox struct {
 	mu     sync.Mutex
 	queue  []wire.Envelope
+	head   int           // index of the next envelope to deliver
 	wake   chan struct{} // capacity 1: signals the drainer that queue or closed changed
 	closed bool
 
@@ -125,6 +129,14 @@ func (m *Mailbox) Put(env wire.Envelope) error {
 	if m.closed {
 		m.mu.Unlock()
 		return ErrClosed
+	}
+	if m.head > 0 && len(m.queue) == cap(m.queue) {
+		// Compact instead of growing: reclaim the delivered prefix so
+		// the backing array is reused rather than reallocated.
+		n := copy(m.queue, m.queue[m.head:])
+		clear(m.queue[n:]) // drop stale references past the new tail
+		m.queue = m.queue[:n]
+		m.head = 0
 	}
 	m.queue = append(m.queue, env)
 	m.mu.Unlock()
@@ -156,7 +168,7 @@ func (m *Mailbox) Close() {
 func (m *Mailbox) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return len(m.queue) - m.head
 }
 
 func (m *Mailbox) signal() {
@@ -172,23 +184,32 @@ func (m *Mailbox) drain() {
 	for {
 		m.mu.Lock()
 		if m.closed {
-			m.queue = nil
+			m.queue, m.head = nil, 0
 			m.mu.Unlock()
 			return
 		}
-		if len(m.queue) == 0 {
+		if m.head == len(m.queue) {
+			m.queue, m.head = m.queue[:0], 0 // empty: rewind to reuse the array
 			m.mu.Unlock()
 			<-m.wake
 			continue
 		}
-		env := m.queue[0]
-		m.queue = m.queue[1:]
+		// Peek rather than pop: the head only advances after delivery,
+		// so a spurious wake needs no requeue (which would race with
+		// Put's compaction of the delivered prefix).
+		env := m.queue[m.head]
 		m.mu.Unlock()
 
 		// Block on the consumer, but abort if Close happens while the
 		// consumer is gone so shutdown never deadlocks.
 		select {
 		case m.out <- env:
+			m.mu.Lock()
+			// Compaction keeps head pointing at the peeked envelope, so
+			// this clears and skips exactly the delivered one.
+			m.queue[m.head] = wire.Envelope{} // let the GC have it once delivered
+			m.head++
+			m.mu.Unlock()
 		case <-m.wake:
 			m.mu.Lock()
 			closed := m.closed
@@ -196,11 +217,8 @@ func (m *Mailbox) drain() {
 			if closed {
 				return
 			}
-			// Spurious wake from a concurrent Put: requeue the envelope
-			// at the front and retry to preserve FIFO order.
-			m.mu.Lock()
-			m.queue = append([]wire.Envelope{env}, m.queue...)
-			m.mu.Unlock()
+			// Spurious wake from a concurrent Put: the envelope is still
+			// at the head; loop and retry, preserving FIFO order.
 		}
 	}
 }
