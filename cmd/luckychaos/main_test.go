@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with stdout/stderr redirected to temp files and
+// returns exit code plus both streams.
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, outF, errF)
+	out, _ := os.ReadFile(outF.Name())
+	errb, _ := os.ReadFile(errF.Name())
+	outF.Close()
+	errF.Close()
+	return code, string(out), string(errb)
+}
+
+func TestListScenarios(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"rolling-partition", "flapping-link", "crash-restarts",
+		"liars-and-partition", "reader-storm-drop", "split-brain-heal"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownScenarioAndDeploy(t *testing.T) {
+	if code, _, _ := capture(t, "-scenario", "nope"); code != 2 {
+		t.Errorf("unknown scenario: exit %d, want 2", code)
+	}
+	if code, _, errOut := capture(t, "-scenario", "crash-restarts", "-deploy", "nope", "-duration", "250ms"); code != 2 {
+		t.Errorf("unknown deploy: exit %d, want 2 (%s)", code, errOut)
+	}
+}
+
+func TestRunSingleScenarioCleanWithHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	code, out, errOut := capture(t,
+		"-scenario", "crash-restarts", "-deploy", "core",
+		"-seed", "7", "-duration", "400ms", "-history", dir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Errorf("summary missing clean status:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "crash-restarts-core-seed7.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Clean   bool `json:"clean"`
+		Ops     int  `json:"ops"`
+		History []struct {
+			Kind string `json:"kind"`
+		} `json:"history"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("history artifact not valid JSON: %v", err)
+	}
+	if !rep.Clean || rep.Ops == 0 || len(rep.History) == 0 {
+		t.Errorf("artifact clean=%v ops=%d history=%d", rep.Clean, rep.Ops, len(rep.History))
+	}
+}

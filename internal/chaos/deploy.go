@@ -1,0 +1,384 @@
+package chaos
+
+// Deployment adapters: one fault surface over every way this repo can
+// run the protocol. Each adapter embeds the matching workload driver —
+// so the engine generates identical traffic everywhere — and exposes
+// crash / restart / Byzantine-swap hooks plus (when the deployment is
+// simulated) the simnet for network faults.
+
+import (
+	"fmt"
+	"time"
+
+	"luckystore/internal/checker"
+	"luckystore/internal/core"
+	"luckystore/internal/fault"
+	"luckystore/internal/kv"
+	"luckystore/internal/node"
+	"luckystore/internal/regular"
+	"luckystore/internal/simnet"
+	"luckystore/internal/tcpnet"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/workload"
+)
+
+// Deployment is a running system the chaos engine can hurt. All fault
+// methods are called from the engine's single schedule goroutine.
+type Deployment interface {
+	workload.Driver
+	// Kind names the deployment flavor ("core", "kv", "tcpkv",
+	// "regular").
+	Kind() string
+	// Servers reports the server count S.
+	Servers() int
+	// Budget reports the deployment's failure model (t, b).
+	Budget() (t, b int)
+	// Net returns the simulated network for partition/link faults, or
+	// nil when the deployment runs over real sockets — the engine
+	// skips network actions there (a real network is not scriptable).
+	Net() *simnet.Network
+	// Crash stops server i.
+	Crash(i int) error
+	// Restart brings server i back. fresh discards its state; some
+	// deployments (ColdRestarts) can only restart fresh.
+	Restart(i int, fresh bool) error
+	// ColdRestarts reports whether every restart loses state (a real
+	// process restart), which the engine budgets against b: an
+	// amnesiac server answers correctly from initial state, which the
+	// model can only classify as Byzantine.
+	ColdRestarts() bool
+	// Swap replaces server i with the named Byzantine behavior.
+	Swap(i int, behavior string, seed int64) error
+	// Check verifies a recorded history against the deployment's
+	// consistency contract (atomicity, or regularity for the regular
+	// variant), per key.
+	Check(ops []checker.Op) []checker.Violation
+	// Close tears the deployment down.
+	Close()
+}
+
+// DefaultConfig is the resilience configuration the stock deployments
+// use: t=2, b=1 (S = 6 servers), fw=0 — room for one Byzantine server
+// or one amnesiac restart plus one crash, with fr = 1. The short round
+// timeout keeps slow paths quick under scripted asynchrony.
+func DefaultConfig(readers int) core.Config {
+	return core.Config{
+		T: 2, B: 1, Fw: 0, NumReaders: readers,
+		RoundTimeout: 8 * time.Millisecond,
+		OpTimeout:    20 * time.Second,
+	}
+}
+
+// behaviorFor builds a named Byzantine behavior. keyed lifts it to the
+// multi-register wire protocol.
+func behaviorFor(name string, seed int64, keyed bool) (node.Automaton, error) {
+	var b fault.Behavior
+	switch name {
+	case "mute":
+		b = fault.Mute()
+	case "forge":
+		b = fault.ForgeHighTS(types.TS(1_000_000+seed%1000), types.Value(fmt.Sprintf("forged-%d", seed)))
+	case "stale":
+		b = fault.StaleBottom()
+	case "liar":
+		b = fault.RandomLiar(seed)
+	case "equivocate":
+		b = fault.Equivocator(map[types.ProcID]types.Tagged{
+			types.ReaderID(0): {TS: 900_000, Val: "eq0"},
+			types.ReaderID(1): {TS: 900_001, Val: "eq1"},
+		}, types.Bottom())
+	default:
+		return nil, fmt.Errorf("chaos: unknown behavior %q", name)
+	}
+	if keyed {
+		b = fault.Keyed(b)
+	}
+	return b, nil
+}
+
+// ---- core single-register cluster (simnet) ----
+
+type coreDep struct {
+	workload.ClusterDriver
+	c *core.Cluster
+}
+
+// NewCore builds a core single-register simnet deployment.
+func NewCore(cfg core.Config) (Deployment, error) {
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &coreDep{ClusterDriver: workload.ClusterDriver{C: c}, c: c}, nil
+}
+
+func (d *coreDep) Kind() string         { return "core" }
+func (d *coreDep) Servers() int         { return d.c.Config().S() }
+func (d *coreDep) Budget() (int, int)   { return d.c.Config().T, d.c.Config().B }
+func (d *coreDep) Net() *simnet.Network { return d.c.Sim() }
+func (d *coreDep) Crash(i int) error    { d.c.CrashServer(i); return nil }
+func (d *coreDep) ColdRestarts() bool   { return false }
+func (d *coreDep) Close()               { d.c.Close() }
+
+func (d *coreDep) Restart(i int, fresh bool) error {
+	if fresh {
+		return d.c.RestartServerFresh(i)
+	}
+	return d.c.RestartServer(i)
+}
+
+func (d *coreDep) Swap(i int, behavior string, seed int64) error {
+	a, err := behaviorFor(behavior, seed, false)
+	if err != nil {
+		return err
+	}
+	return d.c.SwapServerAutomaton(i, a)
+}
+
+func (d *coreDep) Check(ops []checker.Op) []checker.Violation {
+	return checker.CheckAtomicityPerKey(ops)
+}
+
+// ---- sharded KV engine (simnet) ----
+
+type kvDep struct {
+	workload.KVDriver
+	st *kv.Store
+}
+
+// NewKV builds an in-memory sharded KV deployment.
+func NewKV(cfg core.Config, opts ...kv.Option) (Deployment, error) {
+	st, err := kv.Open(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &kvDep{KVDriver: workload.KVDriver{S: st, Readers: cfg.NumReaders}, st: st}, nil
+}
+
+func (d *kvDep) Kind() string         { return "kv" }
+func (d *kvDep) Servers() int         { return d.st.Config().S() }
+func (d *kvDep) Budget() (int, int)   { return d.st.Config().T, d.st.Config().B }
+func (d *kvDep) Net() *simnet.Network { return d.st.Sim() }
+func (d *kvDep) Crash(i int) error    { d.st.CrashServer(i); return nil }
+func (d *kvDep) ColdRestarts() bool   { return false }
+func (d *kvDep) Close()               { d.st.Close() }
+
+func (d *kvDep) Restart(i int, fresh bool) error {
+	if fresh {
+		return d.st.RestartServerFresh(i)
+	}
+	return d.st.RestartServer(i)
+}
+
+func (d *kvDep) Swap(i int, behavior string, seed int64) error {
+	a, err := behaviorFor(behavior, seed, true)
+	if err != nil {
+		return err
+	}
+	return d.st.SwapServerAutomaton(i, a)
+}
+
+func (d *kvDep) Check(ops []checker.Op) []checker.Violation {
+	return checker.CheckAtomicityPerKey(ops)
+}
+
+// ---- KV over loopback TCP ----
+
+type tcpkvDep struct {
+	workload.KVDriver
+	cfg    core.Config
+	shards int
+	srvs   []*tcpnet.Server
+	addrs  []string
+	st     *kv.Store
+}
+
+// NewTCPKV starts S ListenTCPKV-style servers on loopback and a KV
+// client store dialed to them — the real-deployment shape, where
+// crashes and restarts are actual listener teardowns and rebinds.
+func NewTCPKV(cfg core.Config, shards int) (Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &tcpkvDep{cfg: cfg, shards: shards}
+	fail := func(err error) (Deployment, error) {
+		d.Close()
+		return nil, err
+	}
+	addrMap := make(map[types.ProcID]string, cfg.S())
+	for i := 0; i < cfg.S(); i++ {
+		srv, err := listenKV(i, "127.0.0.1:0", shards)
+		if err != nil {
+			return fail(err)
+		}
+		d.srvs = append(d.srvs, srv)
+		d.addrs = append(d.addrs, srv.Addr())
+		addrMap[types.ServerID(i)] = srv.Addr()
+	}
+	wep, err := tcpnet.Dial(types.WriterID(), addrMap)
+	if err != nil {
+		return fail(err)
+	}
+	readerEPs := make([]transport.Endpoint, cfg.NumReaders)
+	for i := range readerEPs {
+		rep, err := tcpnet.Dial(types.ReaderID(i), addrMap)
+		if err != nil {
+			_ = wep.Close()
+			for j := 0; j < i; j++ {
+				_ = readerEPs[j].Close()
+			}
+			return fail(err)
+		}
+		readerEPs[i] = rep
+	}
+	st, err := kv.OpenWithEndpoints(cfg, wep, readerEPs)
+	if err != nil {
+		return fail(err)
+	}
+	d.st = st
+	d.KVDriver = workload.KVDriver{S: st, Readers: cfg.NumReaders}
+	return d, nil
+}
+
+// listenKV starts one sharded KV server over TCP.
+func listenKV(i int, addr string, shards int) (*tcpnet.Server, error) {
+	srv := kv.NewShardedServerAutomaton(shards)
+	return tcpnet.ListenSharded(types.ServerID(i), addr, srv.Shards(), srv.Route())
+}
+
+func (d *tcpkvDep) Kind() string         { return "tcpkv" }
+func (d *tcpkvDep) Servers() int         { return d.cfg.S() }
+func (d *tcpkvDep) Budget() (int, int)   { return d.cfg.T, d.cfg.B }
+func (d *tcpkvDep) Net() *simnet.Network { return nil }
+func (d *tcpkvDep) ColdRestarts() bool   { return true }
+
+func (d *tcpkvDep) Crash(i int) error {
+	if i < 0 || i >= len(d.srvs) {
+		return fmt.Errorf("chaos tcpkv: server %d out of range", i)
+	}
+	return d.srvs[i].Close()
+}
+
+// rebind re-listens on a crashed server's old address, retrying
+// briefly while the kernel releases the port.
+func (d *tcpkvDep) rebind(i int, listen func(addr string) (*tcpnet.Server, error)) error {
+	if i < 0 || i >= len(d.srvs) {
+		return fmt.Errorf("chaos tcpkv: server %d out of range", i)
+	}
+	_ = d.srvs[i].Close() // restart implies the old process is gone
+	var lastErr error
+	for attempt := 0; attempt < 100; attempt++ {
+		srv, err := listen(d.addrs[i])
+		if err == nil {
+			d.srvs[i] = srv
+			return nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("chaos tcpkv: rebind %s: %w", d.addrs[i], lastErr)
+}
+
+func (d *tcpkvDep) Restart(i int, _ bool) error {
+	// A process restart is always cold: the in-memory register state
+	// died with the old listener. The server comes back with the same
+	// shard configuration it was started with.
+	return d.rebind(i, func(addr string) (*tcpnet.Server, error) {
+		return listenKV(i, addr, d.shards)
+	})
+}
+
+func (d *tcpkvDep) Swap(i int, behavior string, seed int64) error {
+	a, err := behaviorFor(behavior, seed, true)
+	if err != nil {
+		return err
+	}
+	return d.rebind(i, func(addr string) (*tcpnet.Server, error) {
+		return tcpnet.Listen(types.ServerID(i), addr, a)
+	})
+}
+
+func (d *tcpkvDep) Check(ops []checker.Op) []checker.Violation {
+	return checker.CheckAtomicityPerKey(ops)
+}
+
+func (d *tcpkvDep) Close() {
+	if d.st != nil {
+		d.st.Close()
+	}
+	for _, s := range d.srvs {
+		if s != nil {
+			_ = s.Close()
+		}
+	}
+}
+
+// ---- Appendix D regular variant (simnet) ----
+
+type regularDep struct {
+	workload.RegularDriver
+	c *regular.Cluster
+}
+
+// NewRegular builds a regular-variant simnet deployment. Its histories
+// are checked for regularity: the variant deliberately gives up the
+// read hierarchy.
+func NewRegular(cfg regular.Config) (Deployment, error) {
+	c, err := regular.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &regularDep{RegularDriver: workload.RegularDriver{C: c}, c: c}, nil
+}
+
+func (d *regularDep) Kind() string         { return "regular" }
+func (d *regularDep) Servers() int         { return d.c.Config().S() }
+func (d *regularDep) Budget() (int, int)   { return d.c.Config().T, d.c.Config().B }
+func (d *regularDep) Net() *simnet.Network { return d.c.Sim() }
+func (d *regularDep) Crash(i int) error    { d.c.CrashServer(i); return nil }
+func (d *regularDep) ColdRestarts() bool   { return false }
+func (d *regularDep) Close()               { d.c.Close() }
+
+func (d *regularDep) Restart(i int, fresh bool) error {
+	if fresh {
+		return d.c.RestartServerFresh(i)
+	}
+	return d.c.RestartServer(i)
+}
+
+func (d *regularDep) Swap(i int, behavior string, seed int64) error {
+	a, err := behaviorFor(behavior, seed, false)
+	if err != nil {
+		return err
+	}
+	return d.c.SwapServerAutomaton(i, a)
+}
+
+func (d *regularDep) Check(ops []checker.Op) []checker.Violation {
+	return checker.CheckRegularityPerKey(ops)
+}
+
+// Open builds a deployment by kind name with the default chaos
+// configuration — the entry point luckychaos and the smoke matrix use.
+func Open(kind string, readers int) (Deployment, error) {
+	switch kind {
+	case "core":
+		return NewCore(DefaultConfig(readers))
+	case "kv":
+		return NewKV(DefaultConfig(readers))
+	case "tcpkv":
+		return NewTCPKV(DefaultConfig(readers), 0)
+	case "regular":
+		cfg := DefaultConfig(readers)
+		return NewRegular(regular.Config{
+			T: cfg.T, B: cfg.B, NumReaders: cfg.NumReaders,
+			RoundTimeout: cfg.RoundTimeout, OpTimeout: cfg.OpTimeout,
+		})
+	default:
+		return nil, fmt.Errorf("chaos: unknown deployment %q (core|kv|tcpkv|regular)", kind)
+	}
+}
+
+// Kinds lists the deployment kinds Open accepts.
+func Kinds() []string { return []string{"core", "kv", "tcpkv", "regular"} }

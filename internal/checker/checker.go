@@ -49,6 +49,11 @@ type Op struct {
 	ID     int
 	Client types.ProcID
 	Kind   OpKind
+	// Key names the register the operation targeted in a multi-register
+	// (KV) history; single-register histories leave it empty. Checks
+	// apply per key: atomicity is a per-register property that composes
+	// across keys.
+	Key string
 	// Value is the written pair (timestamp assigned by the writer) or
 	// the returned pair.
 	Value  types.Tagged
@@ -150,6 +155,48 @@ func CheckSafeness(ops []Op) []Violation {
 					Ops: []int{wr.ID, rd.ID},
 				})
 			}
+		}
+	}
+	return vs
+}
+
+// ByKey splits a history into per-key histories, preserving operation
+// order within each key.
+func ByKey(ops []Op) map[string][]Op {
+	out := make(map[string][]Op)
+	for _, op := range ops {
+		out[op.Key] = append(out[op.Key], op)
+	}
+	return out
+}
+
+// CheckAtomicityPerKey verifies the atomicity properties independently
+// for every key of a multi-register history and returns all violations,
+// each prefixed with its key. Atomic registers compose: the combined
+// history is linearizable iff every per-key history is.
+func CheckAtomicityPerKey(ops []Op) []Violation {
+	return perKey(ops, CheckAtomicity)
+}
+
+// CheckRegularityPerKey is CheckRegularity applied per key.
+func CheckRegularityPerKey(ops []Op) []Violation {
+	return perKey(ops, CheckRegularity)
+}
+
+func perKey(ops []Op, check func([]Op) []Violation) []Violation {
+	var vs []Violation
+	keys := make([]string, 0, 8)
+	byKey := ByKey(ops)
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic violation order
+	for _, k := range keys {
+		for _, v := range check(byKey[k]) {
+			if k != "" {
+				v.Detail = fmt.Sprintf("key %q: %s", k, v.Detail)
+			}
+			vs = append(vs, v)
 		}
 	}
 	return vs

@@ -16,6 +16,7 @@ type Cluster struct {
 	cfg     Config
 	net     transport.Network
 	sim     *simnet.Network // non-nil when the cluster built its own simnet
+	factory func() node.Automaton
 	runners []*node.Runner
 	servers []node.Automaton
 	writer  *Writer
@@ -82,6 +83,11 @@ func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 	ids = append(ids, types.ReaderIDs(cfg.NumReaders)...)
 
 	c := &Cluster{cfg: cfg}
+	if o.regular {
+		c.factory = func() node.Automaton { return NewRegularServer() }
+	} else {
+		c.factory = func() node.Automaton { return NewServer() }
+	}
 	if o.net != nil {
 		c.net, c.sim = o.net, o.sim
 	} else {
@@ -100,11 +106,7 @@ func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 		}
 		a := o.automata[i]
 		if a == nil {
-			if o.regular {
-				a = NewRegularServer()
-			} else {
-				a = NewServer()
-			}
+			a = c.factory()
 		}
 		r := node.NewRunner(ep, a)
 		c.servers = append(c.servers, a)
@@ -155,6 +157,49 @@ func (c *Cluster) CrashServer(i int) { c.runners[i].Crash() }
 // CrashServerAfterSteps schedules server i to crash after n more
 // processed messages.
 func (c *Cluster) CrashServerAfterSteps(i, n int) { c.runners[i].CrashAfterSteps(n) }
+
+// RestartServer restarts server i's message pump after a crash, keeping
+// the automaton's state — a crash-recovery with stable storage, so the
+// restarted server is merely slow, not faulty, in the model's terms.
+// Messages sent while the server was down that are still queued in its
+// inbox are processed after the restart (they were "in transit").
+//
+// Restart methods are for use by one coordinating goroutine (a test or
+// a chaos schedule); they do not synchronize with each other.
+func (c *Cluster) RestartServer(i int) error {
+	if i < 0 || i >= len(c.servers) {
+		return fmt.Errorf("cluster restart: server %d out of range [0,%d)", i, len(c.servers))
+	}
+	return c.restart(i, c.servers[i])
+}
+
+// RestartServerFresh restarts server i with a brand-new automaton: a
+// crash-recovery with NO stable storage. An amnesiac server answers
+// protocol-correctly from initial state, which the model can only
+// classify as Byzantine — schedules must count fresh-restarted servers
+// against b.
+func (c *Cluster) RestartServerFresh(i int) error { return c.restart(i, c.factory()) }
+
+// SwapServerAutomaton crash-stops server i and brings it back running
+// the given automaton — the hook chaos schedules use to turn a correct
+// server Byzantine (an internal/fault behavior) mid-run.
+func (c *Cluster) SwapServerAutomaton(i int, a node.Automaton) error { return c.restart(i, a) }
+
+func (c *Cluster) restart(i int, a node.Automaton) error {
+	if i < 0 || i >= len(c.runners) {
+		return fmt.Errorf("cluster restart: server %d out of range [0,%d)", i, len(c.runners))
+	}
+	c.runners[i].Crash() // idempotent; joins the old pump
+	ep, err := c.net.Endpoint(types.ServerID(i))
+	if err != nil {
+		return fmt.Errorf("cluster restart server %d: %w", i, err)
+	}
+	r := node.NewRunner(ep, a)
+	c.servers[i] = a
+	c.runners[i] = r
+	r.Start()
+	return nil
+}
 
 // Close stops every server runner and shuts the network down, joining
 // all goroutines the cluster started.

@@ -1,0 +1,113 @@
+package core_test
+
+// Crash-restart support on the core cluster: a warm restart revives
+// the same automaton (crash-recovery with stable storage), a fresh
+// restart installs a new one, and a swap substitutes an arbitrary
+// automaton mid-run.
+
+import (
+	"testing"
+	"time"
+
+	"luckystore/internal/core"
+	"luckystore/internal/fault"
+)
+
+func restartCfg() core.Config {
+	return core.Config{T: 1, B: 0, Fw: 0, NumReaders: 1,
+		RoundTimeout: 10 * time.Millisecond, OpTimeout: 3 * time.Second}
+}
+
+// Liveness proof of a warm restart: with S=3, t=1, crash s0, restart
+// it, then crash s1 — operations now *need* the restarted s0 to reach
+// the S−t quorum, so they only complete if the restart really revived
+// the pump (and its state makes the reads correct).
+func TestRestartServerRevivesQuorumMember(t *testing.T) {
+	c, err := core.NewCluster(restartCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Writer().Write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.ServerAutomaton(0)
+
+	c.CrashServer(0)
+	if err := c.Writer().Write("v2"); err != nil {
+		t.Fatalf("write with one crashed server: %v", err)
+	}
+	if err := c.RestartServer(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.ServerAutomaton(0) != before {
+		t.Error("warm restart replaced the automaton (state lost)")
+	}
+	c.CrashServer(1)
+
+	// Quorum is now {s0, s2}: both ops hang unless s0 serves again.
+	if err := c.Writer().Write("v3"); err != nil {
+		t.Fatalf("write needing the restarted server: %v", err)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatalf("read needing the restarted server: %v", err)
+	}
+	if got.Val != "v3" {
+		t.Errorf("Read() = %v, want v3", got)
+	}
+}
+
+func TestRestartServerFreshInstallsNewAutomaton(t *testing.T) {
+	c, err := core.NewCluster(restartCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	before := c.ServerAutomaton(2)
+	c.CrashServer(2)
+	if err := c.RestartServerFresh(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.ServerAutomaton(2) == before {
+		t.Error("fresh restart kept the old automaton")
+	}
+	// The cluster still serves (amnesiac s2 plus two correct servers).
+	if err := c.Writer().Write("after-fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Reader(0).Read(); err != nil || got.Val != "after-fresh" {
+		t.Errorf("Read() = %v, %v", got, err)
+	}
+}
+
+func TestSwapServerAutomatonMidRun(t *testing.T) {
+	cfg := core.Config{T: 2, B: 1, Fw: 0, NumReaders: 1,
+		RoundTimeout: 10 * time.Millisecond, OpTimeout: 3 * time.Second}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Writer().Write("real"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SwapServerAutomaton(1, fault.ForgeHighTS(9999, "forged")); err != nil {
+		t.Fatal(err)
+	}
+	// One liar within b=1: the protocol filters the lie.
+	if err := c.Writer().Write("real2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "real2" {
+		t.Errorf("Read() = %v after Byzantine swap, want real2", got)
+	}
+	if err := c.RestartServer(99); err == nil {
+		t.Error("restart of out-of-range server succeeded")
+	}
+}

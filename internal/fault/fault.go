@@ -121,9 +121,21 @@ func RandomLiar(seed int64) Behavior {
 // fabricated pair to every client (keyed by client id), defaulting to
 // the fallback pair. Equivocation is what the b+1 witness thresholds
 // exist to defeat.
+//
+// The behavior snapshots perClient and guards its state with a mutex:
+// a sharded deployment (node.StepPool, node.ShardedRunner) steps one
+// substituted automaton from several worker goroutines at once, and a
+// caller mutating its map after installation must not race Step.
 func Equivocator(perClient map[types.ProcID]types.Tagged, fallback types.Tagged) Behavior {
+	var mu sync.Mutex
+	own := make(map[types.ProcID]types.Tagged, len(perClient))
+	for id, c := range perClient {
+		own[id] = c
+	}
 	return func(from types.ProcID, m wire.Message) []transport.Outgoing {
-		c, ok := perClient[from]
+		mu.Lock()
+		defer mu.Unlock()
+		c, ok := own[from]
 		if !ok {
 			c = fallback
 		}
@@ -179,6 +191,25 @@ func (s *SplitBrain) Step(from types.ProcID, m wire.Message) []transport.Outgoin
 		return s.real.Step(from, m)
 	}
 	return s.liar(from, m)
+}
+
+// Keyed lifts a single-register Byzantine behavior to the multi-
+// register wire protocol: wire.Keyed requests are unwrapped, answered
+// by b, and the replies re-wrapped under the same key, so one liar
+// poisons every register of a KV deployment. Non-keyed messages pass
+// through to b unchanged (a single-register deployment).
+func Keyed(b Behavior) Behavior {
+	return func(from types.ProcID, m wire.Message) []transport.Outgoing {
+		k, ok := m.(wire.Keyed)
+		if !ok {
+			return b(from, m)
+		}
+		out := b(from, k.Inner)
+		for i := range out {
+			out[i].Msg = wire.Keyed{Key: k.Key, Inner: out[i].Msg}
+		}
+		return out
+	}
 }
 
 // MaliciousReaderWriteback forges a reader write-back: it pushes the

@@ -81,7 +81,8 @@ type Store struct {
 	shards  int
 	net     transport.Network
 	sim     *simnet.Network
-	runners []*node.ShardedRunner
+	runners []node.Process         // per-server pumps (sharded, or plain after a swap)
+	srvs    []*keyed.ShardedServer // per-server keyed state, retained for warm restarts
 
 	writerDemux  *keyed.Demux
 	readerDemuxs []*keyed.Demux
@@ -142,6 +143,7 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 		}
 		srv := keyed.NewShardedServer(o.shards, func() node.Automaton { return core.NewServer() })
 		r := node.NewShardedRunner(ep, srv.Shards(), srv.Route())
+		st.srvs = append(st.srvs, srv)
 		st.runners = append(st.runners, r)
 		r.Start()
 	}
@@ -393,6 +395,74 @@ func (s *Store) GetBatch(idx int, keys []string) (map[string]types.Tagged, error
 // CrashServer crash-stops server i (all registers and shards on it at
 // once — machines fail, not registers).
 func (s *Store) CrashServer(i int) { s.runners[i].Crash() }
+
+// RestartServer restarts server i after a crash, keeping every
+// register's state (crash-recovery with stable storage): the server is
+// merely slow, not faulty, in the model's terms. Only valid on a store
+// that owns its servers (Open); stores over external endpoints return
+// an error.
+//
+// Restart methods are for use by one coordinating goroutine (a chaos
+// schedule); they do not synchronize with each other.
+func (s *Store) RestartServer(i int) error {
+	srv, err := s.serverFor(i)
+	if err != nil {
+		return err
+	}
+	return s.restart(i, func(ep transport.Endpoint) node.Process {
+		return node.NewShardedRunner(ep, srv.Shards(), srv.Route())
+	})
+}
+
+// RestartServerFresh restarts server i with empty register state — a
+// crash-recovery with NO stable storage. An amnesiac server answers
+// protocol-correctly from initial state, which the model can only
+// classify as Byzantine; schedules must count fresh restarts against b.
+func (s *Store) RestartServerFresh(i int) error {
+	if _, err := s.serverFor(i); err != nil {
+		return err
+	}
+	srv := keyed.NewShardedServer(s.shards, func() node.Automaton { return core.NewServer() })
+	s.srvs[i] = srv
+	return s.restart(i, func(ep transport.Endpoint) node.Process {
+		return node.NewShardedRunner(ep, srv.Shards(), srv.Route())
+	})
+}
+
+// SwapServerAutomaton crash-stops server i and brings it back running
+// the given automaton on a plain (serialized) pump — the hook chaos
+// schedules use to turn a server Byzantine mid-run. For KV traffic the
+// automaton should understand wire.Keyed (see fault.Keyed).
+func (s *Store) SwapServerAutomaton(i int, a node.Automaton) error {
+	if _, err := s.serverFor(i); err != nil {
+		return err
+	}
+	return s.restart(i, func(ep transport.Endpoint) node.Process {
+		return node.NewRunner(ep, a)
+	})
+}
+
+func (s *Store) serverFor(i int) (*keyed.ShardedServer, error) {
+	if s.sim == nil {
+		return nil, fmt.Errorf("kv: store does not own its servers")
+	}
+	if i < 0 || i >= len(s.runners) {
+		return nil, fmt.Errorf("kv: server %d out of range [0,%d)", i, len(s.runners))
+	}
+	return s.srvs[i], nil
+}
+
+func (s *Store) restart(i int, build func(transport.Endpoint) node.Process) error {
+	s.runners[i].Crash() // idempotent; joins the old pump
+	ep, err := s.sim.Endpoint(types.ServerID(i))
+	if err != nil {
+		return fmt.Errorf("kv restart server %d: %w", i, err)
+	}
+	r := build(ep)
+	s.runners[i] = r
+	r.Start()
+	return nil
+}
 
 // Sim returns the underlying simulated network.
 func (s *Store) Sim() *simnet.Network { return s.sim }

@@ -48,6 +48,23 @@ func StepInto(a Automaton, from types.ProcID, m wire.Message, out []transport.Ou
 	return append(out, a.Step(from, m)...)
 }
 
+// Process is the lifecycle surface every runner flavor shares. It lets
+// a deployment hold heterogeneous runners — a ShardedRunner for a keyed
+// server, a plain Runner after a chaos schedule swapped in a Byzantine
+// behavior — behind one crash/stop interface.
+type Process interface {
+	Start()
+	Crash()
+	Stop()
+	CrashAfterSteps(n int)
+	Steps() int64
+}
+
+var (
+	_ Process = (*Runner)(nil)
+	_ Process = (*ShardedRunner)(nil)
+)
+
 // Runner drives one automaton from one endpoint.
 type Runner struct {
 	ep transport.Endpoint

@@ -358,6 +358,7 @@ type Cluster struct {
 	net     transport.Network
 	sim     *simnet.Network
 	runners []*node.Runner
+	autos   []node.Automaton
 	writer  *Writer
 	readers []*Reader
 }
@@ -380,7 +381,9 @@ func NewCluster(cfg Config, simOpts ...simnet.Option) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		r := node.NewRunner(ep, core.NewRegularServer())
+		a := core.NewRegularServer()
+		r := node.NewRunner(ep, a)
+		c.autos = append(c.autos, a)
 		c.runners = append(c.runners, r)
 		r.Start()
 	}
@@ -415,6 +418,40 @@ func (c *Cluster) Sim() *simnet.Network { return c.sim }
 
 // CrashServer crash-stops server i.
 func (c *Cluster) CrashServer(i int) { c.runners[i].Crash() }
+
+// RestartServer restarts server i after a crash, keeping its automaton
+// state (crash-recovery with stable storage). For use by one
+// coordinating goroutine, like the other fault hooks.
+func (c *Cluster) RestartServer(i int) error {
+	if i < 0 || i >= len(c.autos) {
+		return fmt.Errorf("regular restart: server %d out of range [0,%d)", i, len(c.autos))
+	}
+	return c.restart(i, c.autos[i])
+}
+
+// RestartServerFresh restarts server i with a brand-new automaton — an
+// amnesiac recovery that schedules must count against b.
+func (c *Cluster) RestartServerFresh(i int) error { return c.restart(i, core.NewRegularServer()) }
+
+// SwapServerAutomaton crash-stops server i and brings it back running
+// the given automaton (an internal/fault Byzantine behavior, for chaos
+// schedules).
+func (c *Cluster) SwapServerAutomaton(i int, a node.Automaton) error { return c.restart(i, a) }
+
+func (c *Cluster) restart(i int, a node.Automaton) error {
+	if i < 0 || i >= len(c.runners) {
+		return fmt.Errorf("regular restart: server %d out of range [0,%d)", i, len(c.runners))
+	}
+	c.runners[i].Crash()
+	ep, err := c.net.Endpoint(types.ServerID(i))
+	if err != nil {
+		return fmt.Errorf("regular restart server %d: %w", i, err)
+	}
+	c.autos[i] = a
+	c.runners[i] = node.NewRunner(ep, a)
+	c.runners[i].Start()
+	return nil
+}
 
 // Close stops all runners and the network.
 func (c *Cluster) Close() {

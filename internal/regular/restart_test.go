@@ -1,0 +1,52 @@
+package regular
+
+// Restart surface of the regular-variant cluster (PR 5): warm restart
+// revives the same automaton, out-of-range indices error instead of
+// panicking (the bug class core.Cluster.RestartServer had).
+
+import (
+	"testing"
+	"time"
+
+	"luckystore/internal/fault"
+)
+
+func TestRestartServerValidatesAndRevives(t *testing.T) {
+	c, err := NewCluster(Config{T: 1, B: 0, NumReaders: 1,
+		RoundTimeout: 10 * time.Millisecond, OpTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.RestartServer(99); err == nil {
+		t.Error("RestartServer(99) succeeded, want range error")
+	}
+	if err := c.RestartServer(-1); err == nil {
+		t.Error("RestartServer(-1) succeeded, want range error")
+	}
+	if err := c.SwapServerAutomaton(99, fault.Mute()); err == nil {
+		t.Error("SwapServerAutomaton(99) succeeded, want range error")
+	}
+
+	// Warm restart liveness: crash s0, restart it, crash s1 — with
+	// S=3, t=1 the quorum now needs the restarted server.
+	if err := c.Writer().Write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashServer(0)
+	if err := c.RestartServer(0); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashServer(1)
+	if err := c.Writer().Write("v2"); err != nil {
+		t.Fatalf("write needing the restarted server: %v", err)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatalf("read needing the restarted server: %v", err)
+	}
+	if got.Val != "v2" {
+		t.Errorf("Read() = %v, want v2", got)
+	}
+}

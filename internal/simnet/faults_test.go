@@ -1,0 +1,293 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+func newTrio(t *testing.T, opts ...Option) (*Network, []types.ProcID) {
+	t.Helper()
+	ids := []types.ProcID{types.WriterID(), types.ServerID(0), types.ServerID(1)}
+	n, err := New(ids, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n, ids
+}
+
+func ep(t *testing.T, n *Network, id types.ProcID) *endpoint {
+	t.Helper()
+	e, err := n.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.(*endpoint)
+}
+
+// Regression (PR 5 satellite): Release and ReleaseAll after Close must
+// be no-ops — no delivery into closed mailboxes, no re-armed timers —
+// and Close must discard held backlogs.
+func TestReleaseAfterCloseIsNoOp(t *testing.T) {
+	ids := []types.ProcID{types.WriterID(), types.ServerID(0)}
+	n, err := New(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ep(t, n, types.WriterID())
+	s := ep(t, n, types.ServerID(0))
+
+	n.Hold(types.WriterID(), types.ServerID(0))
+	for i := 0; i < 3; i++ {
+		if err := w.Send(types.ServerID(0), wire.Read{TSR: types.ReaderTS(i + 1), Round: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.HeldCount(types.WriterID(), types.ServerID(0)); got != 3 {
+		t.Fatalf("HeldCount = %d, want 3", got)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.HeldCount(types.WriterID(), types.ServerID(0)); got != 0 {
+		t.Errorf("HeldCount after Close = %d, want 0 (backlog discarded)", got)
+	}
+	// Must not panic, deliver, or re-arm anything.
+	n.Release(types.WriterID(), types.ServerID(0))
+	n.ReleaseAll()
+	n.SetPartition([]types.ProcID{types.WriterID()}, []types.ProcID{types.ServerID(0)})
+	select {
+	case env, ok := <-s.Recv():
+		if ok {
+			t.Fatalf("received %v through a closed network", env)
+		}
+	case <-time.After(50 * time.Millisecond):
+		t.Fatal("server inbox never closed")
+	}
+}
+
+// Release racing Close must never deliver after Close returned.
+func TestReleaseCloseRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		ids := []types.ProcID{types.WriterID(), types.ServerID(0)}
+		n, err := New(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := ep(t, n, types.WriterID())
+		n.Hold(types.WriterID(), types.ServerID(0))
+		_ = w.Send(types.ServerID(0), wire.Read{TSR: 1, Round: 1})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); n.Release(types.WriterID(), types.ServerID(0)) }()
+		go func() { defer wg.Done(); _ = n.Close() }()
+		wg.Wait()
+	}
+}
+
+func TestPartitionCutsCrossGroupLinksBothWays(t *testing.T) {
+	n, _ := newTrio(t)
+	w := ep(t, n, types.WriterID())
+	s0 := ep(t, n, types.ServerID(0))
+	s1 := ep(t, n, types.ServerID(1))
+
+	n.SetPartition([]types.ProcID{types.WriterID(), types.ServerID(0)}, []types.ProcID{types.ServerID(1)})
+
+	// Intra-group flows.
+	if err := w.Send(types.ServerID(0), wire.Read{TSR: 1, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, s0, time.Second)
+
+	// Cross-group held, both directions.
+	if err := w.Send(types.ServerID(1), wire.Read{TSR: 2, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Send(types.WriterID(), wire.PWAck{TS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-s1.Recv():
+		t.Fatalf("cross-partition delivery: %v", env)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if !n.Partitioned(types.WriterID(), types.ServerID(1)) || !n.Partitioned(types.ServerID(1), types.WriterID()) {
+		t.Fatal("partition not recorded in both directions")
+	}
+
+	// Heal delivers the backlog in order.
+	n.Heal()
+	got := mustRecv(t, s1, time.Second)
+	if rd, ok := got.Msg.(wire.Read); !ok || rd.TSR != 2 {
+		t.Fatalf("healed delivery = %v, want the held READ", got)
+	}
+	mustRecv(t, w, time.Second)
+	if n.Partitioned(types.WriterID(), types.ServerID(1)) {
+		t.Fatal("Heal left the link cut")
+	}
+}
+
+// Re-partitioning releases links no longer cut and cuts the new ones —
+// the rolling-partition shape.
+func TestRollingPartitionReleasesOldCut(t *testing.T) {
+	n, _ := newTrio(t)
+	w := ep(t, n, types.WriterID())
+	s0 := ep(t, n, types.ServerID(0))
+
+	n.SetPartition([]types.ProcID{types.WriterID(), types.ServerID(1)}, []types.ProcID{types.ServerID(0)})
+	if err := w.Send(types.ServerID(0), wire.Read{TSR: 7, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Roll the cut to s1: s0's backlog must flow.
+	n.SetPartition([]types.ProcID{types.WriterID(), types.ServerID(0)}, []types.ProcID{types.ServerID(1)})
+	got := mustRecv(t, s0, time.Second)
+	if rd, ok := got.Msg.(wire.Read); !ok || rd.TSR != 7 {
+		t.Fatalf("rolled partition delivered %v", got)
+	}
+	if !n.Partitioned(types.WriterID(), types.ServerID(1)) {
+		t.Fatal("new cut not installed")
+	}
+}
+
+// A user Hold on a link the partition also cuts stays held across Heal:
+// the partition only releases links it owns.
+func TestPartitionDoesNotStealUserHolds(t *testing.T) {
+	n, _ := newTrio(t)
+	w := ep(t, n, types.WriterID())
+	s1 := ep(t, n, types.ServerID(1))
+
+	n.Hold(types.WriterID(), types.ServerID(1))
+	n.SetPartition([]types.ProcID{types.WriterID()}, []types.ProcID{types.ServerID(1)})
+	if err := w.Send(types.ServerID(1), wire.Read{TSR: 3, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n.Heal()
+	select {
+	case env := <-s1.Recv():
+		t.Fatalf("Heal released a user-held link: %v", env)
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Release(types.WriterID(), types.ServerID(1))
+	mustRecv(t, s1, time.Second)
+}
+
+// The ownership rule must hold in the other order too: a Hold placed
+// on a link the partition already cut claims it, so Heal leaves the
+// user's hold in place.
+func TestHoldAfterCutClaimsLink(t *testing.T) {
+	n, _ := newTrio(t)
+	w := ep(t, n, types.WriterID())
+	s1 := ep(t, n, types.ServerID(1))
+
+	n.SetPartition([]types.ProcID{types.WriterID()}, []types.ProcID{types.ServerID(1)})
+	n.Hold(types.WriterID(), types.ServerID(1)) // user claims the cut link
+	if err := w.Send(types.ServerID(1), wire.Read{TSR: 4, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n.Heal()
+	select {
+	case env := <-s1.Recv():
+		t.Fatalf("Heal released a link the user claimed with Hold: %v", env)
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Release(types.WriterID(), types.ServerID(1))
+	mustRecv(t, s1, time.Second)
+}
+
+func TestDropLosesMessages(t *testing.T) {
+	n, _ := newTrio(t)
+	w := ep(t, n, types.WriterID())
+	s0 := ep(t, n, types.ServerID(0))
+	n.SetLinkFaults(types.WriterID(), types.ServerID(0), LinkFaults{Drop: 1})
+	for i := 0; i < 5; i++ {
+		if err := w.Send(types.ServerID(0), wire.Read{TSR: 1, Round: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case env := <-s0.Recv():
+		t.Fatalf("fully lossy link delivered %v", env)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if st := n.StatsSnapshot(); st.Dropped != 5 {
+		t.Errorf("Dropped = %d, want 5", st.Dropped)
+	}
+	// Clearing restores delivery.
+	n.SetLinkFaults(types.WriterID(), types.ServerID(0), LinkFaults{})
+	if err := w.Send(types.ServerID(0), wire.Read{TSR: 2, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, s0, time.Second)
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	n, _ := newTrio(t)
+	w := ep(t, n, types.WriterID())
+	s0 := ep(t, n, types.ServerID(0))
+	n.SetLinkFaults(types.WriterID(), types.ServerID(0), LinkFaults{Duplicate: 1})
+	if err := w.Send(types.ServerID(0), wire.Read{TSR: 9, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got := mustRecv(t, s0, time.Second)
+		if rd, ok := got.Msg.(wire.Read); !ok || rd.TSR != 9 {
+			t.Fatalf("copy %d = %v", i, got)
+		}
+	}
+	if st := n.StatsSnapshot(); st.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestJitterDelaysDelivery(t *testing.T) {
+	n, _ := newTrio(t)
+	w := ep(t, n, types.WriterID())
+	s0 := ep(t, n, types.ServerID(0))
+	n.SetProcFaults(types.ServerID(0), LinkFaults{JitterMax: 5 * time.Millisecond})
+	start := time.Now()
+	if err := w.Send(types.ServerID(0), wire.Read{TSR: 1, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, s0, time.Second)
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("jittered delivery took %v, jitter bound is 5ms", elapsed)
+	}
+}
+
+// Same fault seed and send order ⇒ identical drop pattern.
+func TestFaultDeterminismAcrossSeeds(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		ids := []types.ProcID{types.WriterID(), types.ServerID(0)}
+		n, err := New(ids, WithFaultSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		w := ep(t, n, types.WriterID())
+		s := ep(t, n, types.ServerID(0))
+		n.SetLinkFaults(types.WriterID(), types.ServerID(0), LinkFaults{Drop: 0.5})
+		var got []bool
+		for i := 0; i < 32; i++ {
+			if err := w.Send(types.ServerID(0), wire.Read{TSR: 1, Round: 1}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-s.Recv():
+				got = append(got, true)
+			case <-time.After(10 * time.Millisecond):
+				got = append(got, false)
+			}
+		}
+		return got
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at send %d: %v vs %v", i, a, b)
+		}
+	}
+}

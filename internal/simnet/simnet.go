@@ -19,6 +19,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -40,9 +41,14 @@ type Network struct {
 	defaultDelay time.Duration
 	linkDelay    map[link]time.Duration
 	held         map[link][]wire.Envelope // non-nil value marks a held link
+	cut          map[link]bool            // held-link subset owned by SetPartition
+	faults       map[link]LinkFaults      // probabilistic drop/duplicate/jitter
+	rng          *rand.Rand               // fault RNG, guarded by mu
 	timers       map[*time.Timer]struct{}
 	counts       map[link]map[wire.Kind]int
 	total        int
+	dropped      int
+	duplicated   int
 	closed       bool
 }
 
@@ -64,6 +70,9 @@ func New(ids []types.ProcID, opts ...Option) (*Network, error) {
 		endpoints: make(map[types.ProcID]*endpoint, len(ids)),
 		linkDelay: make(map[link]time.Duration),
 		held:      make(map[link][]wire.Envelope),
+		cut:       make(map[link]bool),
+		faults:    make(map[link]LinkFaults),
+		rng:       rand.New(rand.NewSource(1)),
 		timers:    make(map[*time.Timer]struct{}),
 		counts:    make(map[link]map[wire.Kind]int),
 	}
@@ -97,8 +106,10 @@ func (n *Network) Endpoint(id types.ProcID) (transport.Endpoint, error) {
 }
 
 // Close shuts the network down: pending delayed deliveries are
-// cancelled and every endpoint's inbox is closed. Close blocks until
-// all internal goroutines have exited.
+// cancelled, held backlogs are discarded (a Release after Close must
+// not deliver into closed mailboxes, nor re-arm anything), and every
+// endpoint's inbox is closed. Close blocks until all internal
+// goroutines have exited.
 func (n *Network) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -110,6 +121,9 @@ func (n *Network) Close() error {
 		t.Stop()
 	}
 	n.timers = map[*time.Timer]struct{}{}
+	clear(n.held) // discard in-transit backlogs; Release is a no-op from here on
+	clear(n.cut)
+	clear(n.faults)
 	eps := make([]*endpoint, 0, len(n.endpoints))
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
@@ -139,33 +153,42 @@ func (n *Network) ClearLinkDelay(from, to types.ProcID) {
 // while the link is held stay in transit (in order) until Release or
 // Discard. Holding models the "due to asynchrony, all messages …
 // remain in transit" steps of the proof runs.
+//
+// Hold claims the link even if a partition already cut it: healing the
+// partition then leaves the user's hold in place (the ownership rule
+// of SetPartition, in either order of Hold vs cut).
 func (n *Network) Hold(from, to types.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	l := link{from, to}
+	delete(n.cut, l)
 	if _, already := n.held[l]; !already {
 		n.held[l] = []wire.Envelope{}
 	}
 }
 
-// HoldAllFrom suspends delivery on every link whose sender is id.
+// HoldAllFrom suspends delivery on every link whose sender is id. Like
+// Hold, it claims the links from any current partition.
 func (n *Network) HoldAllFrom(id types.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for to := range n.endpoints {
 		l := link{id, to}
+		delete(n.cut, l)
 		if _, already := n.held[l]; !already {
 			n.held[l] = []wire.Envelope{}
 		}
 	}
 }
 
-// HoldAllTo suspends delivery on every link whose receiver is id.
+// HoldAllTo suspends delivery on every link whose receiver is id. Like
+// Hold, it claims the links from any current partition.
 func (n *Network) HoldAllTo(id types.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for from := range n.endpoints {
 		l := link{from, id}
+		delete(n.cut, l)
 		if _, already := n.held[l]; !already {
 			n.held[l] = []wire.Envelope{}
 		}
@@ -173,19 +196,25 @@ func (n *Network) HoldAllTo(id types.ProcID) {
 }
 
 // Release resumes delivery on from→to, delivering held messages in
-// their original send order.
+// their original send order. On a closed network Release is a no-op:
+// Close already discarded every backlog, and nothing may be delivered
+// into closed mailboxes.
 func (n *Network) Release(from, to types.ProcID) {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
 	l := link{from, to}
 	backlog, washeld := n.held[l]
 	delete(n.held, l)
+	delete(n.cut, l)
 	var target *endpoint
 	if washeld {
 		target = n.endpoints[to]
 	}
-	closed := n.closed
 	n.mu.Unlock()
-	if closed || target == nil {
+	if target == nil {
 		return
 	}
 	for _, env := range backlog {
@@ -210,9 +239,14 @@ func deliver(mbox *transport.Mailbox, env wire.Envelope) {
 	}
 }
 
-// ReleaseAll resumes delivery on every held link.
+// ReleaseAll resumes delivery on every held link. Like Release, it is
+// a no-op on a closed network.
 func (n *Network) ReleaseAll() {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
 	links := make([]link, 0, len(n.held))
 	for l := range n.held {
 		links = append(links, l)
@@ -231,6 +265,7 @@ func (n *Network) Discard(from, to types.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.held, link{from, to})
+	delete(n.cut, link{from, to})
 }
 
 // HeldCount reports how many messages are currently in transit on a
@@ -243,15 +278,17 @@ func (n *Network) HeldCount(from, to types.ProcID) int {
 
 // Stats is a snapshot of per-link, per-kind message counts.
 type Stats struct {
-	Total  int
-	ByKind map[wire.Kind]int
+	Total      int
+	Dropped    int // frames lost to LinkFaults.Drop
+	Duplicated int // frames delivered twice by LinkFaults.Duplicate
+	ByKind     map[wire.Kind]int
 }
 
 // StatsSnapshot returns aggregate message counts since creation.
 func (n *Network) StatsSnapshot() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	s := Stats{Total: n.total, ByKind: make(map[wire.Kind]int)}
+	s := Stats{Total: n.total, Dropped: n.dropped, Duplicated: n.duplicated, ByKind: make(map[wire.Kind]int)}
 	for _, kinds := range n.counts {
 		for k, c := range kinds {
 			s.ByKind[k] += c
@@ -293,8 +330,30 @@ func (n *Network) route(from, to types.ProcID, m wire.Message) error {
 			kinds[m.Kind()]++
 		}
 	}
+	// Probabilistic link faults (SetLinkFaults): decide drop, duplicate
+	// and jitter under the seeded fault RNG before the hold check, so a
+	// lossy link stays lossy while partitioned.
+	copies := 1
+	var jitter time.Duration
+	if f, ok := n.faults[l]; ok {
+		if f.Drop > 0 && n.rng.Float64() < f.Drop {
+			n.dropped++
+			n.mu.Unlock()
+			return nil
+		}
+		if f.Duplicate > 0 && n.rng.Float64() < f.Duplicate {
+			copies = 2
+			n.duplicated++
+		}
+		if f.JitterMax > 0 {
+			jitter = time.Duration(n.rng.Int63n(int64(f.JitterMax)))
+		}
+	}
 	if backlog, heldNow := n.held[l]; heldNow {
-		n.held[l] = append(backlog, env)
+		for c := 0; c < copies; c++ {
+			backlog = append(backlog, env)
+		}
+		n.held[l] = backlog
 		n.mu.Unlock()
 		return nil
 	}
@@ -302,11 +361,24 @@ func (n *Network) route(from, to types.ProcID, m wire.Message) error {
 	if d, ok := n.linkDelay[l]; ok {
 		delay = d
 	}
+	delay += jitter
 	if delay <= 0 {
 		n.mu.Unlock()
-		deliver(target.mbox, env)
+		for c := 0; c < copies; c++ {
+			deliver(target.mbox, env)
+		}
 		return nil
 	}
+	for c := 0; c < copies; c++ {
+		n.scheduleLocked(l, target, env, delay)
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// scheduleLocked arms a delivery timer for one envelope. Callers hold
+// n.mu.
+func (n *Network) scheduleLocked(l link, target *endpoint, env wire.Envelope, delay time.Duration) {
 	var timer *time.Timer
 	timer = time.AfterFunc(delay, func() {
 		n.mu.Lock()
@@ -326,8 +398,6 @@ func (n *Network) route(from, to types.ProcID, m wire.Message) error {
 		deliver(target.mbox, env)
 	})
 	n.timers[timer] = struct{}{}
-	n.mu.Unlock()
-	return nil
 }
 
 // endpoint is a process's attachment to the network.

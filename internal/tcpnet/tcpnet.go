@@ -309,18 +309,40 @@ func (c *Client) Recv() <-chan wire.Envelope { return c.mbox.Out() }
 // Send implements transport.Endpoint. Send failures to unreachable
 // servers are reported but non-fatal to the protocol: a dead server is
 // a crashed server.
+//
+// A write failure on an established connection triggers one
+// transparent redial-and-retry: after a peer crash-restarts on the same
+// address, the cached connection is dead and the first write to it
+// fails, but the server itself is back — without the retry every
+// client would pay one lost message per restart (and only dropConn
+// would clean up), which breaks crash-restart schedules over TCP.
+// Dial failures are not retried: they mean the server is actually
+// down, not that our connection went stale.
 func (c *Client) Send(to types.ProcID, m wire.Message) error {
+	env := wire.Envelope{From: c.id, To: to, Msg: m}
+	retried, err := c.sendOnce(to, env)
+	if err != nil && retried {
+		_, err = c.sendOnce(to, env)
+	}
+	return err
+}
+
+// sendOnce writes one frame to the cached (or freshly dialed)
+// connection. retryable reports whether a failure happened on an
+// established connection's write — the stale-connection case worth one
+// redial — as opposed to a dial failure.
+func (c *Client) sendOnce(to types.ProcID, env wire.Envelope) (retryable bool, err error) {
 	cc, err := c.connFor(to)
 	if err != nil {
-		return err
+		return false, err
 	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	if err := cc.write(wire.Envelope{From: c.id, To: to, Msg: m}); err != nil {
+	if err := cc.write(env); err != nil {
 		c.dropConn(to, cc)
-		return fmt.Errorf("tcpnet send to %s: %w", to, err)
+		return true, fmt.Errorf("tcpnet send to %s: %w", to, err)
 	}
-	return nil
+	return false, nil
 }
 
 // SendBatched implements transport.BatchSender: a drained
@@ -335,9 +357,20 @@ func (c *Client) SendBatched(to types.ProcID, msgs []wire.Message) error {
 	if len(msgs) == 0 {
 		return nil
 	}
+	retried, err := c.sendBatchedOnce(to, msgs)
+	if err != nil && retried {
+		// Same stale-connection redial as Send: the peer may have
+		// crash-restarted on its address since this batch's conn was
+		// cached.
+		_, err = c.sendBatchedOnce(to, msgs)
+	}
+	return err
+}
+
+func (c *Client) sendBatchedOnce(to types.ProcID, msgs []wire.Message) (retryable bool, err error) {
 	cc, err := c.connFor(to)
 	if err != nil {
-		return err
+		return false, err
 	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
@@ -346,11 +379,11 @@ func (c *Client) SendBatched(to types.ProcID, msgs []wire.Message) error {
 	if len(buf) > 0 {
 		if _, err := cc.conn.Write(buf); err != nil {
 			c.dropConn(to, cc)
-			return fmt.Errorf("tcpnet send to %s: %w", to, err)
+			return true, fmt.Errorf("tcpnet send to %s: %w", to, err)
 		}
 	}
 	cc.shrink()
-	return encErr
+	return false, encErr
 }
 
 // Close tears down every connection and the mailbox, joining all

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"luckystore/internal/checker"
+	"luckystore/internal/types"
+)
+
+// Continuous generates open-ended traffic until its context is
+// cancelled: one writer goroutine per key and one goroutine per reader
+// client, each pacing its own operations. It is the traffic source the
+// chaos engine runs underneath a fault schedule, so it is built to keep
+// going while servers crash, links flap and partitions roll — an
+// operation error is recorded (and stops only the actor that hit it),
+// never panics the run.
+//
+// Key choice per read is driven by a seeded RNG, so the operation mix
+// is reproducible up to scheduling. HotFrac concentrates reads on
+// Keys[0], which is how scenarios script contention phases.
+type Continuous struct {
+	// Keys are the registers to exercise. Empty (or a single-register
+	// driver) collapses to the one unnamed register.
+	Keys []string
+	// ValueSize pads written values (0 keeps the short form).
+	ValueSize int
+	// Seed makes each actor's key choices reproducible.
+	Seed int64
+	// HotFrac is the probability a read targets Keys[0] instead of a
+	// uniformly chosen key — the contention knob.
+	HotFrac float64
+	// WritePace and ReadPace are per-actor sleeps between operations;
+	// zero means DefaultWritePace/DefaultReadPace. Pacing bounds the
+	// history size so checking stays cheap even on a fast simnet.
+	WritePace time.Duration
+	ReadPace  time.Duration
+}
+
+// Default paces: fast enough for heavy contention, slow enough that a
+// multi-second run yields a checkable (not million-op) history.
+const (
+	DefaultWritePace = 2 * time.Millisecond
+	DefaultReadPace  = time.Millisecond
+)
+
+// Run drives d until ctx is cancelled and returns the recorded
+// history together with the first operation error (nil in a clean
+// run). Every recorded Op carries its key, so per-key checking applies
+// directly.
+func (g Continuous) Run(ctx context.Context, d Driver) (*checker.Recorder, error) {
+	keys := g.Keys
+	if !d.MultiKey() {
+		keys = []string{""}
+	} else if len(keys) == 0 {
+		keys = []string{DefaultKey}
+	}
+	writePace, readPace := g.WritePace, g.ReadPace
+	if writePace <= 0 {
+		writePace = DefaultWritePace
+	}
+	if readPace <= 0 {
+		readPace = DefaultReadPace
+	}
+
+	rec := checker.NewRecorder()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	// One writer goroutine per key: SWMR per register, and a kv.Store
+	// writes independent keys concurrently.
+	for _, key := range keys {
+		key := key
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				v := Value(i, g.ValueSize)
+				inv := time.Now()
+				ts, meta, err := d.Write(key, v)
+				ret := time.Now()
+				op := checker.Op{
+					Client: types.WriterID(), Kind: checker.KindWrite, Key: key,
+					Value:  types.Tagged{TS: ts, Val: v},
+					Invoke: inv, Return: ret, Rounds: meta.Rounds, Fast: meta.Fast, Err: err,
+				}
+				rec.Add(op)
+				if err != nil {
+					fail(fmt.Errorf("write %q #%d: %w", key, i, err))
+					return
+				}
+				if !sleepCtx(ctx, writePace) {
+					return
+				}
+			}
+		}()
+	}
+
+	for r := 0; r < d.NumReaders(); r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(g.Seed*1000003 + int64(r)))
+			for i := 0; ; i++ {
+				key := keys[rng.Intn(len(keys))]
+				if g.HotFrac > 0 && rng.Float64() < g.HotFrac {
+					key = keys[0]
+				}
+				inv := time.Now()
+				got, meta, err := d.Read(r, key)
+				ret := time.Now()
+				op := checker.Op{
+					Client: types.ReaderID(r), Kind: checker.KindRead, Key: key,
+					Value:  got,
+					Invoke: inv, Return: ret, Rounds: meta.Rounds, Fast: meta.Fast, Err: err,
+				}
+				rec.Add(op)
+				if err != nil {
+					fail(fmt.Errorf("reader %d op %d on %q: %w", r, i, key, err))
+					return
+				}
+				if !sleepCtx(ctx, readPace) {
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return rec, firstErr
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the
+// caller should continue.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,183 @@
+package workload
+
+// The Driver interface decouples workload generation from the
+// deployment it runs against: the same operation mix (and the same
+// chaos schedule) drives the core simnet cluster, the sharded KV
+// engine, the loopback-TCP KV deployment, and the protocol variants.
+//
+// The contract mirrors the model: one writer (per key — SWMR), a fixed
+// set of reader clients, and per-operation metadata for round-trip
+// accounting. A Driver's Write for one key must not be called
+// concurrently with itself, and Read must not be called concurrently
+// for the same reader index; the workloads in this package respect
+// both by construction (one goroutine per writer key, one per reader).
+
+import (
+	"luckystore/internal/core"
+	"luckystore/internal/kv"
+	"luckystore/internal/regular"
+	"luckystore/internal/twophase"
+	"luckystore/internal/types"
+)
+
+// DefaultKey is the register multi-key drivers use when a workload is
+// single-register in spirit (Mixed, Sequential): keyed transports
+// reject the empty key, so "k0" stands in for "the one register".
+const DefaultKey = "k0"
+
+// OpMeta is the per-operation round accounting every driver reports.
+type OpMeta struct {
+	Rounds int
+	Fast   bool
+}
+
+// Driver abstracts a running deployment for workload generation.
+type Driver interface {
+	// NumReaders reports how many reader clients the deployment has.
+	NumReaders() int
+	// MultiKey reports whether the deployment exposes independent
+	// registers by key. Single-register drivers ignore the key
+	// arguments, and workloads collapse the key set to {""} for them.
+	MultiKey() bool
+	// Write stores v under key through the deployment's writer and
+	// returns the timestamp the write bound. On error the timestamp is
+	// unspecified and recorded as 0.
+	Write(key string, v types.Value) (types.TS, OpMeta, error)
+	// Read reads key through reader client r.
+	Read(r int, key string) (types.Tagged, OpMeta, error)
+}
+
+// ClusterDriver drives a core single-register cluster.
+type ClusterDriver struct{ C *core.Cluster }
+
+// NumReaders implements Driver.
+func (d ClusterDriver) NumReaders() int { return d.C.Config().NumReaders }
+
+// MultiKey implements Driver.
+func (d ClusterDriver) MultiKey() bool { return false }
+
+// Write implements Driver.
+func (d ClusterDriver) Write(_ string, v types.Value) (types.TS, OpMeta, error) {
+	if err := d.C.Writer().Write(v); err != nil {
+		return 0, OpMeta{}, err
+	}
+	m := d.C.Writer().LastMeta()
+	return m.TS, OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+}
+
+// Read implements Driver.
+func (d ClusterDriver) Read(r int, _ string) (types.Tagged, OpMeta, error) {
+	got, err := d.C.Reader(r).Read()
+	if err != nil {
+		return types.Tagged{}, OpMeta{}, err
+	}
+	m := d.C.Reader(r).LastMeta()
+	return got, OpMeta{Rounds: m.Rounds(), Fast: m.Fast()}, nil
+}
+
+// KVDriver drives a multi-register kv.Store — both the in-memory
+// sharded engine (kv.Open) and a TCP deployment's client store
+// (kv.OpenWithEndpoints / luckystore.OpenKVTCP).
+type KVDriver struct {
+	S *kv.Store
+	// Readers is the number of reader clients the store was opened
+	// with (the store does not expose it for external-endpoint opens).
+	Readers int
+}
+
+// NumReaders implements Driver.
+func (d KVDriver) NumReaders() int { return d.Readers }
+
+// MultiKey implements Driver.
+func (d KVDriver) MultiKey() bool { return true }
+
+// Write implements Driver.
+func (d KVDriver) Write(key string, v types.Value) (types.TS, OpMeta, error) {
+	if err := d.S.Put(key, v); err != nil {
+		return 0, OpMeta{}, err
+	}
+	m, err := d.S.PutMeta(key)
+	if err != nil {
+		return 0, OpMeta{}, err
+	}
+	return m.TS, OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+}
+
+// Read implements Driver.
+func (d KVDriver) Read(r int, key string) (types.Tagged, OpMeta, error) {
+	got, err := d.S.Get(r, key)
+	if err != nil {
+		return types.Tagged{}, OpMeta{}, err
+	}
+	m, err := d.S.GetMeta(r, key)
+	if err != nil {
+		return types.Tagged{}, OpMeta{}, err
+	}
+	return got, OpMeta{Rounds: m.Rounds(), Fast: m.Fast()}, nil
+}
+
+// RegularDriver drives an Appendix D regular-variant cluster. Its
+// histories satisfy regularity, not atomicity — check them with
+// checker.CheckRegularity.
+type RegularDriver struct{ C *regular.Cluster }
+
+// NumReaders implements Driver.
+func (d RegularDriver) NumReaders() int { return d.C.Config().NumReaders }
+
+// MultiKey implements Driver.
+func (d RegularDriver) MultiKey() bool { return false }
+
+// Write implements Driver.
+func (d RegularDriver) Write(_ string, v types.Value) (types.TS, OpMeta, error) {
+	if err := d.C.Writer().Write(v); err != nil {
+		return 0, OpMeta{}, err
+	}
+	m := d.C.Writer().LastMeta()
+	return m.TS, OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+}
+
+// Read implements Driver.
+func (d RegularDriver) Read(r int, _ string) (types.Tagged, OpMeta, error) {
+	got, err := d.C.Reader(r).Read()
+	if err != nil {
+		return types.Tagged{}, OpMeta{}, err
+	}
+	m := d.C.Reader(r).LastMeta()
+	return got, OpMeta{Rounds: m.Rounds(), Fast: m.Fast()}, nil
+}
+
+// TwoPhaseDriver drives an Appendix C two-phase cluster. The variant's
+// writer does not expose per-operation metadata, but it assigns
+// timestamps 1, 2, 3, … in invocation order and every WRITE takes
+// exactly two round-trips, so the driver tracks both itself.
+type TwoPhaseDriver struct {
+	C *twophase.Cluster
+	// ts mirrors the writer's internal timestamp; the driver must own
+	// all writes for the count to stay in sync (SWMR guarantees it).
+	ts types.TS
+}
+
+// NumReaders implements Driver.
+func (d *TwoPhaseDriver) NumReaders() int { return d.C.Config().NumReaders }
+
+// MultiKey implements Driver.
+func (d *TwoPhaseDriver) MultiKey() bool { return false }
+
+// Write implements Driver.
+func (d *TwoPhaseDriver) Write(_ string, v types.Value) (types.TS, OpMeta, error) {
+	d.ts++ // the writer advances its timestamp on every attempt
+	if err := d.C.Writer().Write(v); err != nil {
+		return 0, OpMeta{}, err
+	}
+	return d.ts, OpMeta{Rounds: d.C.Writer().Rounds(), Fast: false}, nil
+}
+
+// Read implements Driver.
+func (d *TwoPhaseDriver) Read(r int, _ string) (types.Tagged, OpMeta, error) {
+	got, err := d.C.Reader(r).Read()
+	if err != nil {
+		return types.Tagged{}, OpMeta{}, err
+	}
+	m := d.C.Reader(r).LastMeta()
+	return got, OpMeta{Rounds: m.Rounds(), Fast: m.Fast()}, nil
+}

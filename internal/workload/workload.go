@@ -37,9 +37,20 @@ type Mixed struct {
 // history. The first error from any client is returned after all
 // goroutines have stopped.
 func (m Mixed) Run(c *core.Cluster) (*checker.Recorder, error) {
+	return m.RunDriver(ClusterDriver{C: c})
+}
+
+// RunDriver executes the workload against any deployment through its
+// Driver. Single-register semantics: all traffic targets one register
+// (DefaultKey on multi-key drivers).
+func (m Mixed) RunDriver(d Driver) (*checker.Recorder, error) {
+	key := ""
+	if d.MultiKey() {
+		key = DefaultKey
+	}
 	rec := checker.NewRecorder()
 	var wg sync.WaitGroup
-	errs := make(chan error, 1+c.Config().NumReaders)
+	errs := make(chan error, 1+d.NumReaders())
 
 	wg.Add(1)
 	go func() {
@@ -47,39 +58,37 @@ func (m Mixed) Run(c *core.Cluster) (*checker.Recorder, error) {
 		for i := 1; i <= m.Writes; i++ {
 			v := Value(i, m.ValueSize)
 			inv := time.Now()
-			err := c.Writer().Write(v)
+			ts, meta, err := d.Write(key, v)
 			ret := time.Now()
 			if err != nil {
 				errs <- fmt.Errorf("write %d: %w", i, err)
 				return
 			}
-			meta := c.Writer().LastMeta()
 			rec.Add(checker.Op{
-				Client: types.WriterID(), Kind: checker.KindWrite,
-				Value:  types.Tagged{TS: meta.TS, Val: v},
+				Client: types.WriterID(), Kind: checker.KindWrite, Key: key,
+				Value:  types.Tagged{TS: ts, Val: v},
 				Invoke: inv, Return: ret, Rounds: meta.Rounds, Fast: meta.Fast,
 			})
 		}
 	}()
 
-	for r := 0; r < c.Config().NumReaders; r++ {
+	for r := 0; r < d.NumReaders(); r++ {
 		r := r
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < m.ReadsPerReader; i++ {
 				inv := time.Now()
-				got, err := c.Reader(r).Read()
+				got, meta, err := d.Read(r, key)
 				ret := time.Now()
 				if err != nil {
 					errs <- fmt.Errorf("reader %d op %d: %w", r, i, err)
 					return
 				}
-				meta := c.Reader(r).LastMeta()
 				rec.Add(checker.Op{
-					Client: types.ReaderID(r), Kind: checker.KindRead,
+					Client: types.ReaderID(r), Kind: checker.KindRead, Key: key,
 					Value:  got,
-					Invoke: inv, Return: ret, Rounds: meta.Rounds(), Fast: meta.Fast(),
+					Invoke: inv, Return: ret, Rounds: meta.Rounds, Fast: meta.Fast,
 				})
 			}
 		}()
