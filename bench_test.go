@@ -27,8 +27,11 @@ import (
 	"luckystore/internal/experiments"
 	"luckystore/internal/kv"
 	"luckystore/internal/regular"
+	"luckystore/internal/ring"
+	"luckystore/internal/router"
 	"luckystore/internal/simnet"
 	"luckystore/internal/tcpnet"
+	"luckystore/internal/transport"
 	"luckystore/internal/twophase"
 	"luckystore/internal/types"
 	"luckystore/internal/wire"
@@ -541,6 +544,94 @@ func BenchmarkTCPKVPutBatch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
+}
+
+// --- Router scale-out benchmarks ------------------------------------
+
+// benchRouterCluster opens one cluster's kv store for the router fleet:
+// an in-memory simnet cluster, or S sharded servers on loopback TCP
+// with a dialed client store. The router takes ownership and closes it.
+func benchRouterCluster(b *testing.B, cfg core.Config, tcp bool) *kv.Store {
+	b.Helper()
+	if !tcp {
+		st, err := kv.Open(cfg, kv.WithShards(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	m := make(map[types.ProcID]string, cfg.S())
+	for i := 0; i < cfg.S(); i++ {
+		auto := kv.NewShardedServerAutomaton(4)
+		srv, err := tcpnet.ListenSharded(types.ServerID(i), "127.0.0.1:0", auto.Shards(), auto.Route())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = srv.Close() })
+		m[types.ServerID(i)] = srv.Addr()
+	}
+	wep, err := tcpnet.Dial(types.WriterID(), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reps := make([]transport.Endpoint, cfg.NumReaders)
+	for i := range reps {
+		if reps[i], err = tcpnet.Dial(types.ReaderID(i), m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, err := kv.OpenWithEndpoints(cfg, wep, reps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkRouterClusterScaling measures aggregate concurrent Put
+// throughput as independent register clusters are added behind one
+// consistent-hash router. Each cluster is a full S-server deployment
+// with its own network, so clusters share nothing but the client:
+// aggregate puts/s should grow with the fleet when GOMAXPROCS > 1 (on
+// one core the run bounds the routing layer's overhead instead). The
+// tcp variants run the same fleet over real loopback sockets.
+func BenchmarkRouterClusterScaling(b *testing.B) {
+	cfg := core.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 30 * time.Second}
+	for _, tcp := range []bool{false, true} {
+		netName := "simnet"
+		if tcp {
+			netName = "tcp"
+		}
+		for _, n := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/clusters=%d", netName, n), func(b *testing.B) {
+				backends := make(map[ring.ClusterID]router.Backend, n)
+				for i := 0; i < n; i++ {
+					backends[ring.ID(i)] = benchRouterCluster(b, cfg, tcp)
+				}
+				r, err := router.New(router.Options{Seed: 1, Readers: cfg.NumReaders}, backends)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { _ = r.Close() })
+				var nextKey atomic.Int64
+				b.SetParallelism(4) // 4×GOMAXPROCS concurrent per-key writers
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					key := fmt.Sprintf("key-%d", nextKey.Add(1))
+					i := 0
+					for pb.Next() {
+						i++
+						if _, err := r.Put(key, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "puts/s")
+			})
+		}
+	}
 }
 
 // --- Component micro-benchmarks -------------------------------------

@@ -36,7 +36,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	var (
 		scenario = fs.String("scenario", "all", "scenario name, or \"all\"")
-		deploy   = fs.String("deploy", "core", "deployment kind (core|kv|tcpkv|regular), or \"all\"")
+		deploy   = fs.String("deploy", "core", "deployment kind (core|kv|tcpkv|router|tcprouter|regular), or \"all\"")
 		seed     = fs.Int64("seed", 1, "schedule seed; same seed replays the same fault sequence")
 		duration = fs.Duration("duration", 2*time.Second, "fault window per run (plus settle time)")
 		readers  = fs.Int("readers", 3, "reader clients")
@@ -81,7 +81,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 		}
 		if !known {
-			fmt.Fprintf(stderr, "luckychaos: unknown deployment %q (core|kv|tcpkv|regular|all)\n", *deploy)
+			fmt.Fprintf(stderr, "luckychaos: unknown deployment %q (core|kv|tcpkv|router|tcprouter|regular|all)\n", *deploy)
 			return 2
 		}
 		kinds = []string{*deploy}

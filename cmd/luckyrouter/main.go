@@ -1,0 +1,133 @@
+// Command luckyrouter fronts a fleet of TCP key-value clusters behind
+// the ordinary single-cluster wire protocol: it listens on S virtual
+// server sockets and forwards every keyed message to the same-index
+// server of whichever cluster the consistent-hash ring assigns the
+// key to. An unmodified OpenKVTCP client pointed at the router's
+// addresses transparently spreads its keyspace over the whole fleet.
+//
+// Usage:
+//
+//	# two clusters of S=3 luckyd -kv servers each
+//	luckyrouter -cluster host1:7000,host2:7000,host3:7000 \
+//	            -cluster host4:7000,host5:7000,host6:7000 \
+//	            -listen 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
+//
+// Every -cluster flag names one cluster's S server addresses in index
+// order; all clusters must have the same S, and -listen (when given)
+// must name exactly S addresses. Every router fronting the same fleet
+// must use the same -seed and -vnodes, or placements disagree.
+//
+// The fleet is fixed for the router's lifetime: live rebalancing needs
+// the client-side routing layer (internal/router.Router), which owns
+// the read-then-write-forward handoff. Resize a proxied fleet by
+// draining, migrating offline, and restarting the router with the new
+// cluster list.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"luckystore/internal/ring"
+	"luckystore/internal/router"
+)
+
+// clusterList collects repeated -cluster flags, each one cluster's
+// comma-separated server addresses.
+type clusterList [][]string
+
+func (c *clusterList) String() string {
+	parts := make([]string, len(*c))
+	for i, addrs := range *c {
+		parts[i] = strings.Join(addrs, ",")
+	}
+	return strings.Join(parts, " ")
+}
+
+func (c *clusterList) Set(v string) error {
+	addrs := splitAddrs(v)
+	if len(addrs) == 0 {
+		return errors.New("empty cluster address list")
+	}
+	*c = append(*c, addrs)
+	return nil
+}
+
+// splitAddrs splits a comma list, dropping empty elements.
+func splitAddrs(v string) []string {
+	var out []string
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], nil, nil))
+}
+
+// run starts the router and blocks until a termination signal (or, in
+// tests, until stop closes). A non-nil ready receives the bound listen
+// addresses, comma-separated in virtual-server index order.
+func run(args []string, ready chan<- string, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("luckyrouter", flag.ContinueOnError)
+	var clusters clusterList
+	fs.Var(&clusters, "cluster", "one cluster's comma-separated server addresses, in index order (repeat per cluster)")
+	var (
+		listen = fs.String("listen", "", "comma-separated virtual-server listen addresses (default: S loopback sockets on free ports)")
+		seed   = fs.Int64("seed", 1, "consistent-hash ring seed (must match every router of the fleet)")
+		vnodes = fs.Int("vnodes", 0, "virtual nodes per cluster on the ring; 0 means the default")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if len(clusters) == 0 {
+		fmt.Fprintln(os.Stderr, "luckyrouter: at least one -cluster is required")
+		return 2
+	}
+
+	cfg := router.ProxyConfig{
+		Seed:     *seed,
+		Vnodes:   *vnodes,
+		Clusters: make(map[ring.ClusterID][]string, len(clusters)),
+		Listen:   splitAddrs(*listen),
+	}
+	for i, addrs := range clusters {
+		cfg.Clusters[ring.ID(i)] = addrs
+	}
+	p, err := router.NewProxy(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "luckyrouter: %v\n", err)
+		return 1
+	}
+	addrs := strings.Join(p.Addrs(), ",")
+	log.Printf("luckyrouter: fronting %d clusters (seed %d) on %s", len(clusters), *seed, addrs)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if ready != nil {
+		ready <- addrs
+	}
+	select {
+	case <-sig:
+	case <-stop:
+	}
+	log.Print("luckyrouter: shutting down")
+	if err := p.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "luckyrouter: close: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"luckystore"
+	"luckystore/internal/ring"
+)
+
+func startRouter(t *testing.T, args ...string) (string, chan int, chan struct{}) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	go func() { exit <- run(args, ready, stop) }()
+	select {
+	case addrs := <-ready:
+		return addrs, exit, stop
+	case code := <-exit:
+		t.Fatalf("luckyrouter exited with %d before listening", code)
+		return "", nil, nil
+	}
+}
+
+func stopRouter(t *testing.T, exit chan int, stop chan struct{}) {
+	t.Helper()
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("luckyrouter exit = %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("luckyrouter did not shut down")
+	}
+}
+
+// End-to-end acceptance: two real TCP-KV clusters behind a luckyrouter
+// daemon, driven by an unmodified OpenKVTCP client. Every key reads
+// back through the router, and each cluster ends up owning its ring
+// share of the keys.
+func TestRouterFrontsTwoClusters(t *testing.T) {
+	const numKeys = 20
+	cfg := luckystore.Config{T: 0, B: 0, Fw: 0, NumReaders: 1,
+		RoundTimeout: 100 * time.Millisecond, OpTimeout: 10 * time.Second}
+
+	// Two S=1 clusters of real sharded KV listeners.
+	var clusterAddrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := luckystore.ListenTCPKV(0, "127.0.0.1:0", luckystore.WithTCPShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		clusterAddrs = append(clusterAddrs, srv.Addr())
+	}
+
+	addrs, exit, stop := startRouter(t,
+		"-cluster", clusterAddrs[0],
+		"-cluster", clusterAddrs[1],
+		"-seed", "1")
+	defer stopRouter(t, exit, stop)
+
+	store, err := luckystore.OpenKVTCP(cfg, luckystore.ServerAddrs(strings.Split(addrs, ",")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	keys := make([]string, numKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if err := store.Put(keys[i], luckystore.Value("v-"+keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := store.GetBatch(0, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if got[k].Val != luckystore.Value("v-"+k) {
+			t.Errorf("GetBatch[%s] = %q through the router, want %q", k, got[k].Val, "v-"+k)
+		}
+	}
+
+	// Placement: read each cluster directly (reader-only — the writer
+	// connection is dialed lazily and never needed). A key must be
+	// present exactly on its ring owner.
+	rg, err := ring.New(1, 0, []ring.ClusterID{ring.ID(0), ring.ID(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[ring.ClusterID]int{}
+	for i, addr := range clusterAddrs {
+		id := ring.ID(i)
+		direct, err := luckystore.OpenKVTCP(cfg, luckystore.ServerAddrs([]string{addr}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			v, err := direct.Get(0, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if owner := rg.Lookup(k); owner == id {
+				owned[id]++
+				if v.IsBottom() {
+					t.Errorf("key %q missing from its owner %s", k, id)
+				}
+			} else if !v.IsBottom() {
+				t.Errorf("key %q leaked onto %s (owner %s)", k, id, owner)
+			}
+		}
+		direct.Close()
+	}
+	for id, n := range owned {
+		if n == 0 {
+			t.Errorf("cluster %s owns no keys out of %d", id, numKeys)
+		}
+	}
+}
+
+func TestBadFlagsExitNonzero(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}, nil, nil); code != 2 {
+		t.Errorf("unknown flag exit = %d, want 2", code)
+	}
+	if code := run(nil, nil, nil); code != 2 {
+		t.Errorf("missing -cluster exit = %d, want 2", code)
+	}
+	if code := run([]string{"-cluster", "a:1", "-cluster", "b:1,b:2"}, nil, nil); code != 1 {
+		t.Errorf("mismatched cluster sizes exit = %d, want 1", code)
+	}
+}

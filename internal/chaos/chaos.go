@@ -52,6 +52,10 @@ const (
 	ActCrash       ActionKind = "crash"        // crash-stop Server
 	ActRestart     ActionKind = "restart"      // restart Server (Fresh: lose state)
 	ActSwap        ActionKind = "swap"         // replace Server with Behavior
+	// Fleet actions, honored by deployments implementing Rebalancer
+	// (scale-out router fleets); others skip them benignly.
+	ActJoinCluster   ActionKind = "join-cluster"   // add one cluster to the fleet
+	ActRemoveCluster ActionKind = "remove-cluster" // retire active cluster ordinal Server
 )
 
 // Action is one scripted fault, a plain value so schedules serialize
@@ -86,6 +90,10 @@ func (a Action) String() string {
 		return fmt.Sprintf("restart s%d (%s)", a.Server, mode)
 	case ActSwap:
 		return fmt.Sprintf("swap s%d → %s", a.Server, a.Behavior)
+	case ActJoinCluster:
+		return "join-cluster"
+	case ActRemoveCluster:
+		return fmt.Sprintf("remove-cluster #%d", a.Server)
 	default:
 		return string(a.Kind)
 	}
@@ -427,6 +435,35 @@ func apply(d Deployment, ev Event, g *guard) AppliedEvent {
 		}
 		delete(g.down, a.Server) // the swapped automaton is running
 		g.suspect[a.Server] = true
+		out.Applied = true
+	// Fleet actions consume no fault budget: clusters are independent
+	// quorum groups, and the rebalance handoff is a client-side
+	// protocol, not a server fault.
+	case ActJoinCluster:
+		rb, ok := d.(Rebalancer)
+		if !ok {
+			out.Skipped = "deployment cannot rebalance"
+			return out
+		}
+		if err := rb.JoinCluster(); err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		out.Applied = true
+	case ActRemoveCluster:
+		rb, ok := d.(Rebalancer)
+		if !ok {
+			out.Skipped = "deployment cannot rebalance"
+			return out
+		}
+		if rb.NumClusters() <= 1 {
+			out.Skipped = "last cluster"
+			return out
+		}
+		if err := rb.RemoveCluster(a.Server); err != nil {
+			out.Err = err.Error()
+			return out
+		}
 		out.Applied = true
 	default:
 		out.Skipped = fmt.Sprintf("unknown action %q", a.Kind)

@@ -16,6 +16,8 @@ import (
 	"luckystore/internal/kv"
 	"luckystore/internal/node"
 	"luckystore/internal/regular"
+	"luckystore/internal/ring"
+	"luckystore/internal/router"
 	"luckystore/internal/simnet"
 	"luckystore/internal/tcpnet"
 	"luckystore/internal/transport"
@@ -56,6 +58,20 @@ type Deployment interface {
 	Check(ops []checker.Op) []checker.Violation
 	// Close tears the deployment down.
 	Close()
+}
+
+// Rebalancer is the optional Deployment capability behind the fleet
+// actions (ActJoinCluster, ActRemoveCluster): scale-out router
+// deployments implement it; single-cluster deployments skip fleet
+// events benignly.
+type Rebalancer interface {
+	// JoinCluster adds one fresh cluster to the fleet.
+	JoinCluster() error
+	// RemoveCluster retires the i-th active cluster (sorted order,
+	// wrapped modulo the active count by the caller's schedule).
+	RemoveCluster(i int) error
+	// NumClusters reports the active cluster count.
+	NumClusters() int
 }
 
 // DefaultConfig is the resilience configuration the stock deployments
@@ -266,18 +282,25 @@ func (d *tcpkvDep) rebind(i int, listen func(addr string) (*tcpnet.Server, error
 	if i < 0 || i >= len(d.srvs) {
 		return fmt.Errorf("chaos tcpkv: server %d out of range", i)
 	}
-	_ = d.srvs[i].Close() // restart implies the old process is gone
+	return rebindListener(d.srvs, d.addrs, i, listen)
+}
+
+// rebindListener closes slot i's listener (a restart implies the old
+// process is gone) and re-listens on its old address, retrying briefly
+// while the kernel releases the port.
+func rebindListener(srvs []*tcpnet.Server, addrs []string, i int, listen func(addr string) (*tcpnet.Server, error)) error {
+	_ = srvs[i].Close()
 	var lastErr error
 	for attempt := 0; attempt < 100; attempt++ {
-		srv, err := listen(d.addrs[i])
+		srv, err := listen(addrs[i])
 		if err == nil {
-			d.srvs[i] = srv
+			srvs[i] = srv
 			return nil
 		}
 		lastErr = err
 		time.Sleep(10 * time.Millisecond)
 	}
-	return fmt.Errorf("chaos tcpkv: rebind %s: %w", d.addrs[i], lastErr)
+	return fmt.Errorf("chaos: rebind %s: %w", addrs[i], lastErr)
 }
 
 func (d *tcpkvDep) Restart(i int, _ bool) error {
@@ -359,6 +382,341 @@ func (d *regularDep) Check(ops []checker.Op) []checker.Violation {
 	return checker.CheckRegularityPerKey(ops)
 }
 
+// ---- consistent-hash router fleet (simnet clusters) ----
+
+// routerSeed fixes the ring seed for chaos fleets: placement must be a
+// pure function of the schedule seed alone, and the schedule already
+// owns all randomness, so the ring gets a constant.
+const routerSeed = 1
+
+type routerDep struct {
+	workload.RouterDriver
+	cfg    core.Config
+	r      *router.Router
+	stores map[ring.ClusterID]*kv.Store // active clusters only
+	nextID int
+}
+
+// NewRouter builds a scale-out fleet of n simnet KV clusters behind
+// one router. Server faults hit server i of every active cluster —
+// "rack i" in fleet terms — so the per-cluster failure budget (t, b)
+// is stressed everywhere at once while staying within the model.
+func NewRouter(cfg core.Config, n int) (Deployment, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chaos router: need at least one cluster")
+	}
+	d := &routerDep{cfg: cfg, stores: make(map[ring.ClusterID]*kv.Store, n)}
+	backends := make(map[ring.ClusterID]router.Backend, n)
+	for ; d.nextID < n; d.nextID++ {
+		st, err := kv.Open(cfg)
+		if err != nil {
+			for _, prev := range d.stores {
+				prev.Close()
+			}
+			return nil, err
+		}
+		id := ring.ID(d.nextID)
+		d.stores[id] = st
+		backends[id] = st
+	}
+	r, err := router.New(router.Options{Seed: routerSeed, Readers: cfg.NumReaders}, backends)
+	if err != nil {
+		for _, prev := range d.stores {
+			prev.Close()
+		}
+		return nil, err
+	}
+	d.r = r
+	d.RouterDriver = workload.RouterDriver{R: r}
+	return d, nil
+}
+
+func (d *routerDep) Kind() string       { return "router" }
+func (d *routerDep) Servers() int       { return d.cfg.S() }
+func (d *routerDep) Budget() (int, int) { return d.cfg.T, d.cfg.B }
+
+// Net returns nil: each cluster runs its own simnet, and the engine's
+// network actions script one network. Fleet runs exercise placement,
+// coalescing and rebalancing; single-cluster runs own the partition
+// scenarios.
+func (d *routerDep) Net() *simnet.Network { return nil }
+func (d *routerDep) ColdRestarts() bool   { return false }
+
+func (d *routerDep) Crash(i int) error {
+	for _, st := range d.stores {
+		st.CrashServer(i)
+	}
+	return nil
+}
+
+func (d *routerDep) Restart(i int, fresh bool) error {
+	for id, st := range d.stores {
+		var err error
+		if fresh {
+			err = st.RestartServerFresh(i)
+		} else {
+			err = st.RestartServer(i)
+		}
+		if err != nil {
+			return fmt.Errorf("cluster %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (d *routerDep) Swap(i int, behavior string, seed int64) error {
+	for id, st := range d.stores {
+		// One fresh automaton per cluster: behaviors are stateful.
+		a, err := behaviorFor(behavior, seed, true)
+		if err != nil {
+			return err
+		}
+		if err := st.SwapServerAutomaton(i, a); err != nil {
+			return fmt.Errorf("cluster %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (d *routerDep) JoinCluster() error {
+	st, err := kv.Open(d.cfg)
+	if err != nil {
+		return err
+	}
+	id := ring.ID(d.nextID)
+	if err := d.r.AddCluster(id, st); err != nil {
+		st.Close()
+		return err
+	}
+	d.nextID++
+	d.stores[id] = st
+	return nil
+}
+
+func (d *routerDep) RemoveCluster(i int) error {
+	active := d.r.Clusters()
+	if len(active) == 0 {
+		return fmt.Errorf("chaos router: no active clusters")
+	}
+	id := active[i%len(active)]
+	if err := d.r.RemoveCluster(id); err != nil {
+		return err
+	}
+	// The store stays open (and router-owned) for lazy handoffs; it is
+	// just no longer a fault target.
+	delete(d.stores, id)
+	return nil
+}
+
+func (d *routerDep) NumClusters() int { return len(d.r.Clusters()) }
+
+func (d *routerDep) Check(ops []checker.Op) []checker.Violation {
+	return checker.CheckAtomicityPerKey(ops)
+}
+
+func (d *routerDep) Close() { _ = d.r.Close() }
+
+// ---- consistent-hash router fleet (loopback-TCP clusters) ----
+
+// tcpCluster is one TCP-KV cluster of a router fleet: its listeners
+// and the client store dialed to them.
+type tcpCluster struct {
+	srvs  []*tcpnet.Server
+	addrs []string
+	st    *kv.Store
+}
+
+func (c *tcpCluster) closeServers() {
+	for _, s := range c.srvs {
+		if s != nil {
+			_ = s.Close()
+		}
+	}
+}
+
+// startTCPCluster starts S sharded KV listeners and dials a store.
+func startTCPCluster(cfg core.Config, shards int) (*tcpCluster, error) {
+	c := &tcpCluster{}
+	addrMap := make(map[types.ProcID]string, cfg.S())
+	for i := 0; i < cfg.S(); i++ {
+		srv, err := listenKV(i, "127.0.0.1:0", shards)
+		if err != nil {
+			c.closeServers()
+			return nil, err
+		}
+		c.srvs = append(c.srvs, srv)
+		c.addrs = append(c.addrs, srv.Addr())
+		addrMap[types.ServerID(i)] = srv.Addr()
+	}
+	wep, err := tcpnet.Dial(types.WriterID(), addrMap)
+	if err != nil {
+		c.closeServers()
+		return nil, err
+	}
+	readerEPs := make([]transport.Endpoint, cfg.NumReaders)
+	for i := range readerEPs {
+		rep, err := tcpnet.Dial(types.ReaderID(i), addrMap)
+		if err != nil {
+			_ = wep.Close()
+			for j := 0; j < i; j++ {
+				_ = readerEPs[j].Close()
+			}
+			c.closeServers()
+			return nil, err
+		}
+		readerEPs[i] = rep
+	}
+	st, err := kv.OpenWithEndpoints(cfg, wep, readerEPs)
+	if err != nil {
+		c.closeServers()
+		return nil, err
+	}
+	c.st = st
+	return c, nil
+}
+
+type tcprouterDep struct {
+	workload.RouterDriver
+	cfg      core.Config
+	shards   int
+	r        *router.Router
+	clusters map[ring.ClusterID]*tcpCluster // active clusters only
+	retired  []*tcpCluster                  // listeners kept up for lazy handoffs
+	nextID   int
+}
+
+// NewTCPRouter builds a scale-out fleet of n loopback-TCP KV clusters
+// behind one router: the real-deployment shape of a fleet, where every
+// cluster is S sockets and a crash is a listener teardown.
+func NewTCPRouter(cfg core.Config, shards, n int) (Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("chaos tcprouter: need at least one cluster")
+	}
+	d := &tcprouterDep{cfg: cfg, shards: shards, clusters: make(map[ring.ClusterID]*tcpCluster, n)}
+	backends := make(map[ring.ClusterID]router.Backend, n)
+	fail := func(err error) (Deployment, error) {
+		for _, c := range d.clusters {
+			c.st.Close()
+			c.closeServers()
+		}
+		return nil, err
+	}
+	for ; d.nextID < n; d.nextID++ {
+		c, err := startTCPCluster(cfg, shards)
+		if err != nil {
+			return fail(err)
+		}
+		id := ring.ID(d.nextID)
+		d.clusters[id] = c
+		backends[id] = c.st
+	}
+	r, err := router.New(router.Options{Seed: routerSeed, Readers: cfg.NumReaders}, backends)
+	if err != nil {
+		return fail(err)
+	}
+	d.r = r
+	d.RouterDriver = workload.RouterDriver{R: r}
+	return d, nil
+}
+
+func (d *tcprouterDep) Kind() string         { return "tcprouter" }
+func (d *tcprouterDep) Servers() int         { return d.cfg.S() }
+func (d *tcprouterDep) Budget() (int, int)   { return d.cfg.T, d.cfg.B }
+func (d *tcprouterDep) Net() *simnet.Network { return nil }
+func (d *tcprouterDep) ColdRestarts() bool   { return true }
+
+func (d *tcprouterDep) Crash(i int) error {
+	for id, c := range d.clusters {
+		if i < 0 || i >= len(c.srvs) {
+			return fmt.Errorf("chaos tcprouter: server %d out of range", i)
+		}
+		if err := c.srvs[i].Close(); err != nil {
+			return fmt.Errorf("cluster %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (d *tcprouterDep) Restart(i int, _ bool) error {
+	for id, c := range d.clusters {
+		err := rebindListener(c.srvs, c.addrs, i, func(addr string) (*tcpnet.Server, error) {
+			return listenKV(i, addr, d.shards)
+		})
+		if err != nil {
+			return fmt.Errorf("cluster %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (d *tcprouterDep) Swap(i int, behavior string, seed int64) error {
+	for id, c := range d.clusters {
+		a, err := behaviorFor(behavior, seed, true)
+		if err != nil {
+			return err
+		}
+		err = rebindListener(c.srvs, c.addrs, i, func(addr string) (*tcpnet.Server, error) {
+			return tcpnet.Listen(types.ServerID(i), addr, a)
+		})
+		if err != nil {
+			return fmt.Errorf("cluster %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (d *tcprouterDep) JoinCluster() error {
+	c, err := startTCPCluster(d.cfg, d.shards)
+	if err != nil {
+		return err
+	}
+	id := ring.ID(d.nextID)
+	if err := d.r.AddCluster(id, c.st); err != nil {
+		c.st.Close()
+		c.closeServers()
+		return err
+	}
+	d.nextID++
+	d.clusters[id] = c
+	return nil
+}
+
+func (d *tcprouterDep) RemoveCluster(i int) error {
+	active := d.r.Clusters()
+	if len(active) == 0 {
+		return fmt.Errorf("chaos tcprouter: no active clusters")
+	}
+	id := active[i%len(active)]
+	if err := d.r.RemoveCluster(id); err != nil {
+		return err
+	}
+	// Listeners stay up: lazily-migrated keys still read their pair out
+	// of the retired cluster through the router-owned client store.
+	c := d.clusters[id]
+	delete(d.clusters, id)
+	d.retired = append(d.retired, c)
+	return nil
+}
+
+func (d *tcprouterDep) NumClusters() int { return len(d.r.Clusters()) }
+
+func (d *tcprouterDep) Check(ops []checker.Op) []checker.Violation {
+	return checker.CheckAtomicityPerKey(ops)
+}
+
+func (d *tcprouterDep) Close() {
+	_ = d.r.Close() // closes every client store, active and retired
+	for _, c := range d.clusters {
+		c.closeServers()
+	}
+	for _, c := range d.retired {
+		c.closeServers()
+	}
+}
+
 // Open builds a deployment by kind name with the default chaos
 // configuration — the entry point luckychaos and the smoke matrix use.
 func Open(kind string, readers int) (Deployment, error) {
@@ -369,6 +727,10 @@ func Open(kind string, readers int) (Deployment, error) {
 		return NewKV(DefaultConfig(readers))
 	case "tcpkv":
 		return NewTCPKV(DefaultConfig(readers), 0)
+	case "router":
+		return NewRouter(DefaultConfig(readers), 2)
+	case "tcprouter":
+		return NewTCPRouter(DefaultConfig(readers), 0, 2)
 	case "regular":
 		cfg := DefaultConfig(readers)
 		return NewRegular(regular.Config{
@@ -376,9 +738,9 @@ func Open(kind string, readers int) (Deployment, error) {
 			RoundTimeout: cfg.RoundTimeout, OpTimeout: cfg.OpTimeout,
 		})
 	default:
-		return nil, fmt.Errorf("chaos: unknown deployment %q (core|kv|tcpkv|regular)", kind)
+		return nil, fmt.Errorf("chaos: unknown deployment %q (core|kv|tcpkv|router|tcprouter|regular)", kind)
 	}
 }
 
 // Kinds lists the deployment kinds Open accepts.
-func Kinds() []string { return []string{"core", "kv", "tcpkv", "regular"} }
+func Kinds() []string { return []string{"core", "kv", "tcpkv", "router", "tcprouter", "regular"} }

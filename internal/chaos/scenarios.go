@@ -254,6 +254,21 @@ var Scenarios = []Scenario{
 			}
 		},
 	},
+	{
+		Name:        "rebalance-under-traffic",
+		Description: "a cluster joins the fleet mid-run and an original cluster is retired, with continuous traffic across both handoffs",
+		NumKeys:     6,
+		Schedule: func(p SchedParams) []Event {
+			// Deterministic by construction (no RNG draw needed): grow,
+			// then shrink. Non-fleet deployments skip both benignly, and
+			// the checker verifies every key's history spans the
+			// migrations without a timestamp anomaly.
+			return []Event{
+				{At: frac(p, 0.25), Action: Action{Kind: ActJoinCluster}},
+				{At: frac(p, 0.60), Action: Action{Kind: ActRemoveCluster, Server: 0}},
+			}
+		},
+	},
 }
 
 // Lookup finds a scenario by name.

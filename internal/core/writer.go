@@ -104,6 +104,33 @@ func (w *Writer) WriteWithFault(v types.Value, f *WriteFault) error { return w.w
 // LastMeta returns metadata about the most recent completed WRITE.
 func (w *Writer) LastMeta() WriteMeta { return w.lastMeta }
 
+// WriteAt runs a WRITE that binds exactly the pair c — timestamp
+// included — instead of advancing this writer's own timestamp. It is
+// the handoff primitive for scale-out rebalancing (internal/router):
+// when a key migrates between clusters, the destination writer installs
+// the source's latest completed pair at its original timestamp, keeping
+// the key's timestamp sequence monotonic across the move (the checker
+// matches reads to writes by timestamp, and servers only ever replace
+// strictly older pairs, so re-binding an existing 〈ts,val〉 is safe and
+// idempotent).
+//
+// A pair at or below the writer's current timestamp is a no-op: this
+// writer already completed a WRITE at least as new, so the register
+// already holds a pair ≥ c. Subsequent Writes continue from c.TS + 1.
+func (w *Writer) WriteAt(c types.Tagged) error {
+	if w.crashed {
+		return ErrCrashed
+	}
+	if c.IsBottom() || c.Val == "" {
+		return ErrBottomValue
+	}
+	if c.TS <= w.ts {
+		return nil
+	}
+	w.ts = c.TS - 1 // write() advances to exactly c.TS
+	return w.write(c.Val, nil)
+}
+
 // NextTS returns the timestamp the next WRITE will use (for tests).
 func (w *Writer) NextTS() types.TS { return w.ts + 1 }
 

@@ -130,6 +130,17 @@ func (d *Demux) Open(key string) (transport.Endpoint, error) {
 	return &subEndpoint{key: key, demux: d, mbox: mbox}, nil
 }
 
+// Flush implements transport.Flusher by delegating to the underlying
+// endpoint when it buffers sends (a Coalescer); an unbuffered endpoint
+// has nothing to drain. Per-key sends all funnel through the one inner
+// endpoint, so one Flush covers every key.
+func (d *Demux) Flush() error {
+	if f, ok := d.inner.(transport.Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 // Close stops the pump, closes every per-key inbox and the underlying
 // endpoint, and waits for the pump goroutine to exit.
 func (d *Demux) Close() error {

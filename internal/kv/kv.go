@@ -241,6 +241,41 @@ func (s *Store) PutMeta(key string) (core.WriteMeta, error) {
 	return h.w.LastMeta(), nil
 }
 
+// ForwardPut installs an exact 〈ts, value〉 pair under key: the
+// rebalance handoff primitive (internal/router). Unlike Put, which
+// binds the next timestamp, ForwardPut replays a pair read from
+// another cluster at its original timestamp, so the checker's per-key
+// timestamp order is preserved across a migration. A pair at or below
+// the key's current write timestamp is skipped (the handoff already
+// happened, or a newer write landed here first); a bottom pair means
+// the key was never written and there is nothing to carry over.
+func (s *Store) ForwardPut(key string, last types.Tagged) error {
+	if last.IsBottom() {
+		return nil
+	}
+	h, err := s.writerFor(key)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.w.WriteAt(last)
+}
+
+// Flush blocks until every outbound message of every key — writer and
+// all readers — has been handed to the underlying transport, giving
+// callers a deterministic drain point (the router flushes a cluster's
+// store before retiring it at a rebalance boundary).
+func (s *Store) Flush() error {
+	err := s.writerDemux.Flush()
+	for _, d := range s.readerDemuxs {
+		if e := d.Flush(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
 // Get reads key through reader client idx. A key never written returns
 // the initial pair 〈0,⊥〉.
 func (s *Store) Get(idx int, key string) (types.Tagged, error) {

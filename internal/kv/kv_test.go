@@ -74,6 +74,44 @@ func TestKeysAreIndependentRegisters(t *testing.T) {
 	}
 }
 
+// ForwardPut is the rebalance handoff primitive: it replays a pair at
+// its exact original timestamp, skips stale or bottom pairs, and keeps
+// the key's timestamps monotonic so a subsequent Put continues the
+// sequence.
+func TestForwardPutReplaysExactPair(t *testing.T) {
+	st := testStore(t)
+	if err := st.ForwardPut("k", types.Tagged{TS: 7, Val: "carried"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(0, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (types.Tagged{TS: 7, Val: "carried"}) {
+		t.Errorf("Get after ForwardPut = %v, want 〈7,carried〉", got)
+	}
+	// Stale and bottom handoffs are no-ops.
+	if err := st.ForwardPut("k", types.Tagged{TS: 3, Val: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ForwardPut("k", types.Bottom()); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = st.Get(1, "k"); got != (types.Tagged{TS: 7, Val: "carried"}) {
+		t.Errorf("stale ForwardPut overwrote the register: %v", got)
+	}
+	// The local writer continues from the forwarded timestamp.
+	if err := st.Put("k", "next"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = st.Get(0, "k"); got != (types.Tagged{TS: 8, Val: "next"}) {
+		t.Errorf("Put after ForwardPut = %v, want 〈8,next〉", got)
+	}
+	if err := st.Flush(); err != nil {
+		t.Errorf("Flush = %v", err)
+	}
+}
+
 func TestGetUnwrittenKeyReturnsBottom(t *testing.T) {
 	st := testStore(t)
 	got, err := st.Get(1, "never-written")

@@ -1,0 +1,201 @@
+// Package ring implements the seeded consistent-hash ring that maps
+// register keys to clusters in a scale-out deployment: N independent
+// lucky clusters, each a full 2t+b+1 quorum group, with every key owned
+// by exactly one of them.
+//
+// The mapping is a pure function of (seed, ClusterMap): the same seed
+// and the same cluster set produce the same ring in every process and
+// across restarts, so routers, proxies and tooling agree on placement
+// without coordination. Virtual nodes smooth the key distribution and
+// bound the fraction of keys that move when the fleet changes: adding
+// one cluster to N remaps about 1/(N+1) of the keyspace, and every
+// remapped key moves to the new cluster (keys never shuffle between
+// survivors).
+//
+// ClusterMap epochs make fleet changes explicit: each change bumps the
+// epoch, and routing layers use the epoch to detect that a key's cached
+// placement predates the current map (see internal/router).
+package ring
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ClusterID names one cluster of the fleet. IDs are small strings
+// ("c0", "c1", …) so maps serialize and compare trivially; any
+// non-empty string works.
+type ClusterID string
+
+// ID returns the conventional id of the i-th cluster.
+func ID(i int) ClusterID { return ClusterID("c" + strconv.Itoa(i)) }
+
+// DefaultVnodes is the virtual-node count per cluster used when a
+// configuration passes 0. 64 points per cluster keeps the ring small
+// (a few KiB) while bounding per-cluster load skew to a few percent.
+const DefaultVnodes = 64
+
+// ClusterMap is a versioned cluster set: the fleet membership at one
+// epoch. Epochs are bumped by whoever administers the fleet (the
+// router's Add/RemoveCluster); two maps with the same Clusters but
+// different Epochs build identical rings — the epoch versions the
+// membership, it does not perturb placement.
+type ClusterMap struct {
+	Epoch    uint64
+	Clusters []ClusterID
+}
+
+// Ring builds the consistent-hash ring for the map under the given
+// seed. Vnodes ≤ 0 selects DefaultVnodes.
+func (m ClusterMap) Ring(seed int64, vnodes int) (*Ring, error) {
+	return New(seed, vnodes, m.Clusters)
+}
+
+// Ring is an immutable consistent-hash ring: a sorted circle of hash
+// points, vnodes per cluster. Build once, share freely — Lookup is
+// read-only and allocation-free.
+type Ring struct {
+	seed   int64
+	points []point // sorted by (hash, cluster)
+	ids    []ClusterID
+}
+
+// point is one virtual node on the circle.
+type point struct {
+	hash    uint64
+	cluster ClusterID
+}
+
+// New builds a ring for the cluster set. The insertion order of
+// clusters does not matter: points are placed by hash alone, and ties
+// break by cluster id, so any permutation of the same set yields an
+// identical ring.
+func New(seed int64, vnodes int, clusters []ClusterID) (*Ring, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("ring: empty cluster set")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[ClusterID]bool, len(clusters))
+	ids := make([]ClusterID, 0, len(clusters))
+	for _, c := range clusters {
+		if c == "" {
+			return nil, fmt.Errorf("ring: empty cluster id")
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("ring: duplicate cluster id %q", c)
+		}
+		seen[c] = true
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	r := &Ring{seed: seed, ids: ids}
+	r.points = make([]point, 0, len(ids)*vnodes)
+	for _, c := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(seed, c, v), cluster: c})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].cluster < r.points[j].cluster
+	})
+	return r, nil
+}
+
+// Clusters returns the cluster set in sorted order. The slice is the
+// ring's own — callers must not mutate it.
+func (r *Ring) Clusters() []ClusterID { return r.ids }
+
+// Seed returns the seed the ring was built with.
+func (r *Ring) Seed() int64 { return r.seed }
+
+// Lookup returns the cluster owning key: the first virtual node at or
+// clockwise after the key's hash, wrapping at the top. It allocates
+// nothing — the hot routing path of every Put and Get in a scale-out
+// deployment.
+func (r *Ring) Lookup(key string) ClusterID {
+	h := keyHash(r.seed, key)
+	// Binary search for the first point with hash ≥ h.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0 // wrap around the top of the circle
+	}
+	return r.points[lo].cluster
+}
+
+// FNV-64a, inlined so hashing allocates nothing (hash/fnv's interface
+// costs an allocation per hasher). The constants are the standard
+// offset basis and prime.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// keyHash positions a key on the circle: FNV-64a over the seed bytes
+// then the key bytes. Folding the seed into the stream (rather than
+// xoring it afterward) makes distinct seeds produce genuinely
+// independent placements.
+func keyHash(seed int64, key string) uint64 {
+	h := hashSeed(seed)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+// vnodeHash positions virtual node v of a cluster on the circle.
+func vnodeHash(seed int64, c ClusterID, v int) uint64 {
+	h := hashSeed(seed)
+	for i := 0; i < len(c); i++ {
+		h ^= uint64(c[i])
+		h *= fnvPrime64
+	}
+	// A separator byte keeps ("c1", 23) and ("c12", 3) from colliding
+	// byte-stream-wise before the index is mixed in.
+	h ^= '/'
+	h *= fnvPrime64
+	for shift := 0; shift < 32; shift += 8 {
+		h ^= uint64(v>>shift) & 0xff
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the standard 64-bit avalanche finalizer (MurmurHash3's
+// fmix64). Raw FNV mixes similar inputs — consecutive vnode indexes,
+// keys sharing a prefix — into correlated positions, which skews the
+// circle badly enough to break the 1/(N+1) remap bound; the finalizer
+// restores full-width diffusion while staying allocation-free.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hashSeed starts an FNV-64a stream with the 8 seed bytes mixed in.
+func hashSeed(seed int64) uint64 {
+	h := uint64(fnvOffset64)
+	u := uint64(seed)
+	for shift := 0; shift < 64; shift += 8 {
+		h ^= (u >> shift) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}

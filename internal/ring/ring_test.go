@@ -1,0 +1,216 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+
+	"luckystore/internal/keyed"
+)
+
+func clusterSet(n int) []ClusterID {
+	ids := make([]ClusterID, n)
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	return ids
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// Acceptance: Lookup is a pure function of (seed, ClusterMap) — two
+// rings built independently from the same inputs agree on every key,
+// regardless of the order the cluster set was listed in. This is the
+// cross-process-restart stability contract: there is no hidden
+// per-process state (map iteration order, pointer hashing) in the
+// placement.
+func TestLookupDeterministic(t *testing.T) {
+	ids := clusterSet(5)
+	a, err := New(42, 0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same set, reversed insertion order, built from a ClusterMap.
+	rev := make([]ClusterID, len(ids))
+	for i, c := range ids {
+		rev[len(ids)-1-i] = c
+	}
+	b, err := ClusterMap{Epoch: 7, Clusters: rev}.Ring(42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(5000) {
+		if got, want := b.Lookup(k), a.Lookup(k); got != want {
+			t.Fatalf("Lookup(%q) = %s on reordered ring, want %s", k, got, want)
+		}
+	}
+}
+
+// Golden placements: these exact mappings must never change once
+// shipped — a silent hash-function change would strand every key on
+// the wrong cluster after a process restart. If this test fails, the
+// hash changed; that is a migration event, not a test to update.
+func TestLookupGolden(t *testing.T) {
+	r, err := New(1, 0, clusterSet(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]ClusterID{
+		"key-0":              "c3",
+		"key-1":              "c0",
+		"key-2":              "c0",
+		"key-3":              "c1",
+		"key-4":              "c0",
+		"k0":                 "c1",
+		"k1":                 "c2",
+		"user:alice/profile": "c0",
+	}
+	for k, want := range golden {
+		if got := r.Lookup(k); got != want {
+			t.Errorf("Lookup(%q) = %s, want golden %s", k, got, want)
+		}
+	}
+}
+
+func TestSeedChangesPlacement(t *testing.T) {
+	a, _ := New(1, 0, clusterSet(4))
+	b, _ := New(2, 0, clusterSet(4))
+	moved := 0
+	keys := testKeys(2000)
+	for _, k := range keys {
+		if a.Lookup(k) != b.Lookup(k) {
+			moved++
+		}
+	}
+	// Independent placements agree on ~1/N of keys by chance; anything
+	// below half moving would mean the seed barely matters.
+	if frac := float64(moved) / float64(len(keys)); frac < 0.5 {
+		t.Errorf("only %.0f%% of keys moved between seeds; seed is not mixed into placement", frac*100)
+	}
+}
+
+// Acceptance: adding one cluster to a fleet of N remaps at most about
+// 1/(N+1) of keys (the consistent-hashing contract), and — stronger,
+// and deterministic — every remapped key moves TO the new cluster:
+// survivors never trade keys with each other, which is what keeps a
+// rebalance's handoff traffic proportional to the new cluster's share.
+func TestAddClusterRemapBound(t *testing.T) {
+	const numKeys = 20000
+	keys := testKeys(numKeys)
+	for _, n := range []int{2, 4, 8} {
+		before, err := New(9, 0, clusterSet(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := New(9, 0, clusterSet(n+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		newID := ID(n)
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Lookup(k), after.Lookup(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != newID {
+				t.Fatalf("n=%d: key %q moved %s→%s, not to the new cluster %s", n, k, was, is, newID)
+			}
+		}
+		frac := float64(moved) / float64(numKeys)
+		ideal := 1.0 / float64(n+1)
+		// ε covers vnode-induced skew: 64 vnodes keep shares within a
+		// few percent of ideal.
+		if eps := 0.06; frac > ideal+eps {
+			t.Errorf("n=%d: %.3f of keys remapped, want ≤ %.3f + %.2f", n, frac, ideal, eps)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: adding a cluster moved no keys", n)
+		}
+	}
+}
+
+// Every cluster of a small fleet must own a non-trivial share of the
+// keyspace — a cluster that owns (almost) nothing means the vnode
+// count is too low for balanced scale-out.
+func TestLoadSpread(t *testing.T) {
+	r, err := New(3, 0, clusterSet(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ClusterID]int{}
+	keys := testKeys(20000)
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	for _, c := range r.Clusters() {
+		frac := float64(counts[c]) / float64(len(keys))
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("cluster %s owns %.1f%% of keys, want a sane share of the ideal 25%%", c, frac*100)
+		}
+	}
+}
+
+// Acceptance: ring routing composes with keyed.ShardIndex — the
+// within-cluster shard placement — without collapsing: the keys a
+// cluster owns still spread across all of its shards (the two hash
+// functions are independent), and two distinct keys remain distinct
+// registers regardless of landing on the same (cluster, shard).
+func TestComposesWithShardIndex(t *testing.T) {
+	const shards = 8
+	r, err := New(5, 0, clusterSet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := map[ClusterID][]int{}
+	for _, c := range r.Clusters() {
+		perShard[c] = make([]int, shards)
+	}
+	keys := testKeys(12000)
+	for _, k := range keys {
+		perShard[r.Lookup(k)][keyed.ShardIndex(k, shards)]++
+	}
+	for c, byShard := range perShard {
+		for s, n := range byShard {
+			if n == 0 {
+				t.Errorf("cluster %s shard %d owns no keys: ring and shard hashes are correlated", c, s)
+			}
+		}
+	}
+	// Distinctness: the register namespace is the key itself on both
+	// levels, so no two different keys can ever collide into one
+	// register — spot-check that identical routing never makes the
+	// pair ambiguous by construction.
+	if keyed.ShardIndex("key-1", shards) == keyed.ShardIndex("key-1", shards) &&
+		r.Lookup("key-1") != r.Lookup("key-1") {
+		t.Fatal("Lookup is not even self-consistent")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(1, 0, nil); err == nil {
+		t.Error("New accepted an empty cluster set")
+	}
+	if _, err := New(1, 0, []ClusterID{"c0", "c0"}); err == nil {
+		t.Error("New accepted duplicate cluster ids")
+	}
+	if _, err := New(1, 0, []ClusterID{""}); err == nil {
+		t.Error("New accepted an empty cluster id")
+	}
+}
+
+func TestLookupAllocs(t *testing.T) {
+	r, err := New(1, 0, clusterSet(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() { _ = r.Lookup("key-somewhat-long-name-42") }); n != 0 {
+		t.Errorf("Lookup allocates %.1f objects per call, want 0", n)
+	}
+}

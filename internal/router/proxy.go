@@ -1,0 +1,330 @@
+package router
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"luckystore/internal/ring"
+	"luckystore/internal/tcpnet"
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// Proxy fronts a static fleet of TCP-KV clusters behind the ordinary
+// single-cluster wire protocol: it listens on S sockets that look like
+// the S servers of one cluster, and forwards every keyed message to
+// the same-index server of whichever cluster the ring says owns the
+// key. An unmodified OpenKVTCP client pointed at the proxy's addresses
+// transparently spreads its keyspace over the whole fleet.
+//
+// Forwarded traffic re-coalesces per (client, cluster): each session
+// runs one Coalescer-wrapped upstream client per cluster, so a batch
+// frame arriving from a downstream client is expanded, split by owner,
+// and leaves as one batched frame per cluster — the same per-cluster
+// batching the in-process Router gets from its backends' coalescers.
+//
+// The proxy's fleet is fixed at start: live rebalancing is the
+// client-side Router's feature, because moving a key between clusters
+// requires the read-then-write-forward handoff through a writer, and
+// the proxy deliberately holds no register state to hand off. Resizing
+// a proxied fleet is a stop-the-world operation (drain, migrate
+// offline, restart with the new ClusterMap).
+type Proxy struct {
+	ring  *ring.Ring
+	addrs map[ring.ClusterID]map[types.ProcID]string // per-cluster dial map
+	ls    []net.Listener
+
+	mu       sync.Mutex
+	sessions map[types.ProcID]*session
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// ProxyConfig configures NewProxy.
+type ProxyConfig struct {
+	// Seed and Vnodes must match every other router/proxy fronting the
+	// same fleet.
+	Seed   int64
+	Vnodes int
+	// Clusters maps each cluster id to its ordered server addresses.
+	// Every cluster must have the same server count S.
+	Clusters map[ring.ClusterID][]string
+	// Listen holds the S downstream addresses to listen on; empty
+	// means S times "127.0.0.1:0".
+	Listen []string
+}
+
+// session is one downstream client identity's forwarding state: its
+// current connection per virtual server slot, and one coalesced
+// upstream client per cluster. Sessions outlive reconnects so upstream
+// connections (and their lazy dials) are reused.
+type session struct {
+	p      *Proxy
+	client types.ProcID
+
+	mu        sync.Mutex
+	conns     []*downConn // slot i: the client's connection to virtual server i
+	upstreams map[ring.ClusterID]*transport.Coalescer
+}
+
+// downConn serializes reply frames onto one downstream connection.
+type downConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewProxy validates the fleet, builds the ring, and starts listening.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	if len(cfg.Clusters) == 0 {
+		return nil, fmt.Errorf("router: proxy needs at least one cluster")
+	}
+	ids := make([]ring.ClusterID, 0, len(cfg.Clusters))
+	s := -1
+	for id, addrs := range cfg.Clusters {
+		if s == -1 {
+			s = len(addrs)
+		} else if len(addrs) != s {
+			return nil, fmt.Errorf("router: cluster %s has %d servers, others have %d", id, len(addrs), s)
+		}
+		ids = append(ids, id)
+	}
+	if s == 0 {
+		return nil, fmt.Errorf("router: clusters with no servers")
+	}
+	rg, err := ring.New(cfg.Seed, cfg.Vnodes, ids)
+	if err != nil {
+		return nil, err
+	}
+	listen := cfg.Listen
+	if len(listen) == 0 {
+		listen = make([]string, s)
+		for i := range listen {
+			listen[i] = "127.0.0.1:0"
+		}
+	}
+	if len(listen) != s {
+		return nil, fmt.Errorf("router: %d listen addresses for S=%d", len(listen), s)
+	}
+	p := &Proxy{
+		ring:     rg,
+		addrs:    make(map[ring.ClusterID]map[types.ProcID]string, len(cfg.Clusters)),
+		sessions: make(map[types.ProcID]*session),
+	}
+	for id, addrs := range cfg.Clusters {
+		m := make(map[types.ProcID]string, len(addrs))
+		for i, a := range addrs {
+			m[types.ServerID(i)] = a
+		}
+		p.addrs[id] = m
+	}
+	for i, a := range listen {
+		l, err := net.Listen("tcp", a)
+		if err != nil {
+			for _, prev := range p.ls {
+				_ = prev.Close()
+			}
+			return nil, fmt.Errorf("router: listen virtual server %d on %s: %w", i, a, err)
+		}
+		p.ls = append(p.ls, l)
+		p.wg.Add(1)
+		go p.acceptLoop(i, l)
+	}
+	return p, nil
+}
+
+// Addrs returns the S downstream addresses, index i being virtual
+// server i — the map for a client's OpenKVTCP.
+func (p *Proxy) Addrs() []string {
+	out := make([]string, len(p.ls))
+	for i, l := range p.ls {
+		out[i] = l.Addr().String()
+	}
+	return out
+}
+
+// Clusters returns the fronted cluster ids in sorted order.
+func (p *Proxy) Clusters() []ring.ClusterID { return p.ring.Clusters() }
+
+func (p *Proxy) acceptLoop(idx int, l net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.serveConn(idx, conn)
+	}
+}
+
+// serveConn speaks the tcpnet server side on one downstream
+// connection: handshake, then forward every keyed frame to the owning
+// cluster. Decode errors end the connection — the same stance
+// tcpnet.Server takes.
+func (p *Proxy) serveConn(idx int, conn net.Conn) {
+	defer p.wg.Done()
+	id, err := tcpnet.ReadHello(conn)
+	if err != nil || !id.Valid() || id.IsServer() {
+		_ = conn.Close()
+		return
+	}
+	sess := p.sessionFor(id)
+	if sess == nil {
+		_ = conn.Close()
+		return
+	}
+	dc := sess.attach(idx, conn)
+	defer sess.detach(idx, dc)
+	for {
+		env, err := wire.DecodeFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		for _, e := range wire.Expand(env) {
+			k, ok := e.Msg.(wire.Keyed)
+			if !ok {
+				continue // only the keyed protocol is routable by key
+			}
+			up, err := sess.upstream(p.ring.Lookup(k.Key))
+			if err != nil {
+				continue // dead cluster == crashed servers; clients tolerate
+			}
+			_ = up.Send(e.To, e.Msg)
+		}
+	}
+}
+
+// sessionFor returns the client's session, creating it on first
+// contact; nil after Close.
+func (p *Proxy) sessionFor(id types.ProcID) *session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	s := p.sessions[id]
+	if s == nil {
+		s = &session{
+			p:         p,
+			client:    id,
+			conns:     make([]*downConn, len(p.ls)),
+			upstreams: make(map[ring.ClusterID]*transport.Coalescer),
+		}
+		p.sessions[id] = s
+	}
+	return s
+}
+
+// attach installs conn as the client's connection to virtual server
+// idx, displacing a predecessor from a stale reconnect.
+func (s *session) attach(idx int, conn net.Conn) *downConn {
+	dc := &downConn{conn: conn}
+	s.mu.Lock()
+	old := s.conns[idx]
+	s.conns[idx] = dc
+	s.mu.Unlock()
+	if old != nil {
+		_ = old.conn.Close()
+	}
+	return dc
+}
+
+// detach clears the slot if dc still owns it.
+func (s *session) detach(idx int, dc *downConn) {
+	s.mu.Lock()
+	if s.conns[idx] == dc {
+		s.conns[idx] = nil
+	}
+	s.mu.Unlock()
+	_ = dc.conn.Close()
+}
+
+// upstream returns the session's coalesced client for a cluster,
+// dialing it on first use and starting its reply pump.
+func (s *session) upstream(cluster ring.ClusterID) (*transport.Coalescer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if up := s.upstreams[cluster]; up != nil {
+		return up, nil
+	}
+	addrs := s.p.addrs[cluster]
+	if addrs == nil {
+		return nil, fmt.Errorf("router: unknown cluster %s", cluster)
+	}
+	cl, err := tcpnet.Dial(s.client, addrs)
+	if err != nil {
+		return nil, err
+	}
+	up := transport.NewCoalescer(cl)
+	s.upstreams[cluster] = up
+	s.p.wg.Add(1)
+	go s.pump(up)
+	return up, nil
+}
+
+// pump routes one upstream's replies back to the downstream connection
+// of the same server index: cluster server si answers through virtual
+// server si, so the client's per-server accounting (quorums, fault
+// suspicion) keeps working unmodified.
+func (s *session) pump(up *transport.Coalescer) {
+	defer s.p.wg.Done()
+	for env := range up.Recv() {
+		idx := env.From.Index()
+		s.mu.Lock()
+		var dc *downConn
+		if idx >= 0 && idx < len(s.conns) {
+			dc = s.conns[idx]
+		}
+		s.mu.Unlock()
+		if dc == nil {
+			continue // client gone from this slot; reply undeliverable
+		}
+		dc.mu.Lock()
+		err := wire.EncodeFrame(dc.conn, wire.Envelope{From: env.From, To: s.client, Msg: env.Msg})
+		dc.mu.Unlock()
+		if err != nil {
+			_ = dc.conn.Close()
+		}
+	}
+}
+
+// Close stops the listeners, tears down every session's connections
+// and upstream clients, and waits for all proxy goroutines.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	sessions := p.sessions
+	p.sessions = nil
+	p.mu.Unlock()
+
+	for _, l := range p.ls {
+		_ = l.Close()
+	}
+	for _, s := range sessions {
+		s.mu.Lock()
+		conns := append([]*downConn(nil), s.conns...)
+		ups := make([]*transport.Coalescer, 0, len(s.upstreams))
+		for _, up := range s.upstreams {
+			ups = append(ups, up)
+		}
+		s.mu.Unlock()
+		for _, dc := range conns {
+			if dc != nil {
+				_ = dc.conn.Close()
+			}
+		}
+		for _, up := range ups {
+			_ = up.Close() // closes the tcpnet client, ending its pump
+		}
+	}
+	p.wg.Wait()
+	return nil
+}

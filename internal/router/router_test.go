@@ -1,0 +1,327 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/core"
+	"luckystore/internal/kv"
+	"luckystore/internal/ring"
+	"luckystore/internal/types"
+)
+
+// testCluster opens one cheap simnet cluster: T=0, B=0 gives S=1, so a
+// fleet of them is inexpensive enough for property and stress tests.
+func testCluster(t *testing.T, readers int) *kv.Store {
+	t.Helper()
+	st, err := kv.Open(core.Config{NumReaders: readers, RoundTimeout: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// testRouter builds a router over n fresh clusters. The router owns the
+// backends; Cleanup closes everything through it.
+func testRouter(t *testing.T, n, readers int) (*Router, map[ring.ClusterID]Backend) {
+	t.Helper()
+	backends := make(map[ring.ClusterID]Backend, n)
+	for i := 0; i < n; i++ {
+		backends[ring.ID(i)] = testCluster(t, readers)
+	}
+	r, err := New(Options{Seed: 1, Readers: readers}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	return r, backends
+}
+
+func TestRouterRoutesAcrossClusters(t *testing.T) {
+	const numKeys = 40
+	r, backends := testRouter(t, 3, 2)
+
+	for i := 0; i < numKeys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		meta, err := r.Put(key, types.Value("v-"+key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !meta.Fast {
+			t.Errorf("put %q not fast on an idle cluster: %+v", key, meta)
+		}
+	}
+	for i := 0; i < numKeys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got, meta, err := r.Get(i%2, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (types.Tagged{TS: 1, Val: types.Value("v-" + key)}) {
+			t.Errorf("Get(%q) = %v", key, got)
+		}
+		if !meta.Fast() {
+			t.Errorf("get %q not fast: %+v", key, meta)
+		}
+	}
+
+	// The keys must actually spread: every cluster owns at least one,
+	// and each key lives on exactly the cluster the ring names.
+	rg, err := ring.New(1, 0, r.Clusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCluster := map[ring.ClusterID]int{}
+	for i := 0; i < numKeys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := rg.Lookup(key)
+		perCluster[owner]++
+		got, err := backends[owner].(*kv.Store).Get(0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.IsBottom() {
+			t.Errorf("key %q missing from its owner %s", key, owner)
+		}
+	}
+	for _, id := range r.Clusters() {
+		if perCluster[id] == 0 {
+			t.Errorf("cluster %s owns no keys out of %d", id, numKeys)
+		}
+	}
+}
+
+func TestRouterAddClusterMigratesKeys(t *testing.T) {
+	const numKeys = 30
+	r, _ := testRouter(t, 2, 1)
+
+	for i := 0; i < numKeys; i++ {
+		if _, err := r.Put(fmt.Sprintf("key-%d", i), "v1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("fresh router at epoch %d, want 1", r.Epoch())
+	}
+
+	joined := testCluster(t, 1)
+	if err := r.AddCluster(ring.ID(2), joined); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 2 {
+		t.Errorf("epoch after AddCluster = %d, want 2", r.Epoch())
+	}
+
+	// Every key still reads its value at its original timestamp — the
+	// handoff replays pairs, it does not rewrite them.
+	moved := 0
+	after, err := ring.New(1, 0, r.Clusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < numKeys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got, _, err := r.Get(0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (types.Tagged{TS: 1, Val: "v1"}) {
+			t.Errorf("Get(%q) after rebalance = %v, want 〈1,v1〉", key, got)
+		}
+		if after.Lookup(key) == ring.ID(2) {
+			moved++
+			// A migrated key's next write continues its timestamp
+			// sequence on the new cluster.
+			if _, err := r.Put(key, "v2"); err != nil {
+				t.Fatal(err)
+			}
+			got, err := joined.Get(0, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != (types.Tagged{TS: 2, Val: "v2"}) {
+				t.Errorf("post-migration write of %q = %v on the joined cluster, want 〈2,v2〉", key, got)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("no key moved to the joined cluster")
+	}
+}
+
+func TestRouterRemoveClusterHandsOff(t *testing.T) {
+	const numKeys = 30
+	r, _ := testRouter(t, 3, 1)
+
+	for i := 0; i < numKeys; i++ {
+		if _, err := r.Put(fmt.Sprintf("key-%d", i), "v1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.RemoveCluster(ring.ID(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Clusters()); got != 2 {
+		t.Fatalf("%d clusters after removal, want 2", got)
+	}
+	for i := 0; i < numKeys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got, _, err := r.Get(0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (types.Tagged{TS: 1, Val: "v1"}) {
+			t.Errorf("Get(%q) after removal = %v, want 〈1,v1〉", key, got)
+		}
+	}
+
+	// Fleet-change edge cases.
+	if err := r.RemoveCluster(ring.ID(0)); err == nil {
+		t.Error("removing an already-removed cluster succeeded")
+	}
+	if err := r.AddCluster(ring.ID(0), testCluster(t, 1)); err == nil {
+		t.Error("reusing a retired cluster id succeeded")
+	}
+	if err := r.RemoveCluster(ring.ID(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveCluster(ring.ID(2)); err == nil {
+		t.Error("removing the last cluster succeeded")
+	}
+}
+
+func TestRouterBatches(t *testing.T) {
+	const numKeys = 64
+	r, _ := testRouter(t, 4, 1)
+
+	puts := make(map[string]types.Value, numKeys)
+	keys := make([]string, 0, numKeys+1)
+	for i := 0; i < numKeys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		puts[key] = types.Value("v-" + key)
+		keys = append(keys, key)
+	}
+	keys = append(keys, "key-0") // duplicate: must not deadlock or error
+	if err := r.PutBatch(puts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.GetBatch(0, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != numKeys {
+		t.Fatalf("GetBatch returned %d keys, want %d", len(got), numKeys)
+	}
+	for key, want := range puts {
+		if got[key] != (types.Tagged{TS: 1, Val: want}) {
+			t.Errorf("GetBatch[%q] = %v, want 〈1,%s〉", key, got[key], want)
+		}
+	}
+}
+
+func TestRouterClosed(t *testing.T) {
+	r, _ := testRouter(t, 2, 1)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("k", "v"); err != ErrClosed {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := r.Get(0, "k"); err != ErrClosed {
+		t.Errorf("Get after Close = %v, want ErrClosed", err)
+	}
+	if err := r.AddCluster(ring.ID(9), testCluster(t, 1)); err != ErrClosed {
+		t.Errorf("AddCluster after Close = %v, want ErrClosed", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+}
+
+// The -race stress test of the acceptance criteria: continuous per-key
+// SWMR traffic (each key has exactly one writer goroutine) racing a
+// sequence of cluster joins and removals. Every read must return the
+// key's last completed write — across however many handoffs the key
+// went through.
+func TestRouterStressRebalance(t *testing.T) {
+	const (
+		writers     = 4
+		keysPerG    = 3
+		itersPerKey = 60
+	)
+	r, _ := testRouter(t, 2, 1)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 1; n <= itersPerKey; n++ {
+				for k := 0; k < keysPerG; k++ {
+					key := fmt.Sprintf("g%d-k%d", g, k)
+					want := types.Value(fmt.Sprintf("v%d", n))
+					if n%8 == 0 {
+						// Exercise the batch path under rebalance too.
+						if err := r.PutBatch(map[string]types.Value{key: want}); err != nil {
+							errc <- fmt.Errorf("putbatch %s: %w", key, err)
+							return
+						}
+					} else if _, err := r.Put(key, want); err != nil {
+						errc <- fmt.Errorf("put %s: %w", key, err)
+						return
+					}
+					got, _, err := r.Get(0, key)
+					if err != nil {
+						errc <- fmt.Errorf("get %s: %w", key, err)
+						return
+					}
+					if got.Val != want || got.TS != types.TS(n) {
+						errc <- fmt.Errorf("get %s = %v, want 〈%d,%s〉", key, got, n, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Rebalance while the traffic runs: grow to 4 clusters, then shrink.
+	next := 2
+	for _, step := range []string{"add", "add", "remove", "add", "remove"} {
+		time.Sleep(30 * time.Millisecond)
+		switch step {
+		case "add":
+			if err := r.AddCluster(ring.ID(next), testCluster(t, 1)); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		case "remove":
+			// Always safe: we never go below 2 active clusters.
+			if err := r.RemoveCluster(r.Clusters()[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Final sweep: every key readable at its final pair.
+	for g := 0; g < writers; g++ {
+		for k := 0; k < keysPerG; k++ {
+			key := fmt.Sprintf("g%d-k%d", g, k)
+			got, _, err := r.Get(0, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != (types.Tagged{TS: itersPerKey, Val: types.Value(fmt.Sprintf("v%d", itersPerKey))}) {
+				t.Errorf("final Get(%q) = %v", key, got)
+			}
+		}
+	}
+}

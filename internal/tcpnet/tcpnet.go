@@ -517,6 +517,12 @@ func (c *Client) readLoop(from types.ProcID, cc *clientConn) {
 	}
 }
 
+// ReadHello reads the client identity announced on a fresh inbound
+// connection — the same handshake Server performs. Exported for
+// listeners that speak the tcpnet wire protocol without being a
+// storage server themselves (the router proxy's virtual servers).
+func ReadHello(conn net.Conn) (types.ProcID, error) { return readHello(conn) }
+
 // writeHello announces the client identity: one length byte + the id.
 func writeHello(w io.Writer, id types.ProcID) error {
 	if len(id) == 0 || len(id) > maxIDLen {

@@ -36,6 +36,9 @@ type Coalescer struct {
 	orderSpare []types.ProcID // drained order list being recycled
 	closed     bool
 	wake       chan struct{} // capacity 1: signals the flusher
+	enqSeq     uint64        // messages accepted by Send, ever
+	flushSeq   uint64        // messages the flusher has handed to inner
+	flushCond  sync.Cond     // broadcast when flushSeq advances; waits on mu
 
 	drained [][]wire.Message // flusher-owned scratch, parallel to its order
 	done    chan struct{}    // closed when the flusher goroutine has exited
@@ -48,7 +51,10 @@ type destQueue struct {
 	queued bool           // whether this destination is in order
 }
 
-var _ Endpoint = (*Coalescer)(nil)
+var (
+	_ Endpoint = (*Coalescer)(nil)
+	_ Flusher  = (*Coalescer)(nil)
+)
 
 // NewCoalescer wraps ep and starts the flusher goroutine. The coalescer
 // takes ownership: closing it closes ep.
@@ -60,6 +66,7 @@ func NewCoalescer(ep Endpoint) *Coalescer {
 		done:    make(chan struct{}),
 	}
 	c.batch, _ = ep.(BatchSender)
+	c.flushCond.L = &c.mu
 	go c.run()
 	return c
 }
@@ -91,8 +98,25 @@ func (c *Coalescer) Send(to types.ProcID, m wire.Message) error {
 		c.order = append(c.order, to)
 	}
 	dq.msgs = append(dq.msgs, m)
+	c.enqSeq++
 	c.mu.Unlock()
 	c.signal()
+	return nil
+}
+
+// Flush implements Flusher: it blocks until every message Send accepted
+// before the call has been handed to the inner endpoint. "Handed to"
+// is the transport contract — on TCP that means written into the
+// connection buffer, not acknowledged by the peer. Flush after Close
+// (or concurrent with it) returns once the closing drain completes;
+// because Close itself drains, that still covers everything enqueued.
+func (c *Coalescer) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	target := c.enqSeq
+	for c.flushSeq < target {
+		c.flushCond.Wait()
+	}
 	return nil
 }
 
@@ -105,20 +129,25 @@ func (c *Coalescer) signal() {
 
 // run is the flusher: each round detaches everything queued so far —
 // swapping in each destination's spare buffer — sends one frame per
-// destination run, then recycles the drained buffers.
+// destination run, then recycles the drained buffers. On Close it keeps
+// draining until the queues are empty, so everything Send accepted is
+// handed to the inner endpoint before the flusher exits.
 func (c *Coalescer) run() {
 	defer close(c.done)
 	for {
 		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			return
-		}
 		if len(c.order) == 0 {
+			if c.closed {
+				c.flushSeq = c.enqSeq
+				c.flushCond.Broadcast()
+				c.mu.Unlock()
+				return
+			}
 			c.mu.Unlock()
 			<-c.wake
 			continue
 		}
+		target := c.enqSeq
 		order := c.order
 		c.order = c.orderSpare[:0]
 		c.orderSpare = nil
@@ -138,7 +167,9 @@ func (c *Coalescer) run() {
 		}
 
 		// Recycle: drop message references from the drained buffers and
-		// hand them back as each destination's spare.
+		// hand them back as each destination's spare. Everything enqueued
+		// up to the detach point has now been handed to inner — publish
+		// the progress for Flush waiters.
 		c.mu.Lock()
 		for i, to := range order {
 			if dq := c.pending[to]; dq != nil && dq.spare == nil {
@@ -148,6 +179,8 @@ func (c *Coalescer) run() {
 			}
 			drained[i] = nil
 		}
+		c.flushSeq = target
+		c.flushCond.Broadcast()
 		c.mu.Unlock()
 		c.orderSpare = order[:0]
 	}
@@ -175,12 +208,15 @@ func (c *Coalescer) sendRun(to types.ProcID, msgs []wire.Message) {
 	}
 }
 
-// Close stops the flusher — dropping anything still queued, which is
-// indistinguishable from the crash of the sending process and tolerated
-// by the protocols — and closes the underlying endpoint. The endpoint
-// closes before the flusher is joined, so a flusher wedged in a send
-// (e.g. a TCP peer that stopped reading) is unblocked by the closing
-// endpoint rather than deadlocking Close. Idempotent.
+// Close drains everything still queued, joins the flusher, and only
+// then closes the underlying endpoint — so Close carries the same
+// guarantee as Flush: every message Send accepted has been handed to
+// the transport. Joining before closing the endpoint means a peer that
+// stopped reading could in principle wedge the final sends, but a dead
+// TCP peer fails writes promptly (the connection resets), and a
+// live-but-not-reading server is outside the fault model; the drain
+// guarantee is what the router's rebalance handoff relies on.
+// Idempotent.
 func (c *Coalescer) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -189,11 +225,8 @@ func (c *Coalescer) Close() error {
 		return nil
 	}
 	c.closed = true
-	c.pending = nil
-	c.order = nil
 	c.mu.Unlock()
 	c.signal()
-	err := c.inner.Close()
 	<-c.done
-	return err
+	return c.inner.Close()
 }

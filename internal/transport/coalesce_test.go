@@ -197,38 +197,32 @@ func TestCoalescerPreservesPerDestinationOrder(t *testing.T) {
 	}
 }
 
-// wedgedEndpoint blocks every Send until the endpoint itself closes —
-// the shape of a TCP peer that stopped reading while the OS buffer is
-// full. Close must still complete: the coalescer closes the endpoint
-// before joining its flusher.
-type wedgedEndpoint struct {
-	mbox   *Mailbox
-	closed chan struct{}
-	once   sync.Once
+// failingEndpoint rejects every Send — the shape of a dead TCP peer,
+// whose writes fail promptly. Close must still complete: send errors
+// are dropped (a dead server is a crashed server), not retried.
+type failingEndpoint struct {
+	mbox *Mailbox
+	once sync.Once
 }
 
-func (w *wedgedEndpoint) ID() types.ProcID { return types.WriterID() }
+func (w *failingEndpoint) ID() types.ProcID { return types.WriterID() }
 
-func (w *wedgedEndpoint) Send(types.ProcID, wire.Message) error {
-	<-w.closed
-	return ErrClosed
-}
+func (w *failingEndpoint) Send(types.ProcID, wire.Message) error { return ErrClosed }
 
-func (w *wedgedEndpoint) Recv() <-chan wire.Envelope { return w.mbox.Out() }
+func (w *failingEndpoint) Recv() <-chan wire.Envelope { return w.mbox.Out() }
 
-func (w *wedgedEndpoint) Close() error {
-	w.once.Do(func() {
-		close(w.closed)
-		w.mbox.Close()
-	})
+func (w *failingEndpoint) Close() error {
+	w.once.Do(func() { w.mbox.Close() })
 	return nil
 }
 
-func TestCoalescerCloseUnblocksWedgedFlusher(t *testing.T) {
-	inner := &wedgedEndpoint{mbox: NewMailbox(), closed: make(chan struct{})}
+func TestCoalescerCloseCompletesOnDeadPeer(t *testing.T) {
+	inner := &failingEndpoint{mbox: NewMailbox()}
 	c := NewCoalescer(inner)
-	if err := c.Send(types.ServerID(0), keyedMsg("k", 1)); err != nil {
-		t.Fatal(err)
+	for i := 0; i < 8; i++ {
+		if err := c.Send(types.ServerID(0), keyedMsg("k", types.ReaderTS(i+1))); err != nil {
+			t.Fatal(err)
+		}
 	}
 	done := make(chan error, 1)
 	go func() { done <- c.Close() }()
@@ -238,7 +232,109 @@ func TestCoalescerCloseUnblocksWedgedFlusher(t *testing.T) {
 			t.Errorf("Close = %v", err)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("Close deadlocked behind a wedged send")
+		t.Fatal("Close hung behind a dead peer")
+	}
+}
+
+// The flush-on-Close guarantee: every message Send accepted before
+// Close has been handed to the inner endpoint by the time Close
+// returns — nothing queued is dropped. The router's rebalance handoff
+// retires cluster connections with exactly this Close.
+func TestCoalescerCloseFlushesPending(t *testing.T) {
+	inner := newGateEndpoint()
+	c := NewCoalescer(inner)
+
+	// First send: the flusher picks it up and blocks inside inner.Send.
+	if err := c.Send(types.ServerID(0), keyedMsg("k0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-inner.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never started")
+	}
+	// With the flusher stuck, these queue behind it.
+	for i := 1; i <= 3; i++ {
+		if err := c.Send(types.ServerID(1), keyedMsg("k", types.ReaderTS(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- c.Close() }()
+
+	inner.gate <- struct{}{} // release the in-flight frame
+	inner.release(t)         // the queued batch must still go out
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned")
+	}
+
+	if len(inner.sent) != 2 {
+		t.Fatalf("sent %d frames, want 2 (in-flight + queued batch): %+v", len(inner.sent), inner.sent)
+	}
+	b, ok := inner.sent[1].Msg.(wire.Batch)
+	if !ok {
+		t.Fatalf("queued traffic flushed as %T, want wire.Batch", inner.sent[1].Msg)
+	}
+	if len(b.Msgs) != 3 {
+		t.Errorf("batch carries %d messages, want all 3 queued", len(b.Msgs))
+	}
+}
+
+func TestCoalescerFlushWaitsForQueued(t *testing.T) {
+	inner := newGateEndpoint()
+	c := NewCoalescer(inner)
+
+	if err := c.Send(types.ServerID(0), keyedMsg("k0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-inner.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never started")
+	}
+	if err := c.Send(types.ServerID(0), keyedMsg("k1", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- c.Flush() }()
+	select {
+	case <-done:
+		t.Fatal("Flush returned while a message was still queued")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	inner.gate <- struct{}{}
+	inner.release(t)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Flush = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush never returned after the drain")
+	}
+	if len(inner.sent) != 2 {
+		t.Fatalf("sent %d frames, want 2", len(inner.sent))
+	}
+	c.Close()
+}
+
+func TestCoalescerFlushIdle(t *testing.T) {
+	inner := newGateEndpoint()
+	c := NewCoalescer(inner)
+	if err := c.Flush(); err != nil {
+		t.Errorf("Flush on idle coalescer = %v", err)
+	}
+	c.Close()
+	if err := c.Flush(); err != nil {
+		t.Errorf("Flush after Close = %v", err)
 	}
 }
 

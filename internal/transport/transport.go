@@ -48,6 +48,16 @@ type BatchSender interface {
 	SendBatched(to types.ProcID, msgs []wire.Message) error
 }
 
+// Flusher is an optional Endpoint capability: Flush blocks until every
+// message accepted by Send before the call has been handed to the
+// underlying transport. Layers that buffer sends (the Coalescer, and
+// anything stacked on one — keyed.Demux, kv.Store) implement it so
+// callers can establish a deterministic drain point, e.g. the router's
+// rebalance boundary before a cluster is retired.
+type Flusher interface {
+	Flush() error
+}
+
 // Network hands out endpoints for registered processes.
 type Network interface {
 	// Endpoint returns the endpoint of the process with the given id.

@@ -16,6 +16,7 @@ import (
 	"luckystore/internal/core"
 	"luckystore/internal/kv"
 	"luckystore/internal/regular"
+	"luckystore/internal/router"
 	"luckystore/internal/twophase"
 	"luckystore/internal/types"
 )
@@ -110,6 +111,36 @@ func (d KVDriver) Read(r int, key string) (types.Tagged, OpMeta, error) {
 		return types.Tagged{}, OpMeta{}, err
 	}
 	m, err := d.S.GetMeta(r, key)
+	if err != nil {
+		return types.Tagged{}, OpMeta{}, err
+	}
+	return got, OpMeta{Rounds: m.Rounds(), Fast: m.Fast()}, nil
+}
+
+// RouterDriver drives a scale-out fleet through its router: every
+// operation routes to the cluster owning its key, so the same
+// workloads (and chaos schedules) exercise placement, per-cluster
+// coalescing, and live rebalancing.
+type RouterDriver struct{ R *router.Router }
+
+// NumReaders implements Driver.
+func (d RouterDriver) NumReaders() int { return d.R.NumReaders() }
+
+// MultiKey implements Driver.
+func (d RouterDriver) MultiKey() bool { return true }
+
+// Write implements Driver.
+func (d RouterDriver) Write(key string, v types.Value) (types.TS, OpMeta, error) {
+	m, err := d.R.Put(key, v)
+	if err != nil {
+		return 0, OpMeta{}, err
+	}
+	return m.TS, OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+}
+
+// Read implements Driver.
+func (d RouterDriver) Read(r int, key string) (types.Tagged, OpMeta, error) {
+	got, m, err := d.R.Get(r, key)
 	if err != nil {
 		return types.Tagged{}, OpMeta{}, err
 	}
