@@ -1,6 +1,6 @@
 package luckystore_test
 
-// One benchmark per reproduced table/figure (wrapping the E1–E12
+// One benchmark per reproduced table/figure (wrapping the E1–E14
 // experiment drivers, the same code cmd/luckybench runs), plus
 // operation-level micro-benchmarks for the core protocol, the Appendix
 // C/D variants and the ABD baseline.
@@ -71,6 +71,8 @@ func BenchmarkE9Regular(b *testing.B)      { benchExperiment(b, "E9") }
 func BenchmarkE10Ghost(b *testing.B)       { benchExperiment(b, "E10") }
 func BenchmarkE11Baselines(b *testing.B)   { benchExperiment(b, "E11") }
 func BenchmarkE12Latency(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13MultiWriter(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14MWReads(b *testing.B)     { benchExperiment(b, "E14") }
 
 // --- Core protocol micro-benchmarks --------------------------------
 

@@ -109,7 +109,7 @@ func run(args []string, stdout, stderr *os.File) int {
 }
 
 func runOne(stdout, stderr *os.File, kind string, sc chaos.Scenario, seed int64, duration time.Duration, readers int, historyDir string, verbose bool) int {
-	d, err := chaos.Open(kind, readers)
+	d, err := chaos.Open(kind, readers, max(1, sc.Writers))
 	if err != nil {
 		fmt.Fprintf(stderr, "luckychaos: open %s: %v\n", kind, err)
 		return 2

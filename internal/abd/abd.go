@@ -76,7 +76,7 @@ func (s *Server) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
 	}
 	switch v := m.(type) {
 	case wire.ABDWrite:
-		if v.C.TS > s.c.TS {
+		if s.c.Less(v.C) {
 			s.c = v.C
 		}
 		return []transport.Outgoing{{To: from, Msg: wire.ABDWriteAck{Seq: v.Seq}}}

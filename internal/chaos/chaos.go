@@ -146,6 +146,7 @@ type OpRecord struct {
 	Kind   string    `json:"kind"`
 	Key    string    `json:"key,omitempty"`
 	TS     int64     `json:"ts"`
+	W      int32     `json:"w,omitempty"`
 	Val    string    `json:"val"`
 	Invoke time.Time `json:"invoke"`
 	Return time.Time `json:"return"`
@@ -165,7 +166,7 @@ func (r *Report) AttachHistory() {
 	for _, op := range r.ops {
 		rec := OpRecord{
 			ID: op.ID, Client: string(op.Client), Kind: op.Kind.String(), Key: op.Key,
-			TS: int64(op.Value.TS), Val: string(op.Value.Val),
+			TS: int64(op.Value.TS), W: int32(op.Value.W), Val: string(op.Value.Val),
 			Invoke: op.Invoke, Return: op.Return, Rounds: op.Rounds, Fast: op.Fast,
 		}
 		if op.Err != nil {
@@ -201,9 +202,13 @@ func Run(d Deployment, sc Scenario, seed int64, duration time.Duration, opts Opt
 		duration = minDuration
 	}
 	t, b := d.Budget()
+	writers := 1
+	if mw, ok := d.(workload.MultiWriter); ok {
+		writers = mw.NumWriters()
+	}
 	p := SchedParams{
 		Servers: d.Servers(), T: t, B: b,
-		Readers: d.NumReaders(), Seed: seed, Duration: duration,
+		Readers: d.NumReaders(), Writers: writers, Seed: seed, Duration: duration,
 		Cold: d.ColdRestarts(),
 	}
 	events := sc.Schedule(p)
@@ -219,6 +224,7 @@ func Run(d Deployment, sc Scenario, seed int64, duration time.Duration, opts Opt
 	gen := workload.Continuous{
 		Keys: keys, Seed: seed,
 		HotFrac:   sc.HotFrac,
+		Writers:   sc.Writers,
 		WritePace: sc.WritePace, ReadPace: sc.ReadPace,
 	}
 	type wlResult struct {

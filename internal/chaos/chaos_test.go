@@ -76,7 +76,7 @@ func TestRunEventDecisionsAreDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() []AppliedEvent {
-		d, err := Open("core", 2)
+		d, err := Open("core", 2, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func TestScenarioMatrixRunsClean(t *testing.T) {
 			kind, sc := kind, sc
 			t.Run(fmt.Sprintf("%s/%s", kind, sc.Name), func(t *testing.T) {
 				t.Parallel()
-				d, err := Open(kind, 3)
+				d, err := Open(kind, 3, max(1, sc.Writers))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -213,6 +213,58 @@ func TestScenarioMatrixRunsClean(t *testing.T) {
 	}
 }
 
+// The contending-writers scenario on a multi-writer deployment must
+// actually engage both writer identities — a silent fallback to SWMR
+// would pass the matrix while testing nothing.
+func TestContendingWritersEngagesBothIdentities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	sc, err := Lookup("contending-writers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"core", "kv", "tcpkv"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			d, err := Open(kind, 2, sc.Writers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			mw, ok := d.(workload.MultiWriter)
+			if !ok || mw.NumWriters() != sc.Writers {
+				t.Fatalf("deployment %s has no %d-writer capability", kind, sc.Writers)
+			}
+			rep, err := Run(d, sc, 11, 500*time.Millisecond, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OpError != "" {
+				t.Errorf("operation error: %s", rep.OpError)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			perWriter := map[types.ProcID]int{}
+			for _, op := range rep.RecordedOps() {
+				if op.Kind == checker.KindWrite && op.Err == nil {
+					perWriter[op.Client]++
+					if idx := op.Client.WriterIndex(); op.Value.Stamp().Writer != types.WID(idx) {
+						t.Fatalf("op by %s bound writer component %d", op.Client, op.Value.Stamp().Writer)
+					}
+				}
+			}
+			for w := 0; w < sc.Writers; w++ {
+				if perWriter[types.WriterIDN(w)] == 0 {
+					t.Errorf("writer identity %d recorded no completed writes", w)
+				}
+			}
+		})
+	}
+}
+
 // fakeDep satisfies Deployment for guard unit tests; fault hooks
 // always succeed.
 type fakeDep struct{ cold bool }
@@ -230,8 +282,8 @@ func (f *fakeDep) Swap(int, string, int64) error          { return nil }
 func (f *fakeDep) Net() *simnet.Network                   { return nil }
 func (f *fakeDep) Check([]checker.Op) []checker.Violation { return nil }
 
-func (f *fakeDep) Write(string, types.Value) (types.TS, workload.OpMeta, error) {
-	return 0, workload.OpMeta{}, nil
+func (f *fakeDep) Write(string, types.Value) (types.Tagged, workload.OpMeta, error) {
+	return types.Tagged{}, workload.OpMeta{}, nil
 }
 
 func (f *fakeDep) Read(int, string) (types.Tagged, workload.OpMeta, error) {

@@ -160,16 +160,33 @@ func (d *coreDep) Check(ops []checker.Op) []checker.Violation {
 
 type kvDep struct {
 	workload.KVDriver
-	st *kv.Store
+	st         *kv.Store
+	contenders []*kv.Store
 }
 
-// NewKV builds an in-memory sharded KV deployment.
-func NewKV(cfg core.Config, opts ...kv.Option) (Deployment, error) {
+// NewKV builds an in-memory sharded KV deployment. writers > 1 opens
+// that many writer identities: the primary store plus contender stores
+// sharing its servers, each binding stamps under its own ⟨seq, writer⟩
+// component — the multi-writer fault surface.
+func NewKV(cfg core.Config, writers int, opts ...kv.Option) (Deployment, error) {
+	if writers > 1 {
+		opts = append(opts, kv.WithContenders(writers-1))
+	}
 	st, err := kv.Open(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &kvDep{KVDriver: workload.KVDriver{S: st, Readers: cfg.NumReaders}, st: st}, nil
+	d := &kvDep{st: st}
+	for k := 1; k < writers; k++ {
+		ct, err := st.OpenContender(k)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.contenders = append(d.contenders, ct)
+	}
+	d.KVDriver = workload.KVDriver{S: st, Readers: cfg.NumReaders, Contenders: d.contenders}
+	return d, nil
 }
 
 func (d *kvDep) Kind() string         { return "kv" }
@@ -178,7 +195,13 @@ func (d *kvDep) Budget() (int, int)   { return d.st.Config().T, d.st.Config().B 
 func (d *kvDep) Net() *simnet.Network { return d.st.Sim() }
 func (d *kvDep) Crash(i int) error    { d.st.CrashServer(i); return nil }
 func (d *kvDep) ColdRestarts() bool   { return false }
-func (d *kvDep) Close()               { d.st.Close() }
+
+func (d *kvDep) Close() {
+	for _, ct := range d.contenders {
+		ct.Close()
+	}
+	d.st.Close()
+}
 
 func (d *kvDep) Restart(i int, fresh bool) error {
 	if fresh {
@@ -203,17 +226,24 @@ func (d *kvDep) Check(ops []checker.Op) []checker.Violation {
 
 type tcpkvDep struct {
 	workload.KVDriver
-	cfg    core.Config
-	shards int
-	srvs   []*tcpnet.Server
-	addrs  []string
-	st     *kv.Store
+	cfg        core.Config
+	shards     int
+	srvs       []*tcpnet.Server
+	addrs      []string
+	st         *kv.Store
+	contenders []*kv.Store
 }
 
 // NewTCPKV starts S ListenTCPKV-style servers on loopback and a KV
 // client store dialed to them — the real-deployment shape, where
 // crashes and restarts are actual listener teardowns and rebinds.
-func NewTCPKV(cfg core.Config, shards int) (Deployment, error) {
+// writers > 1 dials additional client stores under contending writer
+// identities (and disjoint reader identities), all against the same
+// listeners.
+func NewTCPKV(cfg core.Config, shards, writers int) (Deployment, error) {
+	if writers > 1 && cfg.Writers < writers {
+		cfg.Writers = writers
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -232,29 +262,47 @@ func NewTCPKV(cfg core.Config, shards int) (Deployment, error) {
 		d.addrs = append(d.addrs, srv.Addr())
 		addrMap[types.ServerID(i)] = srv.Addr()
 	}
-	wep, err := tcpnet.Dial(types.WriterID(), addrMap)
+	st, err := dialStore(cfg, addrMap, 0)
 	if err != nil {
 		return fail(err)
 	}
+	d.st = st
+	for k := 1; k < writers; k++ {
+		ct, err := dialStore(cfg, addrMap, k)
+		if err != nil {
+			return fail(err)
+		}
+		d.contenders = append(d.contenders, ct)
+	}
+	d.KVDriver = workload.KVDriver{S: st, Readers: cfg.NumReaders, Contenders: d.contenders}
+	return d, nil
+}
+
+// dialStore dials one client store as writer identity k: writer
+// endpoint w (k=0) or wK, reader endpoints offset by k·NumReaders —
+// contending clients must not share reader ids (servers key the
+// freezing machinery by reader process id).
+func dialStore(cfg core.Config, addrMap map[types.ProcID]string, k int) (*kv.Store, error) {
+	wid := types.WriterIDN(k)
+	wep, err := tcpnet.Dial(wid, addrMap)
+	if err != nil {
+		return nil, err
+	}
+	base := k * cfg.NumReaders
 	readerEPs := make([]transport.Endpoint, cfg.NumReaders)
 	for i := range readerEPs {
-		rep, err := tcpnet.Dial(types.ReaderID(i), addrMap)
+		rep, err := tcpnet.Dial(types.ReaderID(base+i), addrMap)
 		if err != nil {
 			_ = wep.Close()
 			for j := 0; j < i; j++ {
 				_ = readerEPs[j].Close()
 			}
-			return fail(err)
+			return nil, err
 		}
 		readerEPs[i] = rep
 	}
-	st, err := kv.OpenWithEndpoints(cfg, wep, readerEPs)
-	if err != nil {
-		return fail(err)
-	}
-	d.st = st
-	d.KVDriver = workload.KVDriver{S: st, Readers: cfg.NumReaders}
-	return d, nil
+	return kv.OpenWithEndpoints(cfg, wep, readerEPs,
+		kv.WithWriterID(wid), kv.WithReaderBase(base))
 }
 
 // listenKV starts one sharded KV server over TCP.
@@ -327,6 +375,9 @@ func (d *tcpkvDep) Check(ops []checker.Op) []checker.Violation {
 }
 
 func (d *tcpkvDep) Close() {
+	for _, ct := range d.contenders {
+		ct.Close()
+	}
 	if d.st != nil {
 		d.st.Close()
 	}
@@ -719,14 +770,20 @@ func (d *tcprouterDep) Close() {
 
 // Open builds a deployment by kind name with the default chaos
 // configuration — the entry point luckychaos and the smoke matrix use.
-func Open(kind string, readers int) (Deployment, error) {
+// writers > 1 opens that many writer identities on the kinds that
+// support contention (core, kv, tcpkv); the fleet and regular kinds
+// stay single-writer, and multi-writer scenarios degrade to SWMR
+// traffic on them.
+func Open(kind string, readers, writers int) (Deployment, error) {
 	switch kind {
 	case "core":
-		return NewCore(DefaultConfig(readers))
+		cfg := DefaultConfig(readers)
+		cfg.Writers = writers
+		return NewCore(cfg)
 	case "kv":
-		return NewKV(DefaultConfig(readers))
+		return NewKV(DefaultConfig(readers), writers)
 	case "tcpkv":
-		return NewTCPKV(DefaultConfig(readers), 0)
+		return NewTCPKV(DefaultConfig(readers), 0, writers)
 	case "router":
 		return NewRouter(DefaultConfig(readers), 2)
 	case "tcprouter":

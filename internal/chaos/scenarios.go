@@ -23,6 +23,10 @@ type SchedParams struct {
 	Servers int
 	T, B    int
 	Readers int
+	// Writers is how many writer identities the deployment runs (1 for
+	// the classic SWMR shape); schedules that cut or flap writer links
+	// use it to target every identity.
+	Writers int
 	Seed    int64
 	// Duration is the fault window; offsets are fractions of it.
 	Duration time.Duration
@@ -39,6 +43,11 @@ type Scenario struct {
 	// NumKeys is how many registers multi-key deployments exercise
 	// (single-register deployments collapse to one).
 	NumKeys int
+	// Writers is how many writer identities contend on every key.
+	// Zero or one keeps SWMR traffic; higher values engage the
+	// deployment's contending writers (deployments without the
+	// capability fall back to one writer benignly).
+	Writers int
 	// HotFrac concentrates reads on one hot key — the contention knob.
 	HotFrac float64
 	// WritePace/ReadPace override the workload's default op pacing
@@ -62,10 +71,12 @@ func (s Scenario) keys() []string {
 	return keys
 }
 
-// allIDs lists every process of the deployment shape.
+// allIDs lists every process of the deployment shape, all writer
+// identities included: a partition that left a contending writer
+// outside every group would leave it fully connected.
 func allIDs(p SchedParams) []types.ProcID {
 	ids := types.ServerIDs(p.Servers)
-	ids = append(ids, types.WriterID())
+	ids = append(ids, types.WriterIDs(max(p.Writers, 1))...)
 	ids = append(ids, types.ReaderIDs(p.Readers)...)
 	return ids
 }
@@ -251,6 +262,36 @@ var Scenarios = []Scenario{
 				{At: frac(p, 0.45), Action: Action{Kind: ActHeal}},
 				{At: frac(p, 0.65), Action: Action{Kind: ActPartition, Groups: split()}},
 				{At: frac(p, 0.85), Action: Action{Kind: ActHeal}},
+			}
+		},
+	},
+	{
+		Name:        "contending-writers",
+		Description: "two writer identities race on a hot key while a partition rolls over a server and another crash-restarts",
+		NumKeys:     2,
+		HotFrac:     0.7,
+		Writers:     2,
+		Schedule: func(p SchedParams) []Event {
+			rng := rand.New(rand.NewSource(p.Seed))
+			perm := rng.Perm(p.Servers)
+			cutSrv, victim := perm[0], perm[1%len(perm)]
+			// The second writer identity loses one server mid-run: its
+			// stamp queries and PW rounds must survive on the remaining
+			// quorum while the primary writer keeps full connectivity.
+			w1 := types.WriterID()
+			if p.Writers > 1 {
+				w1 = types.WriterIDN(1)
+			}
+			lossy := types.ServerID(perm[2%len(perm)])
+			return []Event{
+				{At: frac(p, 0.10), Action: Action{Kind: ActPartition, Groups: isolate(p, cutSrv)}},
+				{At: frac(p, 0.30), Action: Action{Kind: ActHeal}},
+				{At: frac(p, 0.35), Action: Action{Kind: ActHoldLink, From: w1, To: lossy}},
+				{At: frac(p, 0.40), Action: Action{Kind: ActCrash, Server: victim}},
+				{At: frac(p, 0.60), Action: Action{Kind: ActReleaseLink, From: w1, To: lossy}},
+				{At: frac(p, 0.70), Action: Action{Kind: ActRestart, Server: victim}},
+				{At: frac(p, 0.80), Action: Action{Kind: ActPartition, Groups: isolate(p, cutSrv)}},
+				{At: frac(p, 0.92), Action: Action{Kind: ActHeal}},
 			}
 		},
 	},

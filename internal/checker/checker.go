@@ -1,18 +1,22 @@
 // Package checker records operation histories and verifies them against
 // the paper's correctness definitions (Section 2.2):
 //
-//   - atomicity: the four SWMR properties — (1) no-creation, (2) reads
+//   - atomicity: the register properties — (1) no-creation, (2) reads
 //     see every preceding complete write, (3) a returned value's write
 //     precedes or is concurrent with the read, (4) the read hierarchy
-//     (a read never returns an older value than a preceding read);
+//     (a read never returns an older value than a preceding read), and,
+//     with multiple writers, (5) write precedence (the stamp order
+//     extends the real-time order of writes) and (6) stamp uniqueness;
 //   - regularity (Appendix D): properties (1)–(3);
 //   - safeness (Appendix B): a contention-free read that succeeds wr_k
 //     returns val_l with l ≥ k.
 //
-// The single-writer setting makes these definitions directly checkable:
-// the writer assigns timestamps 1, 2, 3, … in invocation order, so the
-// timestamp of a returned pair is the index k of the write wr_k, and no
-// NP-hard linearizability search is needed.
+// Stamp-based protocols make these definitions directly checkable
+// without an NP-hard linearizability search: every write binds exactly
+// one totally ordered 〈seq, writer〉 stamp, so the stamp of a returned
+// pair identifies the write that bound it, and comparing stamps
+// compares positions in the linearization. In the single-writer special
+// case the stamps are simply 1, 2, 3, … in invocation order.
 package checker
 
 import (
@@ -110,15 +114,19 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s violated: %s (ops %v)", v.Property, v.Detail, v.Ops)
 }
 
-// CheckAtomicity verifies the four SWMR atomicity properties and
-// returns every violation found (empty means the history is atomic).
+// CheckAtomicity verifies the atomicity properties and returns every
+// violation found (empty means the history is atomic). Multi-writer
+// histories additionally get the write-precedence and stamp-uniqueness
+// checks; both are vacuous for a single correct writer.
 func CheckAtomicity(ops []Op) []Violation {
 	h := buildHistory(ops)
 	var vs []Violation
+	vs = append(vs, h.checkStampUniqueness()...)
 	vs = append(vs, h.checkNoCreation()...)
 	vs = append(vs, h.checkReadsSeeWrites()...)
 	vs = append(vs, h.checkWriteNotFromFuture()...)
 	vs = append(vs, h.checkReadHierarchy()...)
+	vs = append(vs, h.checkWriteOrder()...)
 	return vs
 }
 
@@ -147,11 +155,11 @@ func CheckSafeness(ops []Op) []Violation {
 			continue
 		}
 		for _, wr := range h.writes {
-			if wr.precedes(rd) && rd.Value.TS < wr.Value.TS {
+			if wr.precedes(rd) && rd.Value.Less(wr.Value) {
 				vs = append(vs, Violation{
 					Property: "safeness",
-					Detail: fmt.Sprintf("contention-free read returned 〈%d〉 after write 〈%d〉 completed",
-						rd.Value.TS, wr.Value.TS),
+					Detail: fmt.Sprintf("contention-free read returned 〈%v〉 after write 〈%v〉 completed",
+						rd.Value.Stamp(), wr.Value.Stamp()),
 					Ops: []int{wr.ID, rd.ID},
 				})
 			}
@@ -206,19 +214,19 @@ func perKey(ops []Op, check func([]Op) []Violation) []Violation {
 type history struct {
 	writes []Op // completed or failed writes, invocation order
 	reads  []Op // completed reads only
-	// written maps a timestamp to the write that (or whose attempt)
-	// assigned it. Failed/crashed writes still bind their timestamp:
-	// their value may legitimately be returned by concurrent reads.
-	written map[types.TS]Op
+	// written maps a stamp to the write that (or whose attempt) bound
+	// it. Failed/crashed writes still bind their stamp: their value may
+	// legitimately be returned by concurrent reads.
+	written map[types.Stamp]Op
 }
 
 func buildHistory(ops []Op) *history {
-	h := &history{written: make(map[types.TS]Op)}
+	h := &history{written: make(map[types.Stamp]Op)}
 	for _, op := range ops {
 		switch op.Kind {
 		case KindWrite:
 			h.writes = append(h.writes, op)
-			h.written[op.Value.TS] = op
+			h.written[op.Value.Stamp()] = op
 		case KindRead:
 			if op.Err == nil {
 				h.reads = append(h.reads, op)
@@ -238,11 +246,11 @@ func (h *history) checkNoCreation() []Violation {
 		if rd.Value.IsBottom() {
 			continue
 		}
-		wr, ok := h.written[rd.Value.TS]
+		wr, ok := h.written[rd.Value.Stamp()]
 		if !ok {
 			vs = append(vs, Violation{
 				Property: "no-creation",
-				Detail:   fmt.Sprintf("read returned %v, a timestamp no write assigned", rd.Value),
+				Detail:   fmt.Sprintf("read returned %v, a stamp no write bound", rd.Value),
 				Ops:      []int{rd.ID},
 			})
 			continue
@@ -250,7 +258,7 @@ func (h *history) checkNoCreation() []Violation {
 		if wr.Value != rd.Value {
 			vs = append(vs, Violation{
 				Property: "no-creation",
-				Detail:   fmt.Sprintf("read returned %v but wr_%d wrote %v", rd.Value, wr.Value.TS, wr.Value),
+				Detail:   fmt.Sprintf("read returned %v but wr_%v wrote %v", rd.Value, wr.Value.Stamp(), wr.Value),
 				Ops:      []int{wr.ID, rd.ID},
 			})
 		}
@@ -264,11 +272,11 @@ func (h *history) checkReadsSeeWrites() []Violation {
 	var vs []Violation
 	for _, rd := range h.reads {
 		for _, wr := range h.writes {
-			if wr.precedes(rd) && rd.Value.TS < wr.Value.TS {
+			if wr.precedes(rd) && rd.Value.Less(wr.Value) {
 				vs = append(vs, Violation{
 					Property: "read-sees-write",
-					Detail: fmt.Sprintf("read returned 〈%d〉 although wr_%d completed before it",
-						rd.Value.TS, wr.Value.TS),
+					Detail: fmt.Sprintf("read returned 〈%v〉 although wr_%v completed before it",
+						rd.Value.Stamp(), wr.Value.Stamp()),
 					Ops: []int{wr.ID, rd.ID},
 				})
 			}
@@ -286,15 +294,15 @@ func (h *history) checkWriteNotFromFuture() []Violation {
 		if rd.Value.IsBottom() {
 			continue
 		}
-		wr, ok := h.written[rd.Value.TS]
+		wr, ok := h.written[rd.Value.Stamp()]
 		if !ok {
 			continue // flagged by no-creation
 		}
 		if rd.Return.Before(wr.Invoke) {
 			vs = append(vs, Violation{
 				Property: "write-from-future",
-				Detail: fmt.Sprintf("read returned 〈%d〉 before wr_%d was invoked",
-					rd.Value.TS, wr.Value.TS),
+				Detail: fmt.Sprintf("read returned 〈%v〉 before wr_%v was invoked",
+					rd.Value.Stamp(), wr.Value.Stamp()),
 				Ops: []int{wr.ID, rd.ID},
 			})
 		}
@@ -308,15 +316,68 @@ func (h *history) checkReadHierarchy() []Violation {
 	var vs []Violation
 	for i, rd1 := range h.reads {
 		for _, rd2 := range h.reads[i+1:] {
-			if rd1.precedes(rd2) && rd2.Value.TS < rd1.Value.TS {
+			if rd1.precedes(rd2) && rd2.Value.Less(rd1.Value) {
 				vs = append(vs, Violation{
 					Property: "read-hierarchy",
-					Detail: fmt.Sprintf("read returned 〈%d〉 after a preceding read returned 〈%d〉",
-						rd2.Value.TS, rd1.Value.TS),
+					Detail: fmt.Sprintf("read returned 〈%v〉 after a preceding read returned 〈%v〉",
+						rd2.Value.Stamp(), rd1.Value.Stamp()),
 					Ops: []int{rd1.ID, rd2.ID},
 				})
 			}
 		}
+	}
+	return vs
+}
+
+// checkWriteOrder: the stamp order extends write precedence — if wr_a
+// completes before wr_b is invoked, wr_b binds a strictly higher stamp
+// (property 5). With one correct writer this is its monotone sequence;
+// with contending writers a violation means a writer missed a completed
+// write during its stamp query, i.e. a lost update. Re-binding the
+// identical 〈stamp, value〉 pair is exempt — the rebalance handoff
+// (WriteAt) replays a migrated pair verbatim, which installs no new
+// write in the stamp order.
+func (h *history) checkWriteOrder() []Violation {
+	var vs []Violation
+	for i, wa := range h.writes {
+		for _, wb := range h.writes[i+1:] {
+			if wa.precedes(wb) && wb.Err == nil && wb.Value != wa.Value && !wa.Value.Stamp().Less(wb.Value.Stamp()) {
+				vs = append(vs, Violation{
+					Property: "write-precedence",
+					Detail: fmt.Sprintf("write bound 〈%v〉 although a write stamped 〈%v〉 completed before it",
+						wb.Value.Stamp(), wa.Value.Stamp()),
+					Ops: []int{wa.ID, wb.ID},
+				})
+			}
+		}
+	}
+	return vs
+}
+
+// checkStampUniqueness: no two writes bind the same stamp to different
+// values (property 6). Re-binding the same 〈stamp, value〉 pair is legal:
+// the rebalance handoff (WriteAt) replays a migrated pair verbatim.
+// Failed writes are skipped: their stamp is unspecified (recorded as
+// zero), so two distinct crashed writes are not a shared binding.
+func (h *history) checkStampUniqueness() []Violation {
+	var vs []Violation
+	seen := make(map[types.Stamp]Op, len(h.writes))
+	for _, wr := range h.writes {
+		if wr.Err != nil {
+			continue
+		}
+		st := wr.Value.Stamp()
+		prev, ok := seen[st]
+		if ok && prev.Value != wr.Value {
+			vs = append(vs, Violation{
+				Property: "stamp-uniqueness",
+				Detail: fmt.Sprintf("stamp 〈%v〉 bound to both %q and %q",
+					st, prev.Value.Val, wr.Value.Val),
+				Ops: []int{prev.ID, wr.ID},
+			})
+			continue
+		}
+		seen[st] = wr
 	}
 	return vs
 }

@@ -1,0 +1,117 @@
+package checker
+
+import (
+	"testing"
+	"time"
+
+	"luckystore/internal/types"
+)
+
+// Multi-writer histories are hand-built with explicit times so writes
+// can overlap — the sequential hb builder cannot express contention.
+
+func at(sec int64) time.Time { return time.Unix(1000, 0).Add(time.Duration(sec) * time.Second) }
+
+func mwWrite(w int, seq int64, wid int32, val string, inv, ret int64) Op {
+	return Op{
+		Client: types.WriterIDN(w), Kind: KindWrite, Key: "k",
+		Value:  types.Tagged{TS: types.TS(seq), W: types.WID(wid), Val: types.Value(val)},
+		Invoke: at(inv), Return: at(ret),
+	}
+}
+
+func mwRead(r int, seq int64, wid int32, val string, inv, ret int64) Op {
+	return Op{
+		Client: types.ReaderID(r), Kind: KindRead, Key: "k",
+		Value:  types.Tagged{TS: types.TS(seq), W: types.WID(wid), Val: types.Value(val)},
+		Invoke: at(inv), Return: at(ret),
+	}
+}
+
+// A well-behaved contended run: two writers' stamps interleave in query
+// order, reads return the freshest completed pair. Atomic.
+func TestMWInterleavedWritersAtomic(t *testing.T) {
+	ops := []Op{
+		mwWrite(0, 1, 0, "a", 0, 1),
+		mwWrite(1, 2, 1, "b", 2, 3),
+		mwRead(0, 2, 1, "b", 4, 5),
+		mwWrite(0, 3, 0, "c", 6, 7),
+		mwRead(1, 3, 0, "c", 8, 9),
+	}
+	assertClean(t, CheckAtomicityPerKey(ops))
+}
+
+// The satellite case: a stale read between two writers' overlapping
+// writes. w1's write 〈2.1, b〉 is still in flight while r0 already
+// returned it and r1 then returns the older 〈1.0, a〉 — a new-old
+// inversion. Every value is legitimately current-or-concurrent, so the
+// history is regular, but the read hierarchy is broken: the checker
+// must reject it as non-atomic.
+func TestMWStaleReadIsRegularNotAtomic(t *testing.T) {
+	ops := []Op{
+		mwWrite(0, 1, 0, "a", 0, 1),
+		mwWrite(1, 2, 1, "b", 2, 20), // overlaps both reads
+		mwRead(0, 2, 1, "b", 3, 4),
+		mwRead(1, 1, 0, "a", 5, 6), // stale: a preceding read saw 2.1
+	}
+	assertClean(t, CheckRegularityPerKey(ops))
+	assertViolated(t, CheckAtomicityPerKey(ops), "read-hierarchy")
+}
+
+// The read hierarchy uses the full stamp order: same sequence number,
+// writer tie-break. Returning 2.0 after a preceding read returned 2.1
+// is an inversion even though the sequence numbers are equal.
+func TestMWReadHierarchyTieBreaksOnWriter(t *testing.T) {
+	ops := []Op{
+		mwWrite(0, 2, 0, "x", 0, 30), // both writes in flight throughout
+		mwWrite(1, 2, 1, "y", 1, 31),
+		mwRead(0, 2, 1, "y", 2, 3),
+		mwRead(1, 2, 0, "x", 4, 5),
+	}
+	assertViolated(t, CheckAtomicityPerKey(ops), "read-hierarchy")
+}
+
+// A writer that binds a stamp below an already-completed write lost an
+// update: write precedence.
+func TestMWWritePrecedenceViolation(t *testing.T) {
+	ops := []Op{
+		mwWrite(0, 2, 0, "a", 0, 1),
+		mwWrite(1, 1, 1, "b", 2, 3), // bound 1.1 after 2 completed
+	}
+	assertViolated(t, CheckAtomicityPerKey(ops), "write-precedence")
+
+	// Concurrent writes may order either way — no violation.
+	concurrent := []Op{
+		mwWrite(0, 2, 0, "a", 0, 10),
+		mwWrite(1, 1, 1, "b", 2, 3),
+	}
+	assertClean(t, CheckAtomicityPerKey(concurrent))
+}
+
+// Two writes binding one stamp to different values violate stamp
+// uniqueness; replaying the identical pair (the handoff path) is legal.
+func TestMWStampUniqueness(t *testing.T) {
+	ops := []Op{
+		mwWrite(1, 3, 1, "x", 0, 1),
+		mwWrite(0, 3, 1, "y", 2, 3), // same stamp 3.1, different value
+	}
+	assertViolated(t, CheckAtomicityPerKey(ops), "stamp-uniqueness")
+
+	replay := []Op{
+		mwWrite(1, 3, 1, "x", 0, 1),
+		mwWrite(0, 3, 1, "x", 2, 3), // WriteAt handoff replays verbatim
+		mwRead(0, 3, 1, "x", 4, 5),
+	}
+	assertClean(t, CheckAtomicityPerKey(replay))
+}
+
+// Stamps with equal sequence numbers from different writers are
+// distinct values in the no-creation map: a read returning 〈2.1, b〉
+// when only 〈2.0, a〉 was written is a forgery.
+func TestMWNoCreationDistinguishesWriters(t *testing.T) {
+	ops := []Op{
+		mwWrite(0, 2, 0, "a", 0, 1),
+		mwRead(0, 2, 1, "b", 2, 3),
+	}
+	assertViolated(t, CheckAtomicityPerKey(ops), "no-creation")
+}

@@ -9,9 +9,9 @@ import (
 	"luckystore/internal/types"
 )
 
-// Cluster wires S server automata, one writer and NumReaders readers
-// over a network, owning every goroutine it starts. It is the unit the
-// examples, tests and experiments operate on.
+// Cluster wires S server automata, WritersN() writers and NumReaders
+// readers over a network, owning every goroutine it starts. It is the
+// unit the examples, tests and experiments operate on.
 type Cluster struct {
 	cfg     Config
 	net     transport.Network
@@ -19,7 +19,7 @@ type Cluster struct {
 	factory func() node.Automaton
 	runners []*node.Runner
 	servers []node.Automaton
-	writer  *Writer
+	writers []*Writer
 	readers []*Reader
 }
 
@@ -77,9 +77,9 @@ func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 		opt(o)
 	}
 
-	ids := make([]types.ProcID, 0, cfg.S()+cfg.NumReaders+1)
+	ids := make([]types.ProcID, 0, cfg.S()+cfg.NumReaders+cfg.WritersN())
 	ids = append(ids, types.ServerIDs(cfg.S())...)
-	ids = append(ids, types.WriterID())
+	ids = append(ids, types.WriterIDs(cfg.WritersN())...)
 	ids = append(ids, types.ReaderIDs(cfg.NumReaders)...)
 
 	c := &Cluster{cfg: cfg}
@@ -116,12 +116,15 @@ func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 		}
 	}
 
-	wep, err := c.net.Endpoint(types.WriterID())
-	if err != nil {
-		c.Close()
-		return nil, fmt.Errorf("cluster writer: %w", err)
+	for i := 0; i < cfg.WritersN(); i++ {
+		wid := types.WriterIDN(i)
+		wep, err := c.net.Endpoint(wid)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster writer %s: %w", wid, err)
+		}
+		c.writers = append(c.writers, NewWriter(cfg, wid, wep))
 	}
-	c.writer = NewWriter(cfg, wep)
 
 	for i := 0; i < cfg.NumReaders; i++ {
 		rep, err := c.net.Endpoint(types.ReaderID(i))
@@ -137,8 +140,15 @@ func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Writer returns the single writer client.
-func (c *Cluster) Writer() *Writer { return c.writer }
+// Writer returns the canonical writer client (writer 0): the only one
+// in single-writer deployments.
+func (c *Cluster) Writer() *Writer { return c.writers[0] }
+
+// WriterN returns the i-th writer client; NumWriters gives the count.
+func (c *Cluster) WriterN(i int) *Writer { return c.writers[i] }
+
+// NumWriters returns the number of writer clients the cluster runs.
+func (c *Cluster) NumWriters() int { return len(c.writers) }
 
 // Reader returns the i-th reader client.
 func (c *Cluster) Reader(i int) *Reader { return c.readers[i] }

@@ -57,6 +57,14 @@ type Config struct {
 	Fw int
 	// NumReaders is the number of reader processes (R).
 	NumReaders int
+	// Writers is the number of writer clients sharing the register
+	// (MWMR). Zero or one selects the single-writer protocol exactly as
+	// published: no query round, stamps carry the writer's id with no
+	// contention possible. Above one, every WRITE first queries a
+	// quorum for the highest stamp (one extra round-trip) so concurrent
+	// writers totally order their stamps — the fine-grained-analysis
+	// bound that multi-writer fast writes need a solo writer.
+	Writers int
 	// RoundTimeout is the round-1 timer duration; zero selects
 	// DefaultRoundTimeout.
 	RoundTimeout time.Duration
@@ -85,6 +93,14 @@ func (c Config) FastPWThreshold() int { return 2*c.B + c.T + 1 }
 // return after its first round (Fig. 1 line 8).
 func (c Config) FastWriteAcks() int { return c.S() - c.Fw }
 
+// WritersN returns the effective writer count: Writers, floored at one
+// (the canonical single writer).
+func (c Config) WritersN() int { return max(c.Writers, 1) }
+
+// MW reports whether the deployment runs in multi-writer mode, in which
+// every WRITE pays the stamp-query round.
+func (c Config) MW() bool { return c.Writers > 1 }
+
 // Validate checks the parameters against the model: 0 ≤ b ≤ t, at
 // least one reader or none is fine, and 0 ≤ fw ≤ t − b so that
 // fr = t − b − fw ≥ 0.
@@ -98,6 +114,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: fw = %d must satisfy 0 ≤ fw ≤ t−b = %d", c.Fw, c.T-c.B)
 	case c.NumReaders < 0:
 		return fmt.Errorf("config: NumReaders = %d must be non-negative", c.NumReaders)
+	case c.Writers < 0:
+		return fmt.Errorf("config: Writers = %d must be non-negative", c.Writers)
 	case c.RoundTimeout < 0:
 		return fmt.Errorf("config: RoundTimeout must be non-negative")
 	case c.OpTimeout < 0:

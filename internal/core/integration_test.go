@@ -473,7 +473,7 @@ func feedPWAcks(w *Writer, acks map[types.ProcID]wire.PWAck) {
 // timestamp and freezes at most one value per reader per write.
 func TestWriterFreezeValuesSelection(t *testing.T) {
 	cfg := testConfig(1) // b = 1 → need ≥2 reports, take 2nd highest
-	w := NewWriter(cfg, nil)
+	w := NewWriter(cfg, types.WriterID(), nil)
 	w.ts = 7
 	w.pw = types.Tagged{TS: 7, Val: "v7"}
 	rj := types.ReaderID(0)
@@ -495,7 +495,7 @@ func TestWriterFreezeValuesSelection(t *testing.T) {
 	}
 
 	// A lone report (< b+1) must not freeze.
-	w2 := NewWriter(cfg, nil)
+	w2 := NewWriter(cfg, types.WriterID(), nil)
 	w2.ts, w2.pw = 1, types.Tagged{TS: 1, Val: "x"}
 	feedPWAcks(w2, map[types.ProcID]wire.PWAck{
 		types.ServerID(0): {TS: 1, NewRead: []types.ReadStamp{{Reader: rj, TSR: 2}}},
@@ -506,7 +506,7 @@ func TestWriterFreezeValuesSelection(t *testing.T) {
 	}
 
 	// Duplicate stamps inside one malicious ack count once.
-	w3 := NewWriter(cfg, nil)
+	w3 := NewWriter(cfg, types.WriterID(), nil)
 	w3.ts, w3.pw = 1, types.Tagged{TS: 1, Val: "x"}
 	feedPWAcks(w3, map[types.ProcID]wire.PWAck{
 		types.ServerID(0): {TS: 1, NewRead: []types.ReadStamp{

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/types"
+)
+
+func mwConfig(writers int) Config {
+	return Config{T: 1, B: 0, Fw: 1, NumReaders: 1, Writers: writers,
+		RoundTimeout: 10 * time.Millisecond}
+}
+
+// A multi-writer WRITE runs the stamp query and reports it in the meta;
+// a later writer's query observes the earlier completed write and binds
+// strictly above it.
+func TestMWQueryObservesPriorWrite(t *testing.T) {
+	c, err := NewCluster(mwConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.WriterN(0).Write("a"); err != nil {
+		t.Fatal(err)
+	}
+	m0 := c.WriterN(0).LastMeta()
+	if m0.Stamp() != (types.Stamp{Seq: 1, Writer: 0}) {
+		t.Errorf("w0 stamp = %v, want 1", m0.Stamp())
+	}
+	if !m0.Queried || m0.Rounds != 2 || !m0.Fast {
+		t.Errorf("w0 meta = %+v, want queried fast 2-round", m0)
+	}
+
+	if err := c.WriterN(1).Write("b"); err != nil {
+		t.Fatal(err)
+	}
+	m1 := c.WriterN(1).LastMeta()
+	if m1.Stamp() != (types.Stamp{Seq: 2, Writer: 1}) {
+		t.Errorf("w1 stamp = %v, want 2.1 (query must observe w0's write)", m1.Stamp())
+	}
+
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m1.Value("b") {
+		t.Errorf("read = %+v, want %+v", got, m1.Value("b"))
+	}
+}
+
+// Concurrent writers on one register bind pairwise distinct, totally
+// ordered stamps, and a read after the dust settles returns the value
+// bound at the highest stamp.
+func TestMWConcurrentWritersDistinctStamps(t *testing.T) {
+	const writers, perWriter = 3, 5
+	c, err := NewCluster(mwConfig(writers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	stamps := make([][]types.Stamp, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.WriterN(i)
+			for k := 0; k < perWriter; k++ {
+				if err := w.Write(types.Value(fmt.Sprintf("w%d-%d", i, k))); err != nil {
+					t.Errorf("writer %d op %d: %v", i, k, err)
+					return
+				}
+				stamps[i] = append(stamps[i], w.LastMeta().Stamp())
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	written := make(map[types.Stamp]types.Value)
+	var maxSt types.Stamp
+	for i, ss := range stamps {
+		for k, st := range ss {
+			if v, dup := written[st]; dup {
+				t.Fatalf("stamp %v bound twice (second by w%d op %d, first for %q)", st, i, k, v)
+			}
+			written[st] = types.Value(fmt.Sprintf("w%d-%d", i, k))
+			if maxSt.Less(st) {
+				maxSt = st
+			}
+			if k > 0 && !ss[k-1].Less(st) {
+				t.Errorf("writer %d stamps not increasing: %v then %v", i, ss[k-1], st)
+			}
+		}
+	}
+
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stamp() != maxSt || got.Val != written[maxSt] {
+		t.Errorf("read = %+v, want stamp %v value %q", got, maxSt, written[maxSt])
+	}
+}
+
+// Per-key server state stays bounded regardless of how many writers
+// contend: the automaton keeps three tagged pairs plus per-reader
+// slots, and nothing per writer (the space-bounds property).
+func TestServerStateBoundedInWriters(t *testing.T) {
+	const writers = 4
+	c, err := NewCluster(mwConfig(writers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < writers; i++ {
+		for k := 0; k < 3; k++ {
+			if err := c.WriterN(i).Write(types.Value(fmt.Sprintf("w%d-%d", i, k))); err != nil {
+				t.Fatalf("writer %d: %v", i, err)
+			}
+		}
+	}
+	for i := 0; i < c.Config().S(); i++ {
+		frozen, readerTS := c.ServerAutomaton(i).(*Server).StateSize()
+		if frozen != 0 || readerTS != 0 {
+			t.Errorf("server %d grew per-client state without slow reads: frozen=%d readerTS=%d",
+				i, frozen, readerTS)
+		}
+	}
+}
+
+// A single-writer deployment skips the query round entirely — the
+// published Fig. 1 protocol, byte for byte.
+func TestSingleWriterSkipsQuery(t *testing.T) {
+	c, err := NewCluster(Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Writer().Write("a"); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Writer().LastMeta()
+	if m.Queried || m.Rounds != 1 || !m.Fast {
+		t.Errorf("single-writer meta = %+v, want unqueried fast 1-round", m)
+	}
+}
+
+// The Contended flag fires when a server acknowledges the PW while
+// already holding a higher stamp (the PW_ACK.Max channel).
+func TestWriteMetaContended(t *testing.T) {
+	cfg := Config{T: 1, B: 0, Fw: 1, NumReaders: 0, RoundTimeout: 10 * time.Millisecond}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Writer().Write("calm"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Writer().LastMeta().Contended {
+		t.Error("uncontended write reported contention")
+	}
+
+	higher := types.Tagged{TS: 50, W: 2, Val: "raced"}
+	for i := 0; i < cfg.S(); i++ {
+		c.ServerAutomaton(i).(*Server).InjectState(higher, higher, higher)
+	}
+	if err := c.Writer().Write("mine"); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Writer().LastMeta(); !m.Contended {
+		t.Errorf("write under a higher installed stamp not flagged contended: %+v", m)
+	}
+}
+
+// WriteAt replays an exact foreign stamp — writer component included —
+// and is idempotent at or below the last bound stamp.
+func TestWriteAtReplaysForeignStamp(t *testing.T) {
+	c, err := NewCluster(Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := c.Writer()
+
+	migrated := types.Tagged{TS: 4, W: 2, Val: "moved"}
+	if err := w.WriteAt(migrated); err != nil {
+		t.Fatal(err)
+	}
+	if m := w.LastMeta(); m.Stamp() != migrated.Stamp() || m.Writer != 2 {
+		t.Errorf("replayed meta = %+v, want stamp %v", m, migrated.Stamp())
+	}
+
+	// Replaying the same or a lower stamp is a no-op.
+	for _, dup := range []types.Tagged{migrated, {TS: 4, W: 1, Val: "older"}, {TS: 3, W: 7, Val: "older"}} {
+		if err := w.WriteAt(dup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ops := w.Stats().Ops; ops != 1 {
+		t.Errorf("idempotent replays ran %d ops, want 1", ops)
+	}
+
+	// A subsequent Write continues above the replayed sequence.
+	if err := w.Write("next"); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.LastMeta().Stamp(); st != (types.Stamp{Seq: 5, Writer: 0}) {
+		t.Errorf("post-replay stamp = %v, want 5", st)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "next" {
+		t.Errorf("read = %+v, want the post-replay write", got)
+	}
+}

@@ -216,8 +216,9 @@ func (v *View) InvalidPW(c types.Tagged) bool {
 	return n >= v.th.InvalidPW
 }
 
-// HighCand reports highCand(c): every readLive pair c′ ≠ c with
-// c′.ts ≥ c.ts is both invalid_w and invalid_pw (Fig. 2 line 10).
+// HighCand reports highCand(c): every readLive pair c′ ≠ c whose stamp
+// is not below c's is both invalid_w and invalid_pw (Fig. 2 line 10,
+// with the composite 〈seq, writer〉 stamp as the timestamp order).
 func (v *View) HighCand(c types.Tagged) bool {
 	for i := range v.srv {
 		s := &v.srv[i]
@@ -234,7 +235,7 @@ func (v *View) HighCand(c types.Tagged) bool {
 // highCandAgainst checks the highCand condition for one competing live
 // pair cp.
 func (v *View) highCandAgainst(c, cp types.Tagged) bool {
-	if cp == c || cp.TS < c.TS {
+	if cp == c || cp.Less(c) {
 		return true
 	}
 	return v.InvalidW(cp) && v.InvalidPW(cp)
@@ -247,7 +248,7 @@ func (v *View) isCandidate(c types.Tagged) bool {
 }
 
 // Candidates returns the selection set C of Fig. 2 line 18: every pair
-// that is (safe ∧ highCand) or safeFrozen, sorted by timestamp
+// that is (safe ∧ highCand) or safeFrozen, sorted by stamp
 // ascending for deterministic iteration. It allocates its result and is
 // meant for tests and experiment assertions; the READ loop uses Select,
 // which scans the view without allocating.
@@ -278,22 +279,22 @@ func (v *View) Candidates() []types.Tagged {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].TS != out[j].TS {
-			return out[i].TS < out[j].TS
+		if si, sj := out[i].Stamp(), out[j].Stamp(); si != sj {
+			return si.Less(sj)
 		}
 		return out[i].Val < out[j].Val
 	})
 	return out
 }
 
-// Select returns the candidate with the highest timestamp (Fig. 2
-// line 20) and whether any candidate exists. It scans the slots
-// directly — no candidate list, no map, no allocation — evaluating the
-// predicates per distinct live/frozen pair; re-evaluating a pair
-// reported by several servers is idempotent and cheaper than
-// deduplicating. Ties on the timestamp (only producible by malicious
-// processes) break toward the larger value, matching Candidates' sort
-// order.
+// Select returns the candidate with the highest stamp (Fig. 2 line 20,
+// in the 〈seq, writer〉 order) and whether any candidate exists. It scans
+// the slots directly — no candidate list, no map, no allocation —
+// evaluating the predicates per distinct live/frozen pair;
+// re-evaluating a pair reported by several servers is idempotent and
+// cheaper than deduplicating. Ties on the full stamp (only producible
+// by malicious processes) break toward the larger value, matching
+// Candidates' sort order.
 func (v *View) Select() (types.Tagged, bool) {
 	var best types.Tagged
 	found := false
@@ -313,7 +314,7 @@ func (v *View) Select() (types.Tagged, bool) {
 
 // selectBetter folds one potential candidate into the running maximum.
 func (v *View) selectBetter(best types.Tagged, found bool, c types.Tagged) (types.Tagged, bool) {
-	if found && (c.TS < best.TS || (c.TS == best.TS && c.Val <= best.Val)) {
+	if cs, bs := c.Stamp(), best.Stamp(); found && (cs.Less(bs) || (cs == bs && c.Val <= best.Val)) {
 		return best, found // cannot improve; skip the predicate work
 	}
 	if v.isCandidate(c) {

@@ -155,7 +155,7 @@ func (r *Reader) Read() (types.Tagged, error) {
 		wroteBack = true
 	}
 	r.lastMeta = ReadMeta{TSR: r.tsr, QueryRounds: rnd, WroteBack: wroteBack, Returned: sel}
-	r.stats.record(r.lastMeta.Rounds())
+	r.stats.record(r.lastMeta.Rounds(), r.lastMeta.Rounds() == 1)
 	return sel, nil
 }
 

@@ -25,6 +25,12 @@ import (
 // key never sees a slow READ — so the idle per-key footprint is the
 // bare struct, with no map headers or buckets. NewServer performs zero
 // map allocations.
+//
+// The per-key state is bounded independently of the writer count (the
+// space-bounds property, DESIGN.md §10): the automaton keeps exactly
+// three tagged pairs plus the per-reader slots, and nothing per writer —
+// a contending writer's identity lives only inside the stamps of the
+// pairs themselves, so millions of writers cost a key nothing.
 type Server struct {
 	// mu guards all fields: the runner serializes Step calls, but tests
 	// and experiments inspect server state concurrently.
@@ -101,6 +107,18 @@ func (s *Server) ReaderTS(r types.ProcID) types.ReaderTS {
 	return s.readerTS[r]
 }
 
+// StateSize reports how many per-reader slots the server currently
+// holds (frozen pairs and reader timestamps). The register pairs are
+// always exactly three; everything else the automaton stores is
+// per-reader and nothing is per-writer, so these two counts are the
+// whole space-bounds story — experiments assert they stay flat as
+// writers are added.
+func (s *Server) StateSize() (frozenSlots, readerSlots int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frozen), len(s.readerTS)
+}
+
 // InjectState force-sets the server's fields, bypassing the protocol.
 // Only malicious servers can reach arbitrary states (Section 2.1); the
 // fault package and the upper-bound experiments use this to forge the
@@ -136,7 +154,10 @@ func (s *Server) StepAppend(from types.ProcID, m wire.Message, out []transport.O
 		}
 		return s.onPW(from, v, out)
 	case wire.Read:
-		if !from.IsReader() {
+		// Readers query for READ; writers query round 1 only, for the
+		// MWMR stamp discovery (a round-1 read leaves no trace in the
+		// automaton, so a writer's query costs the server nothing).
+		if !from.IsReader() && !(from.IsWriter() && v.Round == 1) {
 			return out
 		}
 		return s.onRead(from, v, out)
@@ -184,14 +205,19 @@ func (s *Server) onPW(from types.ProcID, m wire.PW, out []transport.Outgoing) []
 		newread = make([]types.ReadStamp, len(scratch))
 		copy(newread, scratch)
 	}
-	return append(out, transport.Outgoing{To: from, Msg: wire.PWAck{TS: m.TS, NewRead: newread}})
+	// Max is the pw stamp after applying this PW: under writer
+	// contention it exceeds the acknowledged write's own stamp, which is
+	// how the writer observes the race (wire format v2).
+	return append(out, transport.Outgoing{To: from, Msg: wire.PWAck{TS: m.TS, Max: s.pw.Stamp(), NewRead: newread}})
 }
 
 // onRead handles a READ round message (Fig. 3 lines 9–11). The reader
-// timestamp is recorded only from the second round on: a fast READ
-// leaves no trace, and only slow READs signal the writer via freezing.
+// timestamp is recorded only from the second round on (and only for
+// readers — a writer's stamp query must not enter the freezing
+// machinery): a fast READ leaves no trace, and only slow READs signal
+// the writer via freezing.
 func (s *Server) onRead(from types.ProcID, m wire.Read, out []transport.Outgoing) []transport.Outgoing {
-	if m.TSR > s.readerTS[from] && m.Round > 1 {
+	if m.TSR > s.readerTS[from] && m.Round > 1 && from.IsReader() {
 		if s.readerTS == nil {
 			s.readerTS = make(map[types.ProcID]types.ReaderTS)
 		}
@@ -223,10 +249,13 @@ func (s *Server) onW(from types.ProcID, m wire.W, out []transport.Outgoing) []tr
 	return append(out, transport.Outgoing{To: from, Msg: wire.WAck{Round: m.Round, Tag: m.Tag}})
 }
 
-// update replaces *local with c only if c is strictly newer
-// (Fig. 3 line 17), preserving Lemma 3 (non-decreasing timestamps).
+// update replaces *local with c only if c is strictly newer in the
+// stamp order 〈seq, writer〉 (Fig. 3 line 17), preserving Lemma 3
+// (non-decreasing stamps). The writer tie-break is what lets two
+// writers' concurrent same-seq pairs converge to one winner on every
+// correct server.
 func (s *Server) update(local *types.Tagged, c types.Tagged) {
-	if c.TS > local.TS {
+	if local.Less(c) {
 		*local = c
 	}
 }

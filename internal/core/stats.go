@@ -1,9 +1,12 @@
 package core
 
 // OpStats accumulates per-client operation statistics across a client's
-// lifetime: how many operations ran, how many used the one-round fast
-// path, and the total round-trips spent. The fast fraction is the
-// paper's best-case metric aggregated over a workload.
+// lifetime: how many operations ran, how many used the fast path, and
+// the total round-trips spent. The fast fraction is the paper's
+// best-case metric aggregated over a workload. Fast is a protocol
+// property, not a round count: a multi-writer fast WRITE spends two
+// round-trips (stamp query + PW) but is still fast — it skipped the W
+// phase.
 type OpStats struct {
 	Ops         int
 	FastOps     int
@@ -11,10 +14,10 @@ type OpStats struct {
 }
 
 // record folds one completed operation into the stats.
-func (s *OpStats) record(rounds int) {
+func (s *OpStats) record(rounds int, fast bool) {
 	s.Ops++
 	s.TotalRounds += rounds
-	if rounds == 1 {
+	if fast {
 		s.FastOps++
 	}
 }

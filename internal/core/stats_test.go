@@ -10,9 +10,9 @@ func TestOpStatsMath(t *testing.T) {
 	if s.FastFraction() != 0 || s.MeanRounds() != 0 {
 		t.Error("empty stats not zero")
 	}
-	s.record(1)
-	s.record(1)
-	s.record(3)
+	s.record(1, true)
+	s.record(1, true)
+	s.record(3, false)
 	if s.Ops != 3 || s.FastOps != 2 || s.TotalRounds != 5 {
 		t.Errorf("stats = %+v", s)
 	}

@@ -14,13 +14,30 @@ import (
 // input for a WRITE (Section 2.2).
 var ErrBottomValue = errors.New("cannot write the initial value ⊥ (empty value)")
 
-// WriteMeta describes the last completed WRITE: how many communication
-// round-trips it took and whether it used the fast path.
+// WriteMeta describes the last completed WRITE: the stamp it bound, how
+// many communication round-trips it took and whether it used the fast
+// path.
 type WriteMeta struct {
 	TS     types.TS
+	Writer types.WID
 	Rounds int
 	Fast   bool
 	PWAcks int // valid PW_ACKs held when the fast-path check ran
+	// Queried reports that the MWMR stamp-query round ran (multi-writer
+	// deployments only); it is included in Rounds.
+	Queried bool
+	// Contended reports that some server acknowledged the PW while
+	// already holding a higher stamp — direct evidence another writer
+	// raced this operation (wire v2's PW_ACK.Max).
+	Contended bool
+}
+
+// Stamp returns the composite stamp the WRITE bound.
+func (m WriteMeta) Stamp() types.Stamp { return types.Stamp{Seq: m.TS, Writer: m.Writer} }
+
+// Value returns the tagged pair the WRITE bound for value v.
+func (m WriteMeta) Value(v types.Value) types.Tagged {
+	return types.Tagged{TS: m.TS, W: m.Writer, Val: v}
 }
 
 // WriteFault scripts a crash-faulty writer, used by tests and by the
@@ -41,19 +58,35 @@ type WriteFault struct {
 	CrashAfterW map[int]bool
 }
 
-// Writer implements the WRITE protocol of Figure 1. A Writer is not
-// safe for concurrent use: the model has a single writer that invokes
-// one operation at a time — which is also what makes its round state
-// poolable. All per-operation machinery (timers, the PW_ACK set, the
-// outgoing-message buffer, the freeze scratch) lives on the Writer and
-// is reset per WRITE instead of reallocated, so a steady-state fast
-// WRITE allocates nothing beyond the messages themselves
-// (DESIGN.md §5).
+// Writer implements the WRITE protocol of Figure 1, generalized to
+// multiple writers: each Writer has an explicit identity (part of the
+// automaton contract, not a process-wide singleton), binds composite
+// 〈seq, writer〉 stamps, and in multi-writer configurations runs a stamp
+// query round before the pre-write so concurrent writers totally order
+// their stamps. A Writer is not safe for concurrent use: each writer
+// process invokes one operation at a time — which is also what makes
+// its round state poolable. All per-operation machinery (timers, the
+// PW_ACK set, the outgoing-message buffer, the freeze scratch) lives on
+// the Writer and is reset per WRITE instead of reallocated, so a
+// steady-state fast WRITE allocates nothing beyond the messages
+// themselves (DESIGN.md §5).
+//
+// MWMR soundness hinges on one rule: a WRITE binds exactly one stamp,
+// chosen before PW is sent and never revised. A writer that discovers
+// mid-flight that it was outraced still completes its rounds at its own
+// stamp — the operation simply linearizes before the higher-stamped
+// write. Re-stamping after a contended PW would let one WRITE expose
+// two stamps to readers, which breaks the stamp order's agreement with
+// invocation order (a new-old-new inversion no stamp-based checker can
+// see). See DESIGN.md §10.
 type Writer struct {
 	cfg Config
 	ep  transport.Endpoint
+	id  types.ProcID
+	wid types.WID
 
-	ts      types.TS
+	ts      types.TS    // sequence floor: seq of the last bound stamp
+	last    types.Stamp // stamp of the last completed/installed write
 	pw, w   types.Tagged
 	readTS  map[types.ProcID]types.ReaderTS // nil until the first freeze
 	frozen  []types.FrozenEntry
@@ -70,6 +103,7 @@ type Writer struct {
 	ackCount   int
 	wackSeen   []bool
 	outBuf     []transport.Outgoing
+	qtsr       types.ReaderTS // stamp-query tag, incremented per query
 
 	// freezeValues scratch, touched only when a slow READ is in
 	// progress somewhere (nil/empty in steady state)
@@ -80,15 +114,26 @@ type Writer struct {
 	stats    OpStats
 }
 
-// NewWriter creates the writer client on the given endpoint.
-func NewWriter(cfg Config, ep transport.Endpoint) *Writer {
+// NewWriter creates the writer client with the given identity on the
+// given endpoint. The id must be a writer ProcID (types.WriterIDN); its
+// index becomes the writer component of every stamp this client binds.
+func NewWriter(cfg Config, id types.ProcID, ep transport.Endpoint) *Writer {
+	wi := id.WriterIndex()
+	if wi < 0 {
+		panic(fmt.Sprintf("core.NewWriter: %q is not a writer id", id))
+	}
 	return &Writer{
 		cfg: cfg,
 		ep:  ep,
+		id:  id,
+		wid: types.WID(wi),
 		pw:  types.Bottom(),
 		w:   types.Bottom(),
 	}
 }
+
+// ID returns the writer's process id.
+func (w *Writer) ID() types.ProcID { return w.id }
 
 // Write stores v in the register. It returns once atomicity of the
 // write is secured: after one round-trip on the fast path (S − fw
@@ -104,19 +149,21 @@ func (w *Writer) WriteWithFault(v types.Value, f *WriteFault) error { return w.w
 // LastMeta returns metadata about the most recent completed WRITE.
 func (w *Writer) LastMeta() WriteMeta { return w.lastMeta }
 
-// WriteAt runs a WRITE that binds exactly the pair c — timestamp
-// included — instead of advancing this writer's own timestamp. It is
-// the handoff primitive for scale-out rebalancing (internal/router):
-// when a key migrates between clusters, the destination writer installs
-// the source's latest completed pair at its original timestamp, keeping
-// the key's timestamp sequence monotonic across the move (the checker
-// matches reads to writes by timestamp, and servers only ever replace
-// strictly older pairs, so re-binding an existing 〈ts,val〉 is safe and
-// idempotent).
+// WriteAt runs a WRITE that binds exactly the pair c — stamp included,
+// writer component and all — instead of advancing this writer's own
+// stamp. It is the handoff primitive for scale-out rebalancing
+// (internal/router): when a key migrates between clusters, the
+// destination writer installs the source's latest completed pair at its
+// original stamp, keeping the key's stamp sequence monotonic across the
+// move (the checker matches reads to writes by stamp, and servers only
+// ever replace strictly older pairs, so re-binding an existing
+// 〈stamp,val〉 is safe and idempotent). Because the stamp is replayed,
+// not chosen, WriteAt never runs the MWMR query round.
 //
-// A pair at or below the writer's current timestamp is a no-op: this
+// A pair at or below the writer's last bound stamp is a no-op: this
 // writer already completed a WRITE at least as new, so the register
-// already holds a pair ≥ c. Subsequent Writes continue from c.TS + 1.
+// already holds a pair ≥ c. Subsequent Writes continue from seq
+// c.TS + 1.
 func (w *Writer) WriteAt(c types.Tagged) error {
 	if w.crashed {
 		return ErrCrashed
@@ -124,11 +171,12 @@ func (w *Writer) WriteAt(c types.Tagged) error {
 	if c.IsBottom() || c.Val == "" {
 		return ErrBottomValue
 	}
-	if c.TS <= w.ts {
+	if !w.last.Less(c.Stamp()) {
 		return nil
 	}
-	w.ts = c.TS - 1 // write() advances to exactly c.TS
-	return w.write(c.Val, nil)
+	opDeadline := resetTimer(&w.opTimer, w.cfg.opTimeout())
+	defer opDeadline.Stop()
+	return w.bind(c, nil, false, opDeadline)
 }
 
 // NextTS returns the timestamp the next WRITE will use (for tests).
@@ -168,12 +216,91 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 	opDeadline := resetTimer(&w.opTimer, w.cfg.opTimeout())
 	defer opDeadline.Stop()
 
-	// Pre-write phase (Fig. 1 lines 3–4): advance the timestamp, ship
-	// PW with the frozen set left over from the previous WRITE's
-	// freezevalues().
-	w.ts++
-	w.pw = types.Tagged{TS: w.ts, Val: v}
-	pwMsg := wire.PW{TS: w.ts, PW: w.pw, W: w.w, Frozen: w.frozen}
+	// Choose the stamp. Single-writer deployments take the published
+	// Fig. 1 path: advance the sequence, no extra round. Multi-writer
+	// deployments first query a quorum for the highest stamp in the
+	// system, then bind one above it — the stamp is final from this
+	// point, whatever the PW round later reveals about the race.
+	seq := w.ts
+	queried := false
+	if w.cfg.MW() {
+		qmax, err := w.queryStamp(opDeadline)
+		if err != nil {
+			return err
+		}
+		if seq < qmax.Seq {
+			seq = qmax.Seq
+		}
+		queried = true
+	}
+	c := types.Tagged{TS: seq + 1, W: w.wid, Val: v}
+	return w.bind(c, f, queried, opDeadline)
+}
+
+// queryStamp is the MWMR stamp-discovery round: broadcast a round-1
+// READ (servers answer a writer's round-1 query statelessly — it never
+// touches the freezing machinery) and fold the plain maximum over every
+// stamp in a quorum of acks.
+//
+// The plain maximum — not a (b+1)-st-highest fold — is deliberate. A
+// completed WRITE is guaranteed into only one honest server of the
+// quorum intersection, so demanding b+1 witnesses for a stamp could
+// discard the latest completed write and re-issue its sequence number —
+// a lost update. The cost is that a single malicious server can inflate
+// the sequence component; that burns int64 headroom but never breaks
+// atomicity, since stamps only need to keep growing (DESIGN.md §10).
+func (w *Writer) queryStamp(opDeadline *time.Timer) (types.Stamp, error) {
+	w.qtsr++
+	if err := w.sendTo(w.allServers(), wire.Read{TSR: w.qtsr, Round: 1}); err != nil {
+		return types.Stamp0, err
+	}
+	if w.wackSeen == nil {
+		w.wackSeen = make([]bool, w.cfg.S())
+	} else {
+		clear(w.wackSeen)
+	}
+	got := 0
+	qmax := types.Stamp0
+	for got < w.cfg.Quorum() {
+		select {
+		case env, ok := <-w.ep.Recv():
+			if !ok {
+				return types.Stamp0, transport.ErrClosed
+			}
+			a, isAck := env.Msg.(wire.ReadAck)
+			if !isAck || !validServer(w.cfg, env.From) || a.TSR != w.qtsr || a.Round != 1 || wire.Validate(env.Msg) != nil {
+				continue
+			}
+			if i := env.From.Index(); !w.wackSeen[i] {
+				w.wackSeen[i] = true
+				got++
+				if s := a.PW.Stamp(); qmax.Less(s) {
+					qmax = s
+				}
+				if s := a.W.Stamp(); qmax.Less(s) {
+					qmax = s
+				}
+				if s := a.VW.Stamp(); qmax.Less(s) {
+					qmax = s
+				}
+			}
+		case <-opDeadline.C:
+			return types.Stamp0, fmt.Errorf("WRITE stamp query: %w", ErrOpTimeout)
+		}
+	}
+	return qmax, nil
+}
+
+// bind runs the PW and W phases of Fig. 1 at the already-chosen pair c.
+// The stamp is immutable from here on (see the Writer doc): contention
+// observed in the PW_ACKs is recorded in the meta, never acted on.
+func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, opDeadline *time.Timer) error {
+	// Pre-write phase (Fig. 1 lines 3–4): ship PW with the frozen set
+	// left over from the previous WRITE's freezevalues().
+	w.ts = c.TS
+	w.last = c.Stamp()
+	w.pw = c
+	pwMsg := wire.PW{TS: c.TS, PW: w.pw, W: w.w, Frozen: w.frozen}
 	if err := w.sendTo(w.pwTargets(f), pwMsg); err != nil {
 		return err
 	}
@@ -209,16 +336,24 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 	w.w = w.pw
 	w.freezeValues()
 
+	meta := WriteMeta{TS: c.TS, Writer: c.W, PWAcks: w.ackCount,
+		Queried: queried, Contended: w.sawContention(c)}
+	rounds := 1
+	if queried {
+		rounds = 2 // the stamp query is a round-trip too
+	}
+
 	// Fig. 1 line 8: fast path.
 	if w.ackCount >= w.cfg.FastWriteAcks() {
-		w.lastMeta = WriteMeta{TS: w.ts, Rounds: 1, Fast: true, PWAcks: w.ackCount}
-		w.stats.record(1)
+		meta.Rounds, meta.Fast = rounds, true
+		w.lastMeta = meta
+		w.stats.record(meta.Rounds, true)
 		return nil
 	}
 
 	// Write phase (Fig. 1 lines 9–11): two more rounds.
 	for round := 2; round <= 3; round++ {
-		msg := wire.W{Round: round, Tag: int64(w.ts), C: w.pw}
+		msg := wire.W{Round: round, Tag: int64(c.TS), C: w.pw}
 		if err := w.sendTo(w.wTargets(f, round), msg); err != nil {
 			return err
 		}
@@ -226,13 +361,28 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 			w.crashed = true
 			return ErrCrashed
 		}
-		if err := w.awaitWAcks(round, int64(w.ts), opDeadline); err != nil {
+		if err := w.awaitWAcks(round, int64(c.TS), opDeadline); err != nil {
 			return err
 		}
 	}
-	w.lastMeta = WriteMeta{TS: w.ts, Rounds: 3, Fast: false, PWAcks: w.ackCount}
-	w.stats.record(3)
+	meta.Rounds = rounds + 2
+	w.lastMeta = meta
+	w.stats.record(meta.Rounds, false)
 	return nil
+}
+
+// sawContention reports whether any counted PW_ACK's Max exceeds the
+// bound stamp: the server already held a higher stamp when it
+// acknowledged, direct evidence another writer raced this operation.
+// v1 peers leave Max zero, which can never exceed a bound stamp.
+func (w *Writer) sawContention(c types.Tagged) bool {
+	st := c.Stamp()
+	for i, seen := range w.ackSeen {
+		if seen && st.Less(w.acks[i].Max) {
+			return true
+		}
+	}
+	return false
 }
 
 // acceptPWAck records a structurally valid, correctly tagged PW_ACK

@@ -78,7 +78,7 @@ func E5UpperBound() (*Result, error) {
 			mc.Close()
 			return nil, err
 		}
-		writer := core.NewWriter(core.Config{T: t, B: b, Fw: 1, RoundTimeout: expRoundTimeout, OpTimeout: expOpTimeout}, wep)
+		writer := core.NewWriter(core.Config{T: t, B: b, Fw: 1, RoundTimeout: expRoundTimeout, OpTimeout: expOpTimeout}, types.WriterID(), wep)
 		if err := writer.Write(workload.Value(1, 0)); err != nil {
 			mc.Close()
 			return nil, err

@@ -4,7 +4,7 @@
 // cmd/luckybench runs them all; bench_test.go wraps each one as a Go
 // benchmark.
 //
-// The experiment index (ids E1–E12) is documented in DESIGN.md §3.
+// The experiment index (ids E1–E14) is documented in DESIGN.md §3.
 package experiments
 
 import (
@@ -65,6 +65,8 @@ var registry = map[string]Runner{
 	"E10": E10Ghost,
 	"E11": E11Baselines,
 	"E12": E12Latency,
+	"E13": E13MultiWriter,
+	"E14": E14MWReads,
 }
 
 // IDs returns the experiment ids in run order.

@@ -7,10 +7,10 @@ import (
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
-		t.Fatalf("got %d experiments, want 12: %v", len(ids), ids)
+	if len(ids) != 14 {
+		t.Fatalf("got %d experiments, want 14: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[1] != "E2" || ids[9] != "E10" || ids[11] != "E12" {
+	if ids[0] != "E1" || ids[1] != "E2" || ids[9] != "E10" || ids[13] != "E14" {
 		t.Errorf("ids not numerically ordered: %v", ids)
 	}
 }
@@ -59,3 +59,5 @@ func TestE9Regular(t *testing.T)      { runAndCheck(t, "E9") }
 func TestE10Ghost(t *testing.T)       { runAndCheck(t, "E10") }
 func TestE11Baselines(t *testing.T)   { runAndCheck(t, "E11") }
 func TestE12Latency(t *testing.T)     { runAndCheck(t, "E12") }
+func TestE13MultiWriter(t *testing.T) { runAndCheck(t, "E13") }
+func TestE14MWReads(t *testing.T)     { runAndCheck(t, "E14") }

@@ -218,7 +218,7 @@ func TestEndToEndTwoRegisters(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w := core.NewWriter(cfg, wsub)
+		w := core.NewWriter(cfg, types.WriterID(), wsub)
 		if err := w.Write(types.Value("value-of-" + key)); err != nil {
 			t.Fatalf("%s: %v", key, err)
 		}

@@ -173,7 +173,7 @@ func TestShardedConcurrentMultiKeyTraffic(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := core.NewWriter(cfg, sub)
+			w := core.NewWriter(cfg, types.WriterID(), sub)
 			for i := 1; i <= writesPerKey; i++ {
 				if err := w.Write(types.Value(fmt.Sprintf("v%d", i))); err != nil {
 					t.Errorf("write %s #%d: %v", key, i, err)
@@ -260,7 +260,7 @@ func TestEndToEndSharded(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := core.NewWriter(cfg, wsub).Write(types.Value("v-" + key)); err != nil {
+		if err := core.NewWriter(cfg, types.WriterID(), wsub).Write(types.Value("v-" + key)); err != nil {
 			t.Fatalf("write %s: %v", key, err)
 		}
 		rsub, err := rd.Open(key)

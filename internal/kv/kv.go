@@ -1,12 +1,16 @@
 // Package kv is the multi-register layer: a key-value store in which
-// every key is an independent SWMR atomic register of the lucky
-// protocol, multiplexed over one set of 2t+b+1 servers via
-// internal/keyed. Each key keeps the full per-register guarantees —
-// atomicity, wait-freedom, one-round lucky operations — and atomicity
-// composes across keys (linearizable objects are locally composable).
+// every key is an independent atomic register of the lucky protocol,
+// multiplexed over one set of 2t+b+1 servers via internal/keyed. Each
+// key keeps the full per-register guarantees — atomicity, wait-freedom,
+// one-round lucky operations — and atomicity composes across keys
+// (linearizable objects are locally composable).
 //
-// The SWMR constraint carries over per key: a single Store owns the
-// writer role for every key; readers are per-process handles.
+// By default each key is SWMR: one Store owns the writer role for every
+// key; readers are per-process handles. Multi-writer deployments open
+// contending stores with distinct writer identities (WithContenders +
+// OpenContender, or WithWriterID over TCP): every store may then Put
+// any key, with per-key atomicity across stores provided by the
+// composite 〈seq, writer〉 stamps and the writers' stamp-query round.
 //
 // The engine is sharded and pipelined: every server runs its per-key
 // automata across a pool of shard workers (node.ShardedRunner over
@@ -48,12 +52,16 @@ func DefaultShards() int {
 	return n
 }
 
-// Option configures Open.
+// Option configures Open (and, for the client-identity options,
+// OpenWithEndpoints).
 type Option func(*openOptions)
 
 type openOptions struct {
-	shards  int
-	simOpts []simnet.Option
+	shards     int
+	simOpts    []simnet.Option
+	contenders int
+	writerID   types.ProcID
+	readerBase int
 }
 
 // WithShards sets the number of shard workers each server runs its
@@ -67,6 +75,35 @@ func WithSimOptions(opts ...simnet.Option) Option {
 	return func(o *openOptions) { o.simOpts = append(o.simOpts, opts...) }
 }
 
+// WithContenders pre-registers n additional writer identities
+// ("w1" … "wn") plus their reader id blocks on the store's network, so
+// that up to n contending Stores can later be opened on the same
+// keyspace with OpenContender. The identities must exist at Open time
+// because the in-memory network's process set is fixed at construction.
+// If cfg.Writers is below 1+n it is raised to match, putting every
+// writer — the primary included — in multi-writer mode (stamp query
+// round per Put).
+func WithContenders(n int) Option {
+	return func(o *openOptions) { o.contenders = n }
+}
+
+// WithWriterID sets the writer identity the store binds stamps under
+// (default types.WriterID(), the canonical writer "w"). TCP contender
+// clients use this with OpenWithEndpoints after dialing under the same
+// identity.
+func WithWriterID(id types.ProcID) Option {
+	return func(o *openOptions) { o.writerID = id }
+}
+
+// WithReaderBase offsets the store's reader identities: local reader
+// idx speaks as types.ReaderID(base+idx). Contending stores need
+// disjoint reader ids — servers key the freezing machinery by reader
+// process id, so two clients sharing "r0" would corrupt each other's
+// slow reads.
+func WithReaderBase(base int) Option {
+	return func(o *openOptions) { o.readerBase = base }
+}
+
 // Store is a running multi-register deployment plus its clients.
 //
 // Handle lookup is lock-free on the hot path: the per-key writer and
@@ -77,12 +114,15 @@ func WithSimOptions(opts ...simnet.Option) Option {
 // an atomic flag checked there; operations racing Close are cut off by
 // their endpoints closing under them, which surfaces ErrClosed.
 type Store struct {
-	cfg     core.Config
-	shards  int
-	net     transport.Network
-	sim     *simnet.Network
-	runners []node.Process         // per-server pumps (sharded, or plain after a swap)
-	srvs    []*keyed.ShardedServer // per-server keyed state, retained for warm restarts
+	cfg        core.Config
+	shards     int
+	net        transport.Network
+	sim        *simnet.Network
+	contenders int          // contender identities pre-registered at Open
+	writerID   types.ProcID // identity this store's writers bind stamps under
+	readerBase int          // local reader idx speaks as ReaderID(readerBase+idx)
+	runners    []node.Process         // per-server pumps (sharded, or plain after a swap)
+	srvs       []*keyed.ShardedServer // per-server keyed state, retained for warm restarts
 
 	writerDemux  *keyed.Demux
 	readerDemuxs []*keyed.Demux
@@ -122,18 +162,26 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 	if o.shards < 1 {
 		o.shards = DefaultShards()
 	}
-	ids := append(types.ServerIDs(cfg.S()), types.WriterID())
-	ids = append(ids, types.ReaderIDs(cfg.NumReaders)...)
+	if o.contenders < 0 {
+		return nil, fmt.Errorf("kv: contenders = %d must be non-negative", o.contenders)
+	}
+	if o.contenders > 0 && cfg.Writers < o.contenders+1 {
+		cfg.Writers = o.contenders + 1 // every writer must run the MW query round
+	}
+	ids := append(types.ServerIDs(cfg.S()), types.WriterIDs(o.contenders+1)...)
+	ids = append(ids, types.ReaderIDs((o.contenders+1)*cfg.NumReaders)...)
 	sim, err := simnet.New(ids, o.simOpts...)
 	if err != nil {
 		return nil, err
 	}
 	st := &Store{
-		cfg:     cfg,
-		shards:  o.shards,
-		net:     sim,
-		sim:     sim,
-		readers: make([]sync.Map, cfg.NumReaders),
+		cfg:        cfg,
+		shards:     o.shards,
+		net:        sim,
+		sim:        sim,
+		contenders: o.contenders,
+		writerID:   types.WriterID(),
+		readers:    make([]sync.Map, cfg.NumReaders),
 	}
 	for i := 0; i < cfg.S(); i++ {
 		ep, err := sim.Endpoint(types.ServerID(i))
@@ -191,12 +239,32 @@ func NewShardedServerAutomaton(n int) *keyed.ShardedServer {
 // ownership of the endpoints and closes them on Close; the servers are
 // managed externally. Outbound traffic on every endpoint is coalesced
 // into wire.Batch frames under concurrent multi-key load.
-func OpenWithEndpoints(cfg core.Config, writerEP transport.Endpoint, readerEPs []transport.Endpoint) (*Store, error) {
+//
+// A contending client gives its store a distinct identity with
+// WithWriterID and WithReaderBase — the endpoints must have been dialed
+// under the matching process ids, and cfg.Writers must cover every
+// contender so Puts run the multi-writer stamp query.
+func OpenWithEndpoints(cfg core.Config, writerEP transport.Endpoint, readerEPs []transport.Endpoint, opts ...Option) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.writerID == "" {
+		o.writerID = types.WriterID()
+	}
+	if !o.writerID.IsWriter() {
+		return nil, fmt.Errorf("kv: %q is not a writer id", o.writerID)
+	}
+	if o.readerBase < 0 {
+		return nil, fmt.Errorf("kv: reader base = %d must be non-negative", o.readerBase)
+	}
 	st := &Store{
 		cfg:         cfg,
+		writerID:    o.writerID,
+		readerBase:  o.readerBase,
 		writerDemux: keyed.NewDemux(transport.NewCoalescer(writerEP)),
 		readers:     make([]sync.Map, len(readerEPs)),
 	}
@@ -204,6 +272,36 @@ func OpenWithEndpoints(cfg core.Config, writerEP transport.Endpoint, readerEPs [
 		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(transport.NewCoalescer(rep)))
 	}
 	return st, nil
+}
+
+// OpenContender opens the k-th contending store (1 ≤ k ≤ the count
+// given to WithContenders) on this store's network: a client-only
+// Store whose writers bind stamps as "wk" and whose readers occupy the
+// k-th reader id block. Both stores Put and Get the same keys — the
+// same registers — concurrently; per-key atomicity across them is the
+// multi-writer protocol's job. The contender owns its endpoints and
+// must be Closed independently; it cannot crash or restart servers.
+func (s *Store) OpenContender(k int) (*Store, error) {
+	if s.sim == nil {
+		return nil, fmt.Errorf("kv: contenders need the store that owns the network (Open)")
+	}
+	if k < 1 || k > s.contenders {
+		return nil, fmt.Errorf("kv: contender %d out of range [1,%d] (pass WithContenders to Open)", k, s.contenders)
+	}
+	wep, err := s.sim.Endpoint(types.WriterIDN(k))
+	if err != nil {
+		return nil, fmt.Errorf("kv contender %d: %w", k, err)
+	}
+	readerEPs := make([]transport.Endpoint, s.cfg.NumReaders)
+	for j := range readerEPs {
+		rep, err := s.sim.Endpoint(types.ReaderID(k*s.cfg.NumReaders + j))
+		if err != nil {
+			return nil, fmt.Errorf("kv contender %d reader %d: %w", k, j, err)
+		}
+		readerEPs[j] = rep
+	}
+	return OpenWithEndpoints(s.cfg, wep, readerEPs,
+		WithWriterID(types.WriterIDN(k)), WithReaderBase(k*s.cfg.NumReaders))
 }
 
 // Config returns the store's configuration.
@@ -544,7 +642,7 @@ func (s *Store) writerFor(key string) (*writerHandle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kv writer for %q: %w", key, err)
 	}
-	h := &writerHandle{w: core.NewWriter(s.cfg, ep)}
+	h := &writerHandle{w: core.NewWriter(s.cfg, s.writerID, ep)}
 	s.writers.Store(key, h)
 	return h, nil
 }
@@ -570,7 +668,7 @@ func (s *Store) readerFor(idx int, key string) (*readerHandle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kv reader %d for %q: %w", idx, key, err)
 	}
-	h := &readerHandle{r: core.NewReader(s.cfg, types.ReaderID(idx), ep)}
+	h := &readerHandle{r: core.NewReader(s.cfg, types.ReaderID(s.readerBase+idx), ep)}
 	s.readers[idx].Store(key, h)
 	return h, nil
 }

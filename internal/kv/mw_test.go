@@ -1,0 +1,152 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/core"
+	"luckystore/internal/types"
+)
+
+func mwKVConfig() core.Config {
+	return core.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 10 * time.Millisecond}
+}
+
+// Two stores with distinct writer identities Put the same key
+// concurrently: every write binds a distinct stamp, and a Get through
+// either store returns the value bound at the highest stamp.
+func TestContendingStoresSameKey(t *testing.T) {
+	st, err := Open(mwKVConfig(), WithContenders(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Config().Writers; got != 2 {
+		t.Fatalf("WithContenders(1) left Writers = %d, want 2", got)
+	}
+	ct, err := st.OpenContender(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	const key, perStore = "hot", 8
+	stores := []*Store{st, ct}
+	stamps := make([][]types.Stamp, len(stores))
+	var wg sync.WaitGroup
+	for i, s := range stores {
+		wg.Add(1)
+		go func(i int, s *Store) {
+			defer wg.Done()
+			for k := 0; k < perStore; k++ {
+				if err := s.Put(key, types.Value(fmt.Sprintf("s%d-%d", i, k))); err != nil {
+					t.Errorf("store %d put %d: %v", i, k, err)
+					return
+				}
+				m, err := s.PutMeta(key)
+				if err != nil {
+					t.Errorf("store %d meta %d: %v", i, k, err)
+					return
+				}
+				stamps[i] = append(stamps[i], m.Stamp())
+			}
+		}(i, s)
+	}
+	wg.Wait()
+
+	written := make(map[types.Stamp]types.Value)
+	var maxSt types.Stamp
+	for i, ss := range stamps {
+		for k, s := range ss {
+			if s.Writer != types.WID(i) {
+				t.Errorf("store %d bound writer component %d", i, s.Writer)
+			}
+			if _, dup := written[s]; dup {
+				t.Fatalf("stamp %v bound by two stores", s)
+			}
+			written[s] = types.Value(fmt.Sprintf("s%d-%d", i, k))
+			if maxSt.Less(s) {
+				maxSt = s
+			}
+		}
+	}
+
+	for i, s := range stores {
+		got, err := s.Get(0, key)
+		if err != nil {
+			t.Fatalf("store %d get: %v", i, err)
+		}
+		if got.Stamp() != maxSt || got.Val != written[maxSt] {
+			t.Errorf("store %d read %+v, want stamp %v value %q", i, got, maxSt, written[maxSt])
+		}
+	}
+}
+
+// Contending stores keep non-contended keys independent: each store's
+// writes to its own key are unaffected by the other store's identity.
+func TestContendersDisjointKeys(t *testing.T) {
+	st, err := Open(mwKVConfig(), WithContenders(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	stores := []*Store{st}
+	for k := 1; k <= 2; k++ {
+		ct, err := st.OpenContender(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ct.Close()
+		stores = append(stores, ct)
+	}
+	for i, s := range stores {
+		key := fmt.Sprintf("own-%d", i)
+		if err := s.Put(key, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+		m, err := s.PutMeta(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Queried {
+			t.Errorf("store %d skipped the MW query round", i)
+		}
+		if m.Stamp() != (types.Stamp{Seq: 1, Writer: types.WID(i)}) {
+			t.Errorf("store %d stamp = %v", i, m.Stamp())
+		}
+		got, err := s.Get(0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Val != types.Value(fmt.Sprintf("v%d", i)) {
+			t.Errorf("store %d read %+v", i, got)
+		}
+	}
+}
+
+// OpenContender is guarded: out-of-range indices and stores that do not
+// own a network are refused.
+func TestOpenContenderValidation(t *testing.T) {
+	st, err := Open(mwKVConfig(), WithContenders(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, k := range []int{0, -1, 2} {
+		if _, err := st.OpenContender(k); err == nil {
+			t.Errorf("OpenContender(%d) accepted", k)
+		}
+	}
+	ct, err := st.OpenContender(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	if _, err := ct.OpenContender(1); err == nil {
+		t.Error("contender of a contender accepted")
+	}
+}

@@ -50,7 +50,7 @@ func tcpAllocCluster(t *testing.T, cfg core.Config, id types.ProcID) *Client {
 func TestPutSteadyStateAllocsTCP(t *testing.T) {
 	cfg := core.Config{T: 1, B: 0, Fw: 0, NumReaders: 1}
 	c := tcpAllocCluster(t, cfg, types.WriterID())
-	w := core.NewWriter(cfg, c)
+	w := core.NewWriter(cfg, types.WriterID(), c)
 	for i := 0; i < 64; i++ {
 		if err := w.Write("warm"); err != nil {
 			t.Fatal(err)
@@ -72,7 +72,7 @@ func TestPutSteadyStateAllocsTCP(t *testing.T) {
 func TestGetSteadyStateAllocsTCP(t *testing.T) {
 	cfg := core.Config{T: 1, B: 0, Fw: 0, NumReaders: 1}
 	wc := tcpAllocCluster(t, cfg, types.WriterID())
-	w := core.NewWriter(cfg, wc)
+	w := core.NewWriter(cfg, types.WriterID(), wc)
 	if err := w.Write("s"); err != nil {
 		t.Fatal(err)
 	}

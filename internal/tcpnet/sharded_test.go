@@ -296,7 +296,7 @@ func TestShardedEndToEndProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	writer := core.NewWriter(cfg, wep)
+	writer := core.NewWriter(cfg, types.WriterID(), wep)
 	if err := writer.Write("sharded-tcp"); err != nil {
 		t.Fatal(err)
 	}

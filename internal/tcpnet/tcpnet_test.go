@@ -54,7 +54,7 @@ func TestWriteReadOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer wc.Close()
-	writer := core.NewWriter(cfg, wc)
+	writer := core.NewWriter(cfg, types.WriterID(), wc)
 	if err := writer.Write("over-tcp"); err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestCrashToleranceOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer wc.Close()
-	writer := core.NewWriter(cfg, wc)
+	writer := core.NewWriter(cfg, types.WriterID(), wc)
 	if err := writer.Write("v1"); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestServerSurvivesGarbageConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer wc.Close()
-	writer := core.NewWriter(cfg, wc)
+	writer := core.NewWriter(cfg, types.WriterID(), wc)
 	if err := writer.Write("still-alive"); err != nil {
 		t.Fatalf("server dead after garbage connection: %v", err)
 	}

@@ -211,7 +211,7 @@ func (s *Server) frozenTSR(rj types.ProcID) types.ReaderTS {
 }
 
 func update(local *types.Tagged, c types.Tagged) {
-	if c.TS > local.TS {
+	if local.Less(c) {
 		*local = c
 	}
 }

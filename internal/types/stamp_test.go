@@ -1,0 +1,160 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestStampLessTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Stamp
+		want bool
+	}{
+		{"zero vs seq1", Stamp0, Stamp{Seq: 1}, true},
+		{"seq1 vs zero", Stamp{Seq: 1}, Stamp0, false},
+		{"seq orders first", Stamp{Seq: 2, Writer: 9}, Stamp{Seq: 3, Writer: 0}, true},
+		{"tie-break on writer", Stamp{Seq: 5, Writer: 1}, Stamp{Seq: 5, Writer: 2}, true},
+		{"tie-break reversed", Stamp{Seq: 5, Writer: 2}, Stamp{Seq: 5, Writer: 1}, false},
+		{"equal stamps", Stamp{Seq: 5, Writer: 2}, Stamp{Seq: 5, Writer: 2}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Less(tc.b); got != tc.want {
+				t.Errorf("(%v).Less(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// randStamp draws stamps from a deliberately small domain so that the
+// quick-check properties exercise equal-seq and equal-stamp collisions,
+// not just the generic int64 case.
+func randStamp(rng *rand.Rand) Stamp {
+	return Stamp{Seq: TS(rng.Intn(4)), Writer: WID(rng.Intn(3))}
+}
+
+// Stamp.Less must be a strict total order and Equal its equivalence:
+// irreflexive, antisymmetric, transitive, total (trichotomy), with ties
+// on Seq broken by Writer.
+func TestStampTotalOrderQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{
+		MaxCount: 4000,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randStamp(rng))
+			}
+		},
+	}
+
+	irreflexive := func(a Stamp) bool { return !a.Less(a) && a.Equal(a) }
+	if err := quick.Check(irreflexive, cfg); err != nil {
+		t.Errorf("Less not irreflexive / Equal not reflexive: %v", err)
+	}
+
+	antisymmetric := func(a, b Stamp) bool { return !(a.Less(b) && b.Less(a)) }
+	if err := quick.Check(antisymmetric, cfg); err != nil {
+		t.Errorf("Less not antisymmetric: %v", err)
+	}
+
+	transitive := func(a, b, c Stamp) bool {
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, cfg); err != nil {
+		t.Errorf("Less not transitive: %v", err)
+	}
+
+	// Trichotomy: exactly one of a<b, b<a, a==b holds.
+	total := func(a, b Stamp) bool {
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a.Equal(b) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(total, cfg); err != nil {
+		t.Errorf("order not total: %v", err)
+	}
+
+	// The tie-break: equal Seq orders by Writer, and Compare agrees
+	// with Less in both directions.
+	tieBreak := func(a, b Stamp) bool {
+		if a.Seq == b.Seq && (a.Less(b) != (a.Writer < b.Writer)) {
+			return false
+		}
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b)
+		case 1:
+			return b.Less(a)
+		default:
+			return a.Equal(b)
+		}
+	}
+	if err := quick.Check(tieBreak, cfg); err != nil {
+		t.Errorf("tie-break/Compare inconsistent: %v", err)
+	}
+}
+
+func TestTaggedStampOrder(t *testing.T) {
+	// Same seq, different writers: writer id breaks the tie, and
+	// OlderThan treats same-stamp different-value as forgery evidence.
+	a := Tagged{TS: 3, W: 1, Val: "a"}
+	b := Tagged{TS: 3, W: 2, Val: "b"}
+	if !a.Less(b) || b.Less(a) {
+		t.Errorf("tie-break failed: a.Less(b)=%v b.Less(a)=%v", a.Less(b), b.Less(a))
+	}
+	forged := Tagged{TS: 3, W: 1, Val: "x"}
+	if !a.OlderThan(forged) {
+		t.Error("same-stamp different-value must be OlderThan (forgery)")
+	}
+	if got := MaxTagged([]Tagged{a, b, {TS: 2, W: 9, Val: "c"}}); got != b {
+		t.Errorf("MaxTagged = %v, want %v", got, b)
+	}
+}
+
+func TestWriterIDN(t *testing.T) {
+	tests := []struct {
+		id    ProcID
+		role  Role
+		index int
+	}{
+		{"w", RoleWriter, 0},
+		{"w1", RoleWriter, 1},
+		{"w42", RoleWriter, 42},
+		{"w0", 0, -1},  // writer 0's canonical id is "w"
+		{"w01", 0, -1}, // no leading zeros
+		{"wx", 0, -1},
+		{"r1", RoleReader, -1},
+		{"s0", RoleServer, -1},
+	}
+	for _, tc := range tests {
+		if got := tc.id.Role(); got != tc.role {
+			t.Errorf("ProcID(%q).Role() = %v, want %v", tc.id, got, tc.role)
+		}
+		if got := tc.id.WriterIndex(); got != tc.index {
+			t.Errorf("ProcID(%q).WriterIndex() = %d, want %d", tc.id, got, tc.index)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		id := WriterIDN(i)
+		if !id.IsWriter() || id.WriterIndex() != i {
+			t.Errorf("WriterIDN(%d) = %q: IsWriter=%v WriterIndex=%d", i, id, id.IsWriter(), id.WriterIndex())
+		}
+	}
+	if got := WriterIDs(3); len(got) != 3 || got[0] != "w" || got[1] != "w1" || got[2] != "w2" {
+		t.Errorf("WriterIDs(3) = %v", got)
+	}
+}

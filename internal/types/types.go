@@ -1,12 +1,19 @@
 // Package types defines the basic data model shared by every protocol in
 // this repository: logical timestamps, timestamp–value pairs ("tagged
 // values"), frozen entries used by the freezing mechanism, and process
-// identifiers for servers, readers and the single writer.
+// identifiers for servers, readers and writers.
 //
 // The model follows Section 2 of Guerraoui, Levy and Vukolić, "Lucky
 // Read/Write Access to Robust Atomic Storage" (DSN 2006): the storage
 // holds timestamp–value pairs; timestamp 0 together with the empty value
 // denotes the initial value ⊥, which is not a valid input for a WRITE.
+//
+// For multi-writer registers (MWMR) the scalar timestamp generalizes to
+// the composite Stamp 〈seq, writer〉, totally ordered by sequence number
+// with ties broken on writer id — the standard MWMR construction (see
+// the fine-grained-analysis and space-bounds papers in PAPERS.md). A
+// single-writer deployment is the special case writer = 0 throughout,
+// which is why Tagged keeps its TS field and gains a zero-default W.
 package types
 
 import (
@@ -16,45 +23,106 @@ import (
 	"strings"
 )
 
-// TS is a logical timestamp assigned by the single writer. The initial
-// timestamp ts0 is 0; the writer assigns timestamps 1, 2, 3, … in
-// invocation order, so in the SWMR setting the timestamp of a value
-// equals the index k of the WRITE wr_k that wrote it.
+// TS is a logical timestamp sequence number. The initial timestamp ts0
+// is 0; a writer assigns sequence numbers 1, 2, 3, … in invocation
+// order, so in the SWMR setting the timestamp of a value equals the
+// index k of the WRITE wr_k that wrote it. In the MWMR setting TS is
+// the Seq component of a Stamp.
 type TS int64
 
 // TS0 is the initial timestamp ts0 associated with the initial value ⊥.
 const TS0 TS = 0
+
+// WID is a writer identifier, the tie-breaking component of a Stamp.
+// Writer 0 is the canonical single writer ("w"); writers 1..N-1 are the
+// additional writers of a multi-writer deployment ("w1".."wN").
+type WID int32
+
+// Stamp is the totally-ordered composite timestamp 〈seq, writer〉 of the
+// multi-writer register: stamps compare by sequence number first, with
+// ties broken on writer id. Two distinct correct writers can pick the
+// same sequence number concurrently, but never the same full stamp, so
+// the order is total over all stamps any execution produces.
+type Stamp struct {
+	Seq    TS
+	Writer WID
+}
+
+// Stamp0 is the initial stamp 〈ts0, 0〉 associated with ⊥.
+var Stamp0 = Stamp{}
+
+// Less reports whether s is strictly smaller than t in the total order.
+func (s Stamp) Less(t Stamp) bool {
+	if s.Seq != t.Seq {
+		return s.Seq < t.Seq
+	}
+	return s.Writer < t.Writer
+}
+
+// Equal reports whether s and t are the same stamp.
+func (s Stamp) Equal(t Stamp) bool { return s == t }
+
+// Compare returns -1, 0 or +1 as s is smaller than, equal to or greater
+// than t.
+func (s Stamp) Compare(t Stamp) int {
+	switch {
+	case s.Less(t):
+		return -1
+	case t.Less(s):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether s is the initial stamp 〈0, 0〉.
+func (s Stamp) IsZero() bool { return s == Stamp0 }
+
+// String renders the stamp for logs: "5" for writer 0 (the SWMR case
+// reads like a scalar timestamp), "5.2" for writer 2.
+func (s Stamp) String() string {
+	if s.Writer == 0 {
+		return strconv.FormatInt(int64(s.Seq), 10)
+	}
+	return strconv.FormatInt(int64(s.Seq), 10) + "." + strconv.FormatInt(int64(s.Writer), 10)
+}
 
 // Value is the application payload stored in the register. It is a
 // string rather than a byte slice so that tagged values are comparable
 // and usable as map keys; arbitrary binary data can still be stored.
 type Value string
 
-// Tagged is a timestamp–value pair 〈ts, val〉, the unit of storage in the
-// protocol: servers keep tagged values in their pw, w and vw fields and
-// readers select among tagged values reported by servers.
+// Tagged is a stamp–value pair 〈〈ts, w〉, val〉, the unit of storage in
+// the protocol: servers keep tagged values in their pw, w and vw fields
+// and readers select among tagged values reported by servers. The zero
+// W is writer 0, so single-writer code that only sets TS is unchanged.
 type Tagged struct {
 	TS  TS
+	W   WID
 	Val Value
 }
 
 // Bottom returns the initial pair 〈ts0, ⊥〉.
 func Bottom() Tagged { return Tagged{TS: TS0, Val: ""} }
 
-// IsBottom reports whether c is the initial pair 〈ts0, ⊥〉.
+// IsBottom reports whether c carries the initial timestamp ts0 (the
+// writer component is irrelevant at sequence 0: no WRITE binds it).
 func (c Tagged) IsBottom() bool { return c.TS == TS0 }
 
-// Less reports whether c is strictly older than d, comparing timestamps
-// only (values never participate in the order; the writer never assigns
-// two values to one timestamp, see Lemma 2 "No ambiguity").
-func (c Tagged) Less(d Tagged) bool { return c.TS < d.TS }
+// Stamp returns the composite timestamp of the pair.
+func (c Tagged) Stamp() Stamp { return Stamp{Seq: c.TS, Writer: c.W} }
+
+// Less reports whether c is strictly older than d, comparing stamps
+// only (values never participate in the order; no correct writer
+// assigns two values to one stamp, see Lemma 2 "No ambiguity").
+func (c Tagged) Less(d Tagged) bool { return c.Stamp().Less(d.Stamp()) }
 
 // OlderThan reports whether c is "older" than d in the sense used by the
 // invalid_w and invalid_pw predicates (Fig. 2 lines 8–9): either c has a
-// strictly smaller timestamp, or it has the same timestamp but a
-// different value (which only a malicious process can produce).
+// strictly smaller stamp, or it has the same stamp but a different
+// value (which only a malicious process can produce).
 func (c Tagged) OlderThan(d Tagged) bool {
-	return c.TS < d.TS || (c.TS == d.TS && c.Val != d.Val)
+	return c.Less(d) || (c.Stamp() == d.Stamp() && c.Val != d.Val)
 }
 
 // String renders the pair for logs and test failure messages.
@@ -66,12 +134,12 @@ func (c Tagged) String() string {
 	if len(v) > 16 {
 		v = v[:13] + "..."
 	}
-	return fmt.Sprintf("〈%d,%q〉", c.TS, v)
+	return fmt.Sprintf("〈%s,%q〉", c.Stamp(), v)
 }
 
-// MaxTagged returns the pair with the highest timestamp among cs; ties
-// are broken arbitrarily (they cannot occur between values written by a
-// correct writer). It returns Bottom() for an empty slice.
+// MaxTagged returns the pair with the highest stamp among cs; ties are
+// broken arbitrarily (they cannot occur between values written by
+// correct writers). It returns Bottom() for an empty slice.
 func MaxTagged(cs []Tagged) Tagged {
 	best := Bottom()
 	for _, c := range cs {
@@ -159,15 +227,26 @@ func (r Role) String() string {
 }
 
 // ProcID identifies a process. It is a small string ("s0".."sN" for
-// servers, "w" for the writer, "r0".."rN" for readers) so it can be used
-// as a map key and serialized on the wire without extra machinery.
+// servers, "w"/"w1".."wN" for writers, "r0".."rN" for readers) so it can
+// be used as a map key and serialized on the wire without extra
+// machinery. Writer 0 keeps the bare id "w" — the canonical SWMR writer
+// — and "w0" is rejected so every process has exactly one id.
 type ProcID string
 
 // ServerID returns the ProcID of the i-th server.
 func ServerID(i int) ProcID { return ProcID("s" + strconv.Itoa(i)) }
 
-// WriterID returns the ProcID of the single writer.
+// WriterID returns the ProcID of writer 0, the canonical single writer.
 func WriterID() ProcID { return "w" }
+
+// WriterIDN returns the ProcID of the i-th writer: "w" for writer 0,
+// "w1".."wN" for the additional writers of a multi-writer deployment.
+func WriterIDN(i int) ProcID {
+	if i == 0 {
+		return "w"
+	}
+	return ProcID("w" + strconv.Itoa(i))
+}
 
 // ReaderID returns the ProcID of the i-th reader.
 func ReaderID(i int) ProcID { return ProcID("r" + strconv.Itoa(i)) }
@@ -183,7 +262,9 @@ func (p ProcID) Role() Role {
 			return RoleServer
 		}
 	case 'w':
-		if p == "w" {
+		// "w" is writer 0; "w1".."wN" are the other writers. "w0" is
+		// rejected: writer 0's one canonical id is the bare "w".
+		if p == "w" || (p.validIndex() && p[1] != '0') {
 			return RoleWriter
 		}
 	case 'r':
@@ -192,6 +273,18 @@ func (p ProcID) Role() Role {
 		}
 	}
 	return 0
+}
+
+// WriterIndex returns the writer index encoded in a writer id ("w" → 0,
+// "wN" → N), or -1 for non-writer and malformed ids.
+func (p ProcID) WriterIndex() int {
+	if !p.IsWriter() {
+		return -1
+	}
+	if p == "w" {
+		return 0
+	}
+	return p.Index()
 }
 
 // Index returns the numeric suffix of a server or reader id, or -1 for
@@ -241,6 +334,15 @@ func ServerIDs(n int) []ProcID {
 	ids := make([]ProcID, n)
 	for i := range ids {
 		ids[i] = ServerID(i)
+	}
+	return ids
+}
+
+// WriterIDs returns the ids of writers 0..n-1 ("w", "w1", .., "w(n-1)").
+func WriterIDs(n int) []ProcID {
+	ids := make([]ProcID, n)
+	for i := range ids {
+		ids[i] = WriterIDN(i)
 	}
 	return ids
 }

@@ -32,10 +32,20 @@ import (
 	"luckystore/internal/types"
 )
 
-// FormatVersion is the wire format version byte carried by every frame.
-// A decoder rejects frames with any other version, so the format can
-// evolve without silent misinterpretation.
-const FormatVersion = 1
+// FormatVersion is the wire format version byte carried by every frame
+// this codec emits. Version 2 added the writer component of the
+// composite stamp: every tagged value carries a writer varint after its
+// timestamp, and PW_ACK carries the server's max stamp. Decoders accept
+// both v2 and v1 frames (a v1 tagged value decodes with writer 0, the
+// exact meaning it had when single-writer was the only mode), so mixed
+// fleets can roll forward; anything else is rejected before the body is
+// interpreted, so the format can evolve without silent
+// misinterpretation.
+const FormatVersion = 2
+
+// FormatVersionV1 is the pre-MWMR wire format: identical layout minus
+// the writer varint in tagged values and the max stamp in PW_ACK.
+const FormatVersionV1 = 1
 
 // maxWireIDLen bounds the From/To identity strings in a decoded
 // envelope. Valid ProcIDs are a handful of bytes; anything longer is
@@ -62,6 +72,8 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	case PWAck:
 		buf = append(buf, byte(KindPWAck))
 		buf = binary.AppendVarint(buf, int64(v.TS))
+		buf = binary.AppendVarint(buf, int64(v.Max.Seq))
+		buf = binary.AppendVarint(buf, int64(v.Max.Writer))
 		buf = binary.AppendUvarint(buf, uint64(len(v.NewRead)))
 		for _, rs := range v.NewRead {
 			buf = appendString(buf, string(rs.Reader))
@@ -191,6 +203,7 @@ func appendString(buf []byte, s string) []byte {
 
 func appendTagged(buf []byte, c types.Tagged) []byte {
 	buf = binary.AppendVarint(buf, int64(c.TS))
+	buf = binary.AppendVarint(buf, int64(c.W))
 	return appendString(buf, string(c.Val))
 }
 
@@ -349,13 +362,14 @@ func WriteCoalesced(w io.Writer, from, to types.ProcID, msgs []Message) error {
 
 // --- Bounds-checked decoders ----------------------------------------
 
-// DecodeMessage decodes one message from the front of b and returns the
-// remaining bytes. A Batch message extends to the end of b (its frame),
-// so it always returns an empty remainder. Every decode failure wraps
-// ErrMalformed; the decoder never panics and never allocates more than
-// the input could justify, whatever the bytes claim.
+// DecodeMessage decodes one current-format message from the front of b
+// and returns the remaining bytes. A Batch message extends to the end
+// of b (its frame), so it always returns an empty remainder. Every
+// decode failure wraps ErrMalformed; the decoder never panics and never
+// allocates more than the input could justify, whatever the bytes
+// claim.
 func DecodeMessage(b []byte) (Message, []byte, error) {
-	d := decoder{b: b}
+	d := decoder{b: b, ver: FormatVersion}
 	m := d.message(0)
 	if d.err != nil {
 		return nil, nil, d.err
@@ -363,10 +377,20 @@ func DecodeMessage(b []byte) (Message, []byte, error) {
 	return m, d.b, nil
 }
 
-// DecodeEnvelope decodes a complete envelope (from, to, message) from
-// b, requiring that every byte is consumed.
+// DecodeEnvelope decodes a complete current-format envelope (from, to,
+// message) from b, requiring that every byte is consumed.
 func DecodeEnvelope(b []byte) (Envelope, error) {
-	d := decoder{b: b}
+	return DecodeEnvelopeVersion(FormatVersion, b)
+}
+
+// DecodeEnvelopeVersion decodes an envelope encoded in the given wire
+// format version — the version byte of the frame the body arrived in.
+// Versions 1 and 2 are supported.
+func DecodeEnvelopeVersion(ver byte, b []byte) (Envelope, error) {
+	if ver != FormatVersion && ver != FormatVersionV1 {
+		return Envelope{}, fmt.Errorf("%w: unsupported wire format version %d", ErrMalformed, ver)
+	}
+	d := decoder{b: b, ver: ver}
 	var env Envelope
 	env.From = d.procID()
 	env.To = d.procID()
@@ -382,9 +406,11 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 
 // decoder is a sticky-error cursor over one frame body. All methods are
 // no-ops once err is set, so decode sequences read linearly without
-// per-field error plumbing.
+// per-field error plumbing. ver is the frame's format version: v1
+// bodies lack the writer component, which decodes as writer 0.
 type decoder struct {
 	b   []byte
+	ver byte
 	err error
 }
 
@@ -480,8 +506,12 @@ func (d *decoder) procID() types.ProcID {
 
 func (d *decoder) tagged() types.Tagged {
 	ts := d.varint()
+	var w int64
+	if d.ver >= 2 {
+		w = d.varint()
+	}
 	val := d.str(maxFrameSize)
-	return types.Tagged{TS: types.TS(ts), Val: types.Value(val)}
+	return types.Tagged{TS: types.TS(ts), W: types.WID(w), Val: types.Value(val)}
 }
 
 func (d *decoder) frozenSet() []types.FrozenEntry {
@@ -531,6 +561,10 @@ func (d *decoder) message(depth int) Message {
 	case KindPWAck:
 		var m PWAck
 		m.TS = types.TS(d.varint())
+		if d.ver >= 2 {
+			m.Max.Seq = types.TS(d.varint())
+			m.Max.Writer = types.WID(d.varint())
+		}
 		cnt := d.uvarint()
 		if d.err == nil && cnt > maxFrozenEntries {
 			d.fail("newread set too large (%d)", cnt)
@@ -636,9 +670,12 @@ func (d *decoder) message(depth int) Message {
 // work — the table is a fast path, not a limit.
 var procIDIntern = func() map[string]types.ProcID {
 	const interned = 128
-	t := make(map[string]types.ProcID, 2*interned+1)
-	w := types.WriterID()
-	t[string(w)] = w
+	const internedWriters = 16
+	t := make(map[string]types.ProcID, 2*interned+internedWriters)
+	for i := 0; i < internedWriters; i++ {
+		w := types.WriterIDN(i)
+		t[string(w)] = w
+	}
 	for i := 0; i < interned; i++ {
 		s, r := types.ServerID(i), types.ReaderID(i)
 		t[string(s)] = s

@@ -140,15 +140,16 @@ func DecodeFrame(r io.Reader) (Envelope, error) {
 		}
 		// The version byte arrives with the first chunk; checking it
 		// here rejects an unsupported-version frame before its (up to
-		// 16 MiB) body is transferred and buffered.
-		if start == 0 && buf[0] != FormatVersion {
+		// 16 MiB) body is transferred and buffered. v1 frames (pre-MWMR
+		// peers) still decode.
+		if start == 0 && buf[0] != FormatVersion && buf[0] != FormatVersionV1 {
 			v := buf[0]
 			*bp = buf
 			putFrameBuf(bp)
-			return Envelope{}, fmt.Errorf("%w: unsupported wire format version %d (want %d)", ErrMalformed, v, FormatVersion)
+			return Envelope{}, fmt.Errorf("%w: unsupported wire format version %d (want %d or %d)", ErrMalformed, v, FormatVersionV1, FormatVersion)
 		}
 	}
-	env, err := DecodeEnvelope(buf[1:])
+	env, err := DecodeEnvelopeVersion(buf[0], buf[1:])
 	*bp = buf
 	putFrameBuf(bp)
 	if err != nil {

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"luckystore/internal/types"
+)
+
+// This file pins the v1 → v2 wire compatibility contract: frames
+// emitted by a pre-MWMR (format v1) peer must decode on a current
+// decoder, with every tagged value landing as writer 0 and PW_ACK.Max
+// as the zero stamp — exactly the meaning those frames had when they
+// were written.
+
+// appendTaggedV1 encodes a tagged value in the v1 layout: timestamp
+// varint + value string, no writer component.
+func appendTaggedV1(buf []byte, c types.Tagged) []byte {
+	buf = binary.AppendVarint(buf, int64(c.TS))
+	return appendString(buf, string(c.Val))
+}
+
+// appendMessageV1 encodes the message kinds a v1 peer could send that
+// carry tagged values (the kinds whose layout changed in v2), plus
+// Read as a fixed-layout control.
+func appendMessageV1(buf []byte, m Message) []byte {
+	switch v := m.(type) {
+	case PW:
+		buf = append(buf, byte(KindPW))
+		buf = binary.AppendVarint(buf, int64(v.TS))
+		buf = appendTaggedV1(buf, v.PW)
+		buf = appendTaggedV1(buf, v.W)
+		buf = binary.AppendUvarint(buf, uint64(len(v.Frozen)))
+		for _, f := range v.Frozen {
+			buf = appendString(buf, string(f.Reader))
+			buf = appendTaggedV1(buf, f.PW)
+			buf = binary.AppendVarint(buf, int64(f.TSR))
+		}
+		return buf
+	case PWAck:
+		buf = append(buf, byte(KindPWAck))
+		buf = binary.AppendVarint(buf, int64(v.TS))
+		buf = binary.AppendUvarint(buf, uint64(len(v.NewRead)))
+		for _, rs := range v.NewRead {
+			buf = appendString(buf, string(rs.Reader))
+			buf = binary.AppendVarint(buf, int64(rs.TSR))
+		}
+		return buf
+	case W:
+		buf = append(buf, byte(KindW))
+		buf = binary.AppendVarint(buf, int64(v.Round))
+		buf = binary.AppendVarint(buf, v.Tag)
+		buf = appendTaggedV1(buf, v.C)
+		return binary.AppendUvarint(buf, 0)
+	case Read:
+		buf = append(buf, byte(KindRead))
+		buf = binary.AppendVarint(buf, int64(v.TSR))
+		return binary.AppendVarint(buf, int64(v.Round))
+	case ReadAck:
+		buf = append(buf, byte(KindReadAck))
+		buf = binary.AppendVarint(buf, int64(v.TSR))
+		buf = binary.AppendVarint(buf, int64(v.Round))
+		buf = appendTaggedV1(buf, v.PW)
+		buf = appendTaggedV1(buf, v.W)
+		buf = appendTaggedV1(buf, v.VW)
+		buf = appendTaggedV1(buf, v.Frozen.PW)
+		return binary.AppendVarint(buf, int64(v.Frozen.TSR))
+	case Keyed:
+		buf = append(buf, byte(KindKeyed))
+		buf = appendString(buf, v.Key)
+		return appendMessageV1(buf, v.Inner)
+	default:
+		panic("appendMessageV1: unsupported kind in test encoder")
+	}
+}
+
+// frameV1 wraps a v1-encoded envelope in a framed stream: length
+// prefix, version byte 1, from, to, message.
+func frameV1(from, to types.ProcID, m Message) []byte {
+	body := []byte{FormatVersionV1}
+	body = appendString(body, string(from))
+	body = appendString(body, string(to))
+	body = appendMessageV1(body, m)
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	return append(frame, body...)
+}
+
+// v1Envelopes is the v1 interop corpus: every changed-layout kind, as a
+// v1 peer would have sent it (writer components necessarily zero).
+func v1Envelopes() []Envelope {
+	mk := func(from, to types.ProcID, m Message) Envelope {
+		return Envelope{From: from, To: to, Msg: m}
+	}
+	return []Envelope{
+		mk("w", "s0", PW{TS: 7, PW: types.Tagged{TS: 7, Val: "v7"}, W: types.Tagged{TS: 6, Val: "v6"},
+			Frozen: []types.FrozenEntry{{Reader: types.ReaderID(1), PW: types.Tagged{TS: 5, Val: "f"}, TSR: 2}}}),
+		mk("s0", "w", PWAck{TS: 7, NewRead: []types.ReadStamp{{Reader: types.ReaderID(0), TSR: 3}}}),
+		mk("w", "s1", W{Round: 2, Tag: 7, C: types.Tagged{TS: 7, Val: "v7"}}),
+		mk("r0", "s2", Read{TSR: 4, Round: 1}),
+		mk("s2", "r0", ReadAck{TSR: 4, Round: 1, PW: types.Tagged{TS: 7, Val: "v7"},
+			W: types.Tagged{TS: 6, Val: "v6"}, VW: types.Tagged{TS: 6, Val: "v6"},
+			Frozen: types.FrozenPair{PW: types.Bottom(), TSR: 0}}),
+		mk("w", "s0", Keyed{Key: "users/42", Inner: W{Round: 3, Tag: 2, C: types.Tagged{TS: 2, Val: "x"}}}),
+	}
+}
+
+// TestDecodeV1Frames: every v1 frame decodes on the current decoder to
+// the envelope a v1 peer meant — writer components zero, Max zero.
+func TestDecodeV1Frames(t *testing.T) {
+	for _, want := range v1Envelopes() {
+		raw := frameV1(want.From, want.To, want.Msg)
+		got, err := DecodeFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("v1 frame %T failed to decode: %v", want.Msg, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("v1 frame decoded to\n %+v\nwant\n %+v", got, want)
+		}
+		// And re-encoding it as v2 must round-trip to the same envelope.
+		reenc, err := AppendFrame(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := DecodeFrame(bytes.NewReader(reenc))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, want) {
+			t.Errorf("v1→v2 re-encode diverged:\n %+v\nwant\n %+v", again, want)
+		}
+	}
+}
+
+// TestDecodeEnvelopeVersionRejectsUnknown: only versions 1 and 2 are
+// decodable; anything else must be refused up front.
+func TestDecodeEnvelopeVersionRejectsUnknown(t *testing.T) {
+	body, err := AppendEnvelope(nil, Envelope{From: "w", To: "s0", Msg: Read{TSR: 1, Round: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []byte{0, 3, 0xFF} {
+		if _, err := DecodeEnvelopeVersion(v, body); err == nil {
+			t.Errorf("version %d accepted", v)
+		}
+	}
+	if _, err := DecodeEnvelopeVersion(FormatVersion, body); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+}
+
+// TestV2CarriesWriterThroughTCPFraming: a full-stamp tagged value
+// round-trips the framed codec with its writer component intact — the
+// on-wire property the MWMR protocol depends on.
+func TestV2CarriesWriterThroughTCPFraming(t *testing.T) {
+	env := Envelope{From: types.WriterIDN(3), To: "s0", Msg: PW{
+		TS: 9,
+		PW: types.Tagged{TS: 9, W: 3, Val: "mw"},
+		W:  types.Tagged{TS: 8, W: 1, Val: "prev"},
+	}}
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Errorf("got %+v, want %+v", got, env)
+	}
+	if pw := got.Msg.(PW); pw.PW.Stamp() != (types.Stamp{Seq: 9, Writer: 3}) {
+		t.Errorf("writer component lost: %v", pw.PW)
+	}
+}

@@ -33,8 +33,16 @@ func FuzzDecodeFrame(f *testing.F) {
 		bad[4] ^= 0xFF
 		f.Add(bad)
 	}
+	// v1 frames seed the compat decode path (tagged values without the
+	// writer component) so the fuzzer mutates around both layouts.
+	for _, env := range v1Envelopes() {
+		frame := frameV1(env.From, env.To, env.Msg)
+		f.Add(frame)
+		f.Add(frame[:len(frame)-1])
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 2, FormatVersion, 0})
+	f.Add([]byte{0, 0, 0, 2, FormatVersionV1, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(binary.BigEndian.AppendUint32(nil, maxFrameSize))
 
@@ -76,15 +84,16 @@ func FuzzEncodeDecode(f *testing.F) {
 	f.Add(uint8(10), int64(-5), int64(-7), uint8(200), "", []byte("x"), []byte("y"), uint8(250), int64(-1))
 
 	f.Fuzz(func(t *testing.T, sel uint8, ts, tag int64, round uint8, key string, val, val2 []byte, rdr uint8, tsr int64) {
-		c := types.Tagged{TS: types.TS(ts), Val: types.Value(val)}
-		c2 := types.Tagged{TS: types.TS(tag), Val: types.Value(val2)}
+		c := types.Tagged{TS: types.TS(ts), W: types.WID(sel % 5), Val: types.Value(val)}
+		c2 := types.Tagged{TS: types.TS(tag), W: types.WID(round % 3), Val: types.Value(val2)}
 		frozen := []types.FrozenEntry{{Reader: types.ReaderID(int(rdr)), PW: c, TSR: types.ReaderTS(tsr)}}
 		var m Message
 		switch sel % 13 {
 		case 0:
 			m = PW{TS: types.TS(ts), PW: c, W: c2, Frozen: frozen}
 		case 1:
-			m = PWAck{TS: types.TS(ts), NewRead: []types.ReadStamp{{Reader: types.ReaderID(int(rdr)), TSR: types.ReaderTS(tsr)}}}
+			m = PWAck{TS: types.TS(ts), Max: types.Stamp{Seq: types.TS(tag), Writer: types.WID(round % 7)},
+				NewRead: []types.ReadStamp{{Reader: types.ReaderID(int(rdr)), TSR: types.ReaderTS(tsr)}}}
 		case 2:
 			m = W{Round: int(round), Tag: tag, C: c, Frozen: frozen}
 		case 3:

@@ -94,8 +94,15 @@ func (PW) Kind() Kind { return KindPW }
 // PWAck is the server reply to PW (Fig. 3 line 8):
 // PW_ACK〈ts, newread〉. NewRead reports readers whose slow READs the
 // writer has not yet frozen a value for.
+//
+// Max (format v2) is the stamp of the server's pw field after applying
+// the PW — under writer contention it can exceed the acknowledged
+// write's own stamp, which is how a writer observes that it raced
+// another writer. v1 peers neither send nor receive it; a zero Max
+// claims nothing.
 type PWAck struct {
 	TS      types.TS
+	Max     types.Stamp
 	NewRead []types.ReadStamp
 }
 
@@ -244,6 +251,9 @@ func Validate(m Message) error {
 		if v.TS <= types.TS0 {
 			return fmt.Errorf("%w: PW_ACK.ts %d not positive", ErrMalformed, v.TS)
 		}
+		if v.Max.Seq < types.TS0 || v.Max.Writer < 0 {
+			return fmt.Errorf("%w: PW_ACK.max stamp %v negative", ErrMalformed, v.Max)
+		}
 		if len(v.NewRead) > maxFrozenEntries {
 			return fmt.Errorf("%w: newread set too large (%d)", ErrMalformed, len(v.NewRead))
 		}
@@ -345,6 +355,9 @@ func Validate(m Message) error {
 func validTagged(c types.Tagged) error {
 	if c.TS < types.TS0 {
 		return fmt.Errorf("%w: negative timestamp %d", ErrMalformed, c.TS)
+	}
+	if c.W < 0 {
+		return fmt.Errorf("%w: negative writer id %d", ErrMalformed, c.W)
 	}
 	if c.TS == types.TS0 && c.Val != "" {
 		return fmt.Errorf("%w: non-⊥ value with timestamp ts0", ErrMalformed)

@@ -26,6 +26,12 @@ type Continuous struct {
 	// Keys are the registers to exercise. Empty (or a single-register
 	// driver) collapses to the one unnamed register.
 	Keys []string
+	// Writers is how many writer identities contend on every key. Zero
+	// or one keeps the classic SWMR shape. Higher values require a
+	// driver implementing MultiWriter and are capped at its
+	// NumWriters(); drivers without the capability fall back to one
+	// writer, so the same scenario runs benignly everywhere.
+	Writers int
 	// ValueSize pads written values (0 keeps the short form).
 	ValueSize int
 	// Seed makes each actor's key choices reproducible.
@@ -80,33 +86,64 @@ func (g Continuous) Run(ctx context.Context, d Driver) (*checker.Recorder, error
 		errMu.Unlock()
 	}
 
-	// One writer goroutine per key: SWMR per register, and a kv.Store
-	// writes independent keys concurrently.
+	// One writer goroutine per (key, writer): a single identity per
+	// register is the classic SWMR shape, and with Writers > 1 the
+	// identities contend on every key through MultiWriter.WriteAs. A
+	// given writer identity still never runs two of its own writes
+	// concurrently — contention is across identities, as in the model.
+	writers := 1
+	var mw MultiWriter
+	if g.Writers > 1 {
+		if m, ok := d.(MultiWriter); ok && m.NumWriters() > 1 {
+			mw = m
+			writers = min(g.Writers, m.NumWriters())
+		}
+	}
 	for _, key := range keys {
-		key := key
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 1; ; i++ {
-				v := Value(i, g.ValueSize)
-				inv := time.Now()
-				ts, meta, err := d.Write(key, v)
-				ret := time.Now()
-				op := checker.Op{
-					Client: types.WriterID(), Kind: checker.KindWrite, Key: key,
-					Value:  types.Tagged{TS: ts, Val: v},
-					Invoke: inv, Return: ret, Rounds: meta.Rounds, Fast: meta.Fast, Err: err,
+		for w := 0; w < writers; w++ {
+			key, w := key, w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 1; ; i++ {
+					// Writer-distinct values keep the checker's
+					// read-to-write association unambiguous under
+					// contention.
+					v := WriterValue(w, i, g.ValueSize)
+					if writers == 1 {
+						v = Value(i, g.ValueSize)
+					}
+					inv := time.Now()
+					var (
+						got  types.Tagged
+						meta OpMeta
+						err  error
+					)
+					if mw != nil {
+						got, meta, err = mw.WriteAs(w, key, v)
+					} else {
+						got, meta, err = d.Write(key, v)
+					}
+					ret := time.Now()
+					if err != nil {
+						got = types.Tagged{Val: v}
+					}
+					op := checker.Op{
+						Client: types.WriterIDN(w), Kind: checker.KindWrite, Key: key,
+						Value:  got,
+						Invoke: inv, Return: ret, Rounds: meta.Rounds, Fast: meta.Fast, Err: err,
+					}
+					rec.Add(op)
+					if err != nil {
+						fail(fmt.Errorf("writer %d %q #%d: %w", w, key, i, err))
+						return
+					}
+					if !sleepCtx(ctx, writePace) {
+						return
+					}
 				}
-				rec.Add(op)
-				if err != nil {
-					fail(fmt.Errorf("write %q #%d: %w", key, i, err))
-					return
-				}
-				if !sleepCtx(ctx, writePace) {
-					return
-				}
-			}
-		}()
+			}()
+		}
 	}
 
 	for r := 0; r < d.NumReaders(); r++ {

@@ -11,6 +11,11 @@ package workload
 // concurrently with itself, and Read must not be called concurrently
 // for the same reader index; the workloads in this package respect
 // both by construction (one goroutine per writer key, one per reader).
+//
+// Deployments configured with multiple writer identities additionally
+// implement MultiWriter: WriteAs(w, …) routes a write through writer w,
+// and distinct w values MAY be called concurrently — even on the same
+// key. Contending writes bind totally ordered ⟨seq, writer⟩ stamps.
 
 import (
 	"luckystore/internal/core"
@@ -41,11 +46,23 @@ type Driver interface {
 	// arguments, and workloads collapse the key set to {""} for them.
 	MultiKey() bool
 	// Write stores v under key through the deployment's writer and
-	// returns the timestamp the write bound. On error the timestamp is
-	// unspecified and recorded as 0.
-	Write(key string, v types.Value) (types.TS, OpMeta, error)
+	// returns the 〈stamp, value〉 pair the write bound. On error the
+	// pair is unspecified and recorded with a zero stamp.
+	Write(key string, v types.Value) (types.Tagged, OpMeta, error)
 	// Read reads key through reader client r.
 	Read(r int, key string) (types.Tagged, OpMeta, error)
+}
+
+// MultiWriter is the optional capability of deployments that expose
+// more than one writer identity. WriteAs(0, …) is the deployment's
+// primary writer (identical to Write); WriteAs(w, …) for w ≥ 1 routes
+// through the w-th contending writer. Calls with distinct w values may
+// run concurrently, including on the same key — that is the point.
+type MultiWriter interface {
+	// NumWriters reports how many writer identities the deployment has.
+	NumWriters() int
+	// WriteAs stores v under key through writer w.
+	WriteAs(w int, key string, v types.Value) (types.Tagged, OpMeta, error)
 }
 
 // ClusterDriver drives a core single-register cluster.
@@ -58,12 +75,21 @@ func (d ClusterDriver) NumReaders() int { return d.C.Config().NumReaders }
 func (d ClusterDriver) MultiKey() bool { return false }
 
 // Write implements Driver.
-func (d ClusterDriver) Write(_ string, v types.Value) (types.TS, OpMeta, error) {
-	if err := d.C.Writer().Write(v); err != nil {
-		return 0, OpMeta{}, err
+func (d ClusterDriver) Write(key string, v types.Value) (types.Tagged, OpMeta, error) {
+	return d.WriteAs(0, key, v)
+}
+
+// NumWriters implements MultiWriter.
+func (d ClusterDriver) NumWriters() int { return d.C.NumWriters() }
+
+// WriteAs implements MultiWriter.
+func (d ClusterDriver) WriteAs(w int, _ string, v types.Value) (types.Tagged, OpMeta, error) {
+	wr := d.C.WriterN(w)
+	if err := wr.Write(v); err != nil {
+		return types.Tagged{}, OpMeta{}, err
 	}
-	m := d.C.Writer().LastMeta()
-	return m.TS, OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+	m := wr.LastMeta()
+	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
 }
 
 // Read implements Driver.
@@ -84,6 +110,11 @@ type KVDriver struct {
 	// Readers is the number of reader clients the store was opened
 	// with (the store does not expose it for external-endpoint opens).
 	Readers int
+	// Contenders are additional stores sharing S's servers under
+	// distinct writer identities (kv.OpenContender). When non-empty the
+	// driver implements multi-writer workloads: WriteAs(k) for k ≥ 1
+	// routes through Contenders[k-1].
+	Contenders []*kv.Store
 }
 
 // NumReaders implements Driver.
@@ -93,15 +124,27 @@ func (d KVDriver) NumReaders() int { return d.Readers }
 func (d KVDriver) MultiKey() bool { return true }
 
 // Write implements Driver.
-func (d KVDriver) Write(key string, v types.Value) (types.TS, OpMeta, error) {
-	if err := d.S.Put(key, v); err != nil {
-		return 0, OpMeta{}, err
+func (d KVDriver) Write(key string, v types.Value) (types.Tagged, OpMeta, error) {
+	return d.WriteAs(0, key, v)
+}
+
+// NumWriters implements MultiWriter.
+func (d KVDriver) NumWriters() int { return 1 + len(d.Contenders) }
+
+// WriteAs implements MultiWriter.
+func (d KVDriver) WriteAs(w int, key string, v types.Value) (types.Tagged, OpMeta, error) {
+	s := d.S
+	if w > 0 {
+		s = d.Contenders[w-1]
 	}
-	m, err := d.S.PutMeta(key)
+	if err := s.Put(key, v); err != nil {
+		return types.Tagged{}, OpMeta{}, err
+	}
+	m, err := s.PutMeta(key)
 	if err != nil {
-		return 0, OpMeta{}, err
+		return types.Tagged{}, OpMeta{}, err
 	}
-	return m.TS, OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
 }
 
 // Read implements Driver.
@@ -130,12 +173,12 @@ func (d RouterDriver) NumReaders() int { return d.R.NumReaders() }
 func (d RouterDriver) MultiKey() bool { return true }
 
 // Write implements Driver.
-func (d RouterDriver) Write(key string, v types.Value) (types.TS, OpMeta, error) {
+func (d RouterDriver) Write(key string, v types.Value) (types.Tagged, OpMeta, error) {
 	m, err := d.R.Put(key, v)
 	if err != nil {
-		return 0, OpMeta{}, err
+		return types.Tagged{}, OpMeta{}, err
 	}
-	return m.TS, OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
 }
 
 // Read implements Driver.
@@ -159,12 +202,12 @@ func (d RegularDriver) NumReaders() int { return d.C.Config().NumReaders }
 func (d RegularDriver) MultiKey() bool { return false }
 
 // Write implements Driver.
-func (d RegularDriver) Write(_ string, v types.Value) (types.TS, OpMeta, error) {
+func (d RegularDriver) Write(_ string, v types.Value) (types.Tagged, OpMeta, error) {
 	if err := d.C.Writer().Write(v); err != nil {
-		return 0, OpMeta{}, err
+		return types.Tagged{}, OpMeta{}, err
 	}
 	m := d.C.Writer().LastMeta()
-	return m.TS, OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
 }
 
 // Read implements Driver.
@@ -195,12 +238,12 @@ func (d *TwoPhaseDriver) NumReaders() int { return d.C.Config().NumReaders }
 func (d *TwoPhaseDriver) MultiKey() bool { return false }
 
 // Write implements Driver.
-func (d *TwoPhaseDriver) Write(_ string, v types.Value) (types.TS, OpMeta, error) {
+func (d *TwoPhaseDriver) Write(_ string, v types.Value) (types.Tagged, OpMeta, error) {
 	d.ts++ // the writer advances its timestamp on every attempt
 	if err := d.C.Writer().Write(v); err != nil {
-		return 0, OpMeta{}, err
+		return types.Tagged{}, OpMeta{}, err
 	}
-	return d.ts, OpMeta{Rounds: d.C.Writer().Rounds(), Fast: false}, nil
+	return types.Tagged{TS: d.ts, Val: v}, OpMeta{Rounds: d.C.Writer().Rounds(), Fast: false}, nil
 }
 
 // Read implements Driver.

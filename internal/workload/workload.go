@@ -25,6 +25,17 @@ func Value(i, size int) types.Value {
 	return types.Value(v)
 }
 
+// WriterValue is Value for contending-writer workloads: the payload
+// additionally carries the writer index, so values stay unique across
+// writers and the checker's read-to-write association is unambiguous.
+func WriterValue(w, i, size int) types.Value {
+	v := fmt.Sprintf("w%d.v%d", w, i)
+	if size > len(v) {
+		v += string(make([]byte, size-len(v)))
+	}
+	return types.Value(v)
+}
+
 // Mixed drives writes sequentially from the cluster writer while
 // nReaders reader clients loop concurrently, recording every operation.
 type Mixed struct {
@@ -58,7 +69,7 @@ func (m Mixed) RunDriver(d Driver) (*checker.Recorder, error) {
 		for i := 1; i <= m.Writes; i++ {
 			v := Value(i, m.ValueSize)
 			inv := time.Now()
-			ts, meta, err := d.Write(key, v)
+			got, meta, err := d.Write(key, v)
 			ret := time.Now()
 			if err != nil {
 				errs <- fmt.Errorf("write %d: %w", i, err)
@@ -66,7 +77,7 @@ func (m Mixed) RunDriver(d Driver) (*checker.Recorder, error) {
 			}
 			rec.Add(checker.Op{
 				Client: types.WriterID(), Kind: checker.KindWrite, Key: key,
-				Value:  types.Tagged{TS: ts, Val: v},
+				Value:  got,
 				Invoke: inv, Return: ret, Rounds: meta.Rounds, Fast: meta.Fast,
 			})
 		}
@@ -117,7 +128,7 @@ func Sequential(c *core.Cluster, n int) (*checker.Recorder, error) {
 		wm := c.Writer().LastMeta()
 		rec.Add(checker.Op{
 			Client: types.WriterID(), Kind: checker.KindWrite,
-			Value:  types.Tagged{TS: wm.TS, Val: v},
+			Value:  wm.Value(v),
 			Invoke: inv, Return: time.Now(), Rounds: wm.Rounds, Fast: wm.Fast,
 		})
 		inv = time.Now()

@@ -67,7 +67,7 @@ func NewTCPWriter(cfg Config, servers map[ProcID]string) (*Writer, io.Closer, er
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.NewWriter(cfg, ep), ep, nil
+	return core.NewWriter(cfg, types.WriterID(), ep), ep, nil
 }
 
 // NewTCPReader connects reader client i to a TCP cluster. The returned
