@@ -30,6 +30,7 @@ import (
 	"luckystore/internal/ring"
 	"luckystore/internal/router"
 	"luckystore/internal/simnet"
+	"luckystore/internal/storage"
 	"luckystore/internal/tcpnet"
 	"luckystore/internal/transport"
 	"luckystore/internal/twophase"
@@ -338,6 +339,78 @@ func BenchmarkPutLooped(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
+}
+
+// BenchmarkDurabilityModes is experiment E15: the cost of the WAL, by
+// fsync policy, on the simnet KV deployment. "none" is the in-memory
+// seed behavior (no storage at all); "memory" pays the record encode +
+// arena copy but no I/O; the file modes add a real log with no fsync,
+// an fsync per commit, and the group-commit batching the durable
+// deployments actually run. puts/s is the headline; allocs/op is the
+// hot-path contract (file modes must track "memory").
+func BenchmarkDurabilityModes(b *testing.B) {
+	cfg := luckystore.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond}
+	modes := []struct {
+		name string
+		prov func(b *testing.B) storage.Provider
+	}{
+		{"none", func(*testing.B) storage.Provider { return nil }},
+		{"memory", func(*testing.B) storage.Provider {
+			return storage.NewMemProvider(kv.NewStorageAutomaton)
+		}},
+		{"file-nosync", func(b *testing.B) storage.Provider {
+			return storage.NewDirProvider(b.TempDir(), kv.NewStorageAutomaton,
+				storage.WithSyncMode(storage.SyncNone))
+		}},
+		{"file-sync-each", func(b *testing.B) storage.Provider {
+			return storage.NewDirProvider(b.TempDir(), kv.NewStorageAutomaton,
+				storage.WithSyncMode(storage.SyncEach))
+		}},
+		{"file-group-commit", func(b *testing.B) storage.Provider {
+			return storage.NewDirProvider(b.TempDir(), kv.NewStorageAutomaton,
+				storage.WithSyncMode(storage.SyncBatched))
+		}},
+	}
+	keys := make([]string, benchBatchKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := []kv.Option{kv.WithShards(2)}
+			if p := mode.prov(b); p != nil {
+				opts = append(opts, kv.WithStorage(p))
+			}
+			st, err := kv.Open(cfg, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			for _, k := range keys { // warm every key's register and WAL buffers
+				if err := st.Put(k, "warm"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// PutBatch fans the keys out concurrently across the shard
+			// workers, so the file modes have concurrent committers —
+			// the traffic shape group-commit exists for.
+			batch := make(map[string]types.Value, len(keys))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				val := types.Value(fmt.Sprintf("v%d", i))
+				for _, k := range keys {
+					batch[k] = val
+				}
+				if err := st.PutBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
+		})
+	}
 }
 
 // BenchmarkPutBatch writes the same 32 keys per iteration through the

@@ -6,14 +6,24 @@
 //	luckyd -index 0 -listen 127.0.0.1:7000          # single register
 //	luckyd -index 0 -listen 127.0.0.1:7000 -kv      # key-value store
 //	luckyd -index 0 -listen 127.0.0.1:7000 -kv -shards 8
+//	luckyd -index 0 -listen 127.0.0.1:7000 -kv -data /var/lib/lucky/s0
 //
 // Start 2t+b+1 of these (indexes 0..S-1), then point luckyctl (single
 // register) or an OpenKVTCP client (-kv) at them. In -kv mode every key
 // is an independent lucky register, stepped across a pool of shard
 // workers (-shards; 0 means one per CPU) so independent keys never
-// serialize on one lock. Stopping the process is, to the rest of the
-// cluster, a crash failure — which the protocol tolerates for up to t
-// servers.
+// serialize on one lock.
+//
+// With -data the server is durable: it writes a WAL (plus snapshots)
+// under the directory before acknowledging, and on startup replays the
+// directory — truncating any torn tail a crash left — before accepting
+// connections. SIGTERM/SIGINT shut down gracefully: the listener stops
+// first, then the WAL flushes and fsyncs, so every acknowledged
+// operation is on disk when the process exits and the next start
+// recovers it. Without -data, stopping the process is an amnesiac
+// restart, which the failure model can only count as Byzantine; with
+// -data it is an ordinary crash failure the protocol tolerates for up
+// to t servers.
 package main
 
 import (
@@ -39,10 +49,11 @@ func main() {
 func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 	fs := flag.NewFlagSet("luckyd", flag.ContinueOnError)
 	var (
-		index  = fs.Int("index", 0, "server index i (process id becomes s<i>)")
-		listen = fs.String("listen", "127.0.0.1:0", "TCP listen address")
-		kvMode = fs.Bool("kv", false, "serve the key-value store (one lucky register per key) instead of the single register")
-		shards = fs.Int("shards", 0, "shard workers stepping the KV registers; 0 means one per CPU (requires -kv)")
+		index   = fs.Int("index", 0, "server index i (process id becomes s<i>)")
+		listen  = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		kvMode  = fs.Bool("kv", false, "serve the key-value store (one lucky register per key) instead of the single register")
+		shards  = fs.Int("shards", 0, "shard workers stepping the KV registers; 0 means one per CPU (requires -kv)")
+		dataDir = fs.String("data", "", "data directory for the WAL and snapshots; empty keeps state in memory only")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -67,10 +78,14 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 		}
 		err error
 	)
+	var opts []luckystore.TCPOption
+	if *dataDir != "" {
+		opts = append(opts, luckystore.WithTCPDataDir(*dataDir))
+	}
 	if *kvMode {
-		srv, err = luckystore.ListenTCPKV(*index, *listen, luckystore.WithTCPShards(*shards))
+		srv, err = luckystore.ListenTCPKV(*index, *listen, append(opts, luckystore.WithTCPShards(*shards))...)
 	} else {
-		srv, err = luckystore.ListenTCP(*index, *listen)
+		srv, err = luckystore.ListenTCP(*index, *listen, opts...)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "luckyd: %v\n", err)
@@ -80,7 +95,11 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 	if *kvMode {
 		mode = "kv"
 	}
-	log.Printf("luckyd: %s server %s listening on %s", mode, srv.ID(), srv.Addr())
+	durability := "in-memory"
+	if *dataDir != "" {
+		durability = "durable in " + *dataDir
+	}
+	log.Printf("luckyd: %s server %s listening on %s (%s)", mode, srv.ID(), srv.Addr(), durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

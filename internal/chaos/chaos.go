@@ -52,6 +52,13 @@ const (
 	ActCrash       ActionKind = "crash"        // crash-stop Server
 	ActRestart     ActionKind = "restart"      // restart Server (Fresh: lose state)
 	ActSwap        ActionKind = "swap"         // replace Server with Behavior
+	// ActDiskFault arms a storage fault (Disk: torn-write, fsync-error)
+	// on Server's backend: the next mutating operation kills the disk
+	// and the server goes mute — a crash fault in the model's terms, so
+	// it is budgeted against t exactly like ActCrash. A later
+	// ActRestart heals the disk and recovers from it. Deployments
+	// without injectable storage skip it benignly.
+	ActDiskFault ActionKind = "disk-fault"
 	// Fleet actions, honored by deployments implementing Rebalancer
 	// (scale-out router fleets); others skip them benignly.
 	ActJoinCluster   ActionKind = "join-cluster"   // add one cluster to the fleet
@@ -70,6 +77,7 @@ type Action struct {
 	Proc     types.ProcID      `json:"proc,omitempty"`
 	Faults   simnet.LinkFaults `json:"faults,omitempty"`
 	Behavior string            `json:"behavior,omitempty"`
+	Disk     string            `json:"disk,omitempty"` // storage fault kind for ActDiskFault
 }
 
 func (a Action) String() string {
@@ -90,6 +98,8 @@ func (a Action) String() string {
 		return fmt.Sprintf("restart s%d (%s)", a.Server, mode)
 	case ActSwap:
 		return fmt.Sprintf("swap s%d → %s", a.Server, a.Behavior)
+	case ActDiskFault:
+		return fmt.Sprintf("disk-fault s%d (%s)", a.Server, a.Disk)
 	case ActJoinCluster:
 		return "join-cluster"
 	case ActRemoveCluster:
@@ -425,6 +435,28 @@ func apply(d Deployment, ev Event, g *guard) AppliedEvent {
 		if fresh {
 			g.suspect[a.Server] = true
 		}
+		out.Applied = true
+	case ActDiskFault:
+		df, ok := d.(DiskFaulter)
+		if !ok {
+			out.Skipped = "deployment has no injectable storage"
+			return out
+		}
+		if g.down[a.Server] {
+			out.Skipped = "already down"
+			return out
+		}
+		if g.faulty(a.Server, -1) > g.t {
+			out.Skipped = fmt.Sprintf("budget: would exceed t=%d faulty", g.t)
+			return out
+		}
+		if err := df.DiskFault(a.Server, a.Disk); err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		// The server mutes on its next mutating step: conservatively a
+		// crash fault from this moment on, until a restart heals it.
+		g.down[a.Server] = true
 		out.Applied = true
 	case ActSwap:
 		if !g.suspect[a.Server] && len(g.suspect)+1 > g.b {

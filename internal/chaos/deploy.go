@@ -8,6 +8,8 @@ package chaos
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"luckystore/internal/checker"
@@ -19,6 +21,7 @@ import (
 	"luckystore/internal/ring"
 	"luckystore/internal/router"
 	"luckystore/internal/simnet"
+	"luckystore/internal/storage"
 	"luckystore/internal/tcpnet"
 	"luckystore/internal/transport"
 	"luckystore/internal/types"
@@ -58,6 +61,45 @@ type Deployment interface {
 	Check(ops []checker.Op) []checker.Violation
 	// Close tears the deployment down.
 	Close()
+}
+
+// DiskFaulter is the optional Deployment capability behind
+// ActDiskFault: deployments whose servers write through injectable
+// storage backends arm the named fault (storage.FaultTornWrite or
+// storage.FaultFsyncError) on server i's disk. The fault fires on the
+// server's next mutating operation, muting it; the deployment's
+// Restart must heal (or reopen) the disk before recovering from it.
+type DiskFaulter interface {
+	DiskFault(i int, kind string) error
+}
+
+// serverName is the per-server backend name used with storage
+// providers across every deployment ("s0", "s1", …).
+func serverName(i int) string { return string(types.ServerID(i)) }
+
+// simFaultProvider builds the injectable in-memory storage the simnet
+// deployments give their servers: memory backends (the "disk" survives
+// in-process restarts) behind fault wrappers the schedule can arm.
+func simFaultProvider(factory func() storage.Automaton) *storage.FaultProvider {
+	return storage.NewFaultProvider(storage.NewMemProvider(factory))
+}
+
+// healDisk clears any armed or fired fault on server i's wrapper
+// before a restart recovers from the backend — the restarted process
+// got a working disk back; what survives on it is recovery's problem.
+func healDisk(fp *storage.FaultProvider, i int) {
+	if f := fp.Fault(serverName(i)); f != nil {
+		f.Heal()
+	}
+}
+
+// armDisk arms kind on server i's fault wrapper.
+func armDisk(fp *storage.FaultProvider, i int, kind string) error {
+	f := fp.Fault(serverName(i))
+	if f == nil {
+		return fmt.Errorf("chaos: server %d has no storage backend", i)
+	}
+	return f.Arm(kind)
 }
 
 // Rebalancer is the optional Deployment capability behind the fleet
@@ -117,16 +159,20 @@ func behaviorFor(name string, seed int64, keyed bool) (node.Automaton, error) {
 
 type coreDep struct {
 	workload.ClusterDriver
-	c *core.Cluster
+	c  *core.Cluster
+	fp *storage.FaultProvider
 }
 
-// NewCore builds a core single-register simnet deployment.
+// NewCore builds a core single-register simnet deployment. Servers
+// write through injectable in-memory backends, so warm restarts are
+// genuine WAL replays and schedules can arm disk faults.
 func NewCore(cfg core.Config) (Deployment, error) {
-	c, err := core.NewCluster(cfg)
+	fp := simFaultProvider(func() storage.Automaton { return core.NewServer() })
+	c, err := core.NewCluster(cfg, core.WithStorage(fp))
 	if err != nil {
 		return nil, err
 	}
-	return &coreDep{ClusterDriver: workload.ClusterDriver{C: c}, c: c}, nil
+	return &coreDep{ClusterDriver: workload.ClusterDriver{C: c}, c: c, fp: fp}, nil
 }
 
 func (d *coreDep) Kind() string         { return "core" }
@@ -138,11 +184,14 @@ func (d *coreDep) ColdRestarts() bool   { return false }
 func (d *coreDep) Close()               { d.c.Close() }
 
 func (d *coreDep) Restart(i int, fresh bool) error {
+	healDisk(d.fp, i)
 	if fresh {
 		return d.c.RestartServerFresh(i)
 	}
 	return d.c.RestartServer(i)
 }
+
+func (d *coreDep) DiskFault(i int, kind string) error { return armDisk(d.fp, i, kind) }
 
 func (d *coreDep) Swap(i int, behavior string, seed int64) error {
 	a, err := behaviorFor(behavior, seed, false)
@@ -162,6 +211,7 @@ type kvDep struct {
 	workload.KVDriver
 	st         *kv.Store
 	contenders []*kv.Store
+	fp         *storage.FaultProvider
 }
 
 // NewKV builds an in-memory sharded KV deployment. writers > 1 opens
@@ -172,11 +222,13 @@ func NewKV(cfg core.Config, writers int, opts ...kv.Option) (Deployment, error) 
 	if writers > 1 {
 		opts = append(opts, kv.WithContenders(writers-1))
 	}
+	fp := simFaultProvider(kv.NewStorageAutomaton)
+	opts = append(opts, kv.WithStorage(fp))
 	st, err := kv.Open(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
-	d := &kvDep{st: st}
+	d := &kvDep{st: st, fp: fp}
 	for k := 1; k < writers; k++ {
 		ct, err := st.OpenContender(k)
 		if err != nil {
@@ -204,11 +256,14 @@ func (d *kvDep) Close() {
 }
 
 func (d *kvDep) Restart(i int, fresh bool) error {
+	healDisk(d.fp, i)
 	if fresh {
 		return d.st.RestartServerFresh(i)
 	}
 	return d.st.RestartServer(i)
 }
+
+func (d *kvDep) DiskFault(i int, kind string) error { return armDisk(d.fp, i, kind) }
 
 func (d *kvDep) Swap(i int, behavior string, seed int64) error {
 	a, err := behaviorFor(behavior, seed, true)
@@ -228,7 +283,10 @@ type tcpkvDep struct {
 	workload.KVDriver
 	cfg        core.Config
 	shards     int
+	dir        string // temp data root, one subdirectory per server
+	prov       *storage.FaultProvider
 	srvs       []*tcpnet.Server
+	backs      []storage.Backend
 	addrs      []string
 	st         *kv.Store
 	contenders []*kv.Store
@@ -237,9 +295,11 @@ type tcpkvDep struct {
 // NewTCPKV starts S ListenTCPKV-style servers on loopback and a KV
 // client store dialed to them — the real-deployment shape, where
 // crashes and restarts are actual listener teardowns and rebinds.
-// writers > 1 dials additional client stores under contending writer
-// identities (and disjoint reader identities), all against the same
-// listeners.
+// Every server writes through a real file WAL in a per-run temp
+// directory, so a restart reopens the directory (running the genuine
+// fsck/torn-tail path) and recovers the pre-crash state. writers > 1
+// dials additional client stores under contending writer identities
+// (and disjoint reader identities), all against the same listeners.
 func NewTCPKV(cfg core.Config, shards, writers int) (Deployment, error) {
 	if writers > 1 && cfg.Writers < writers {
 		cfg.Writers = writers
@@ -247,18 +307,26 @@ func NewTCPKV(cfg core.Config, shards, writers int) (Deployment, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := &tcpkvDep{cfg: cfg, shards: shards}
+	dir, err := os.MkdirTemp("", "luckychaos-tcpkv-")
+	if err != nil {
+		return nil, fmt.Errorf("chaos tcpkv: data dir: %w", err)
+	}
+	d := &tcpkvDep{cfg: cfg, shards: shards, dir: dir,
+		prov:  storage.NewFaultProvider(storage.NewDirProvider(dir, kv.NewStorageAutomaton)),
+		backs: make([]storage.Backend, cfg.S()),
+	}
 	fail := func(err error) (Deployment, error) {
 		d.Close()
 		return nil, err
 	}
 	addrMap := make(map[types.ProcID]string, cfg.S())
 	for i := 0; i < cfg.S(); i++ {
-		srv, err := listenKV(i, "127.0.0.1:0", shards)
+		srv, back, err := listenDurableKV(d.prov, i, "127.0.0.1:0", shards)
 		if err != nil {
 			return fail(err)
 		}
 		d.srvs = append(d.srvs, srv)
+		d.backs[i] = back
 		d.addrs = append(d.addrs, srv.Addr())
 		addrMap[types.ServerID(i)] = srv.Addr()
 	}
@@ -305,23 +373,65 @@ func dialStore(cfg core.Config, addrMap map[types.ProcID]string, k int) (*kv.Sto
 		kv.WithWriterID(wid), kv.WithReaderBase(base))
 }
 
-// listenKV starts one sharded KV server over TCP.
+// listenKV starts one sharded KV server over TCP with in-memory state
+// only (Byzantine swaps and non-durable callers).
 func listenKV(i int, addr string, shards int) (*tcpnet.Server, error) {
 	srv := kv.NewShardedServerAutomaton(shards)
 	return tcpnet.ListenSharded(types.ServerID(i), addr, srv.Shards(), srv.Route())
+}
+
+// listenDurableKV starts one sharded KV server over TCP whose shards
+// write through a backend opened from prov: recovery replays whatever
+// the backend holds (reopening a data directory runs the real
+// torn-tail fsck), then every shard shares the backend's group-commit.
+func listenDurableKV(prov storage.Provider, i int, addr string, shards int) (*tcpnet.Server, storage.Backend, error) {
+	back, err := prov.Open(serverName(i))
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := kv.NewShardedServerAutomaton(shards)
+	if _, err := storage.Recover(back, srv); err != nil {
+		_ = back.Close()
+		return nil, nil, err
+	}
+	sh := srv.Shards()
+	for j, a := range sh {
+		sh[j] = storage.NewDurable(a, back, types.ServerID(i))
+	}
+	s, err := tcpnet.ListenSharded(types.ServerID(i), addr, sh, srv.Route())
+	if err != nil {
+		_ = back.Close()
+		return nil, nil, err
+	}
+	return s, back, nil
 }
 
 func (d *tcpkvDep) Kind() string         { return "tcpkv" }
 func (d *tcpkvDep) Servers() int         { return d.cfg.S() }
 func (d *tcpkvDep) Budget() (int, int)   { return d.cfg.T, d.cfg.B }
 func (d *tcpkvDep) Net() *simnet.Network { return nil }
-func (d *tcpkvDep) ColdRestarts() bool   { return true }
+
+// ColdRestarts is false: the file WAL is the stable storage a real
+// process restart recovers from, so warm restarts are honest here.
+func (d *tcpkvDep) ColdRestarts() bool { return false }
 
 func (d *tcpkvDep) Crash(i int) error {
 	if i < 0 || i >= len(d.srvs) {
 		return fmt.Errorf("chaos tcpkv: server %d out of range", i)
 	}
-	return d.srvs[i].Close()
+	err := d.srvs[i].Close()
+	d.closeBack(i) // the process died; its file handles went with it
+	return err
+}
+
+// closeBack releases server i's backend handle, ignoring errors — a
+// faulted disk fails its final flush by design, and the reopen path
+// recovers whatever made it to the medium.
+func (d *tcpkvDep) closeBack(i int) {
+	if d.backs[i] != nil {
+		_ = d.backs[i].Close()
+		d.backs[i] = nil
+	}
 }
 
 // rebind re-listens on a crashed server's old address, retrying
@@ -351,12 +461,27 @@ func rebindListener(srvs []*tcpnet.Server, addrs []string, i int, listen func(ad
 	return fmt.Errorf("chaos: rebind %s: %w", addrs[i], lastErr)
 }
 
-func (d *tcpkvDep) Restart(i int, _ bool) error {
-	// A process restart is always cold: the in-memory register state
-	// died with the old listener. The server comes back with the same
-	// shard configuration it was started with.
+func (d *tcpkvDep) Restart(i int, fresh bool) error {
+	if i < 0 || i >= len(d.srvs) {
+		return fmt.Errorf("chaos tcpkv: server %d out of range", i)
+	}
+	d.closeBack(i)
+	if fresh {
+		// Amnesiac restart: the disk burned down with the process.
+		if err := os.RemoveAll(filepath.Join(d.dir, serverName(i))); err != nil {
+			return fmt.Errorf("chaos tcpkv: wipe server %d: %w", i, err)
+		}
+	}
+	// Reopening the data directory IS the recovery path: fsck truncates
+	// any torn tail a disk fault left, then the WAL replays into a
+	// fresh keyed server.
 	return d.rebind(i, func(addr string) (*tcpnet.Server, error) {
-		return listenKV(i, addr, d.shards)
+		srv, back, err := listenDurableKV(d.prov, i, addr, d.shards)
+		if err != nil {
+			return nil, err
+		}
+		d.backs[i] = back
+		return srv, nil
 	})
 }
 
@@ -365,10 +490,13 @@ func (d *tcpkvDep) Swap(i int, behavior string, seed int64) error {
 	if err != nil {
 		return err
 	}
+	d.closeBack(i) // the Byzantine automaton runs without storage
 	return d.rebind(i, func(addr string) (*tcpnet.Server, error) {
 		return tcpnet.Listen(types.ServerID(i), addr, a)
 	})
 }
+
+func (d *tcpkvDep) DiskFault(i int, kind string) error { return armDisk(d.prov, i, kind) }
 
 func (d *tcpkvDep) Check(ops []checker.Op) []checker.Violation {
 	return checker.CheckAtomicityPerKey(ops)
@@ -386,24 +514,33 @@ func (d *tcpkvDep) Close() {
 			_ = s.Close()
 		}
 	}
+	for i := range d.backs {
+		d.closeBack(i)
+	}
+	if d.dir != "" {
+		_ = os.RemoveAll(d.dir)
+	}
 }
 
 // ---- Appendix D regular variant (simnet) ----
 
 type regularDep struct {
 	workload.RegularDriver
-	c *regular.Cluster
+	c  *regular.Cluster
+	fp *storage.FaultProvider
 }
 
 // NewRegular builds a regular-variant simnet deployment. Its histories
 // are checked for regularity: the variant deliberately gives up the
-// read hierarchy.
+// read hierarchy. Servers write through injectable in-memory backends
+// like the core deployment.
 func NewRegular(cfg regular.Config) (Deployment, error) {
-	c, err := regular.NewCluster(cfg)
+	fp := simFaultProvider(func() storage.Automaton { return core.NewRegularServer() })
+	c, err := regular.NewDurableCluster(cfg, fp)
 	if err != nil {
 		return nil, err
 	}
-	return &regularDep{RegularDriver: workload.RegularDriver{C: c}, c: c}, nil
+	return &regularDep{RegularDriver: workload.RegularDriver{C: c}, c: c, fp: fp}, nil
 }
 
 func (d *regularDep) Kind() string         { return "regular" }
@@ -415,11 +552,14 @@ func (d *regularDep) ColdRestarts() bool   { return false }
 func (d *regularDep) Close()               { d.c.Close() }
 
 func (d *regularDep) Restart(i int, fresh bool) error {
+	healDisk(d.fp, i)
 	if fresh {
 		return d.c.RestartServerFresh(i)
 	}
 	return d.c.RestartServer(i)
 }
+
+func (d *regularDep) DiskFault(i int, kind string) error { return armDisk(d.fp, i, kind) }
 
 func (d *regularDep) Swap(i int, behavior string, seed int64) error {
 	a, err := behaviorFor(behavior, seed, false)
@@ -451,7 +591,9 @@ type routerDep struct {
 // NewRouter builds a scale-out fleet of n simnet KV clusters behind
 // one router. Server faults hit server i of every active cluster —
 // "rack i" in fleet terms — so the per-cluster failure budget (t, b)
-// is stressed everywhere at once while staying within the model.
+// is stressed everywhere at once while staying within the model. Each
+// cluster's servers write through in-memory storage backends, so a
+// warm restart is a genuine WAL replay.
 func NewRouter(cfg core.Config, n int) (Deployment, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("chaos router: need at least one cluster")
@@ -459,7 +601,7 @@ func NewRouter(cfg core.Config, n int) (Deployment, error) {
 	d := &routerDep{cfg: cfg, stores: make(map[ring.ClusterID]*kv.Store, n)}
 	backends := make(map[ring.ClusterID]router.Backend, n)
 	for ; d.nextID < n; d.nextID++ {
-		st, err := kv.Open(cfg)
+		st, err := kv.Open(cfg, kv.WithStorage(storage.NewMemProvider(kv.NewStorageAutomaton)))
 		if err != nil {
 			for _, prev := range d.stores {
 				prev.Close()
@@ -530,7 +672,7 @@ func (d *routerDep) Swap(i int, behavior string, seed int64) error {
 }
 
 func (d *routerDep) JoinCluster() error {
-	st, err := kv.Open(d.cfg)
+	st, err := kv.Open(d.cfg, kv.WithStorage(storage.NewMemProvider(kv.NewStorageAutomaton)))
 	if err != nil {
 		return err
 	}
@@ -569,10 +711,12 @@ func (d *routerDep) Close() { _ = d.r.Close() }
 
 // ---- consistent-hash router fleet (loopback-TCP clusters) ----
 
-// tcpCluster is one TCP-KV cluster of a router fleet: its listeners
-// and the client store dialed to them.
+// tcpCluster is one TCP-KV cluster of a router fleet: its listeners,
+// their file-backed storage, and the client store dialed to them.
 type tcpCluster struct {
+	prov  *storage.FaultProvider
 	srvs  []*tcpnet.Server
+	backs []storage.Backend
 	addrs []string
 	st    *kv.Store
 }
@@ -583,19 +727,34 @@ func (c *tcpCluster) closeServers() {
 			_ = s.Close()
 		}
 	}
+	for i := range c.backs {
+		c.closeBack(i)
+	}
 }
 
-// startTCPCluster starts S sharded KV listeners and dials a store.
-func startTCPCluster(cfg core.Config, shards int) (*tcpCluster, error) {
-	c := &tcpCluster{}
+func (c *tcpCluster) closeBack(i int) {
+	if c.backs[i] != nil {
+		_ = c.backs[i].Close()
+		c.backs[i] = nil
+	}
+}
+
+// startTCPCluster starts S sharded KV listeners with file WALs under
+// dir and dials a store.
+func startTCPCluster(cfg core.Config, shards int, dir string) (*tcpCluster, error) {
+	c := &tcpCluster{
+		prov:  storage.NewFaultProvider(storage.NewDirProvider(dir, kv.NewStorageAutomaton)),
+		backs: make([]storage.Backend, cfg.S()),
+	}
 	addrMap := make(map[types.ProcID]string, cfg.S())
 	for i := 0; i < cfg.S(); i++ {
-		srv, err := listenKV(i, "127.0.0.1:0", shards)
+		srv, back, err := listenDurableKV(c.prov, i, "127.0.0.1:0", shards)
 		if err != nil {
 			c.closeServers()
 			return nil, err
 		}
 		c.srvs = append(c.srvs, srv)
+		c.backs[i] = back
 		c.addrs = append(c.addrs, srv.Addr())
 		addrMap[types.ServerID(i)] = srv.Addr()
 	}
@@ -630,6 +789,7 @@ type tcprouterDep struct {
 	workload.RouterDriver
 	cfg      core.Config
 	shards   int
+	dir      string // temp data root, one subdirectory per cluster
 	r        *router.Router
 	clusters map[ring.ClusterID]*tcpCluster // active clusters only
 	retired  []*tcpCluster                  // listeners kept up for lazy handoffs
@@ -638,7 +798,8 @@ type tcprouterDep struct {
 
 // NewTCPRouter builds a scale-out fleet of n loopback-TCP KV clusters
 // behind one router: the real-deployment shape of a fleet, where every
-// cluster is S sockets and a crash is a listener teardown.
+// cluster is S sockets, a crash is a listener teardown, and every
+// server keeps a file WAL so restarts recover from disk.
 func NewTCPRouter(cfg core.Config, shards, n int) (Deployment, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -646,21 +807,26 @@ func NewTCPRouter(cfg core.Config, shards, n int) (Deployment, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("chaos tcprouter: need at least one cluster")
 	}
-	d := &tcprouterDep{cfg: cfg, shards: shards, clusters: make(map[ring.ClusterID]*tcpCluster, n)}
+	dir, err := os.MkdirTemp("", "luckychaos-tcprouter-")
+	if err != nil {
+		return nil, fmt.Errorf("chaos tcprouter: data dir: %w", err)
+	}
+	d := &tcprouterDep{cfg: cfg, shards: shards, dir: dir, clusters: make(map[ring.ClusterID]*tcpCluster, n)}
 	backends := make(map[ring.ClusterID]router.Backend, n)
 	fail := func(err error) (Deployment, error) {
 		for _, c := range d.clusters {
 			c.st.Close()
 			c.closeServers()
 		}
+		_ = os.RemoveAll(dir)
 		return nil, err
 	}
 	for ; d.nextID < n; d.nextID++ {
-		c, err := startTCPCluster(cfg, shards)
+		id := ring.ID(d.nextID)
+		c, err := startTCPCluster(cfg, shards, d.clusterDir(id))
 		if err != nil {
 			return fail(err)
 		}
-		id := ring.ID(d.nextID)
 		d.clusters[id] = c
 		backends[id] = c.st
 	}
@@ -673,11 +839,18 @@ func NewTCPRouter(cfg core.Config, shards, n int) (Deployment, error) {
 	return d, nil
 }
 
+// clusterDir is the data root of one cluster.
+func (d *tcprouterDep) clusterDir(id ring.ClusterID) string {
+	return filepath.Join(d.dir, string(id))
+}
+
 func (d *tcprouterDep) Kind() string         { return "tcprouter" }
 func (d *tcprouterDep) Servers() int         { return d.cfg.S() }
 func (d *tcprouterDep) Budget() (int, int)   { return d.cfg.T, d.cfg.B }
 func (d *tcprouterDep) Net() *simnet.Network { return nil }
-func (d *tcprouterDep) ColdRestarts() bool   { return true }
+
+// ColdRestarts is false: every server recovers from its file WAL.
+func (d *tcprouterDep) ColdRestarts() bool { return false }
 
 func (d *tcprouterDep) Crash(i int) error {
 	for id, c := range d.clusters {
@@ -687,14 +860,26 @@ func (d *tcprouterDep) Crash(i int) error {
 		if err := c.srvs[i].Close(); err != nil {
 			return fmt.Errorf("cluster %s: %w", id, err)
 		}
+		c.closeBack(i)
 	}
 	return nil
 }
 
-func (d *tcprouterDep) Restart(i int, _ bool) error {
+func (d *tcprouterDep) Restart(i int, fresh bool) error {
 	for id, c := range d.clusters {
+		c.closeBack(i)
+		if fresh {
+			if err := os.RemoveAll(filepath.Join(d.clusterDir(id), serverName(i))); err != nil {
+				return fmt.Errorf("cluster %s: wipe server %d: %w", id, i, err)
+			}
+		}
 		err := rebindListener(c.srvs, c.addrs, i, func(addr string) (*tcpnet.Server, error) {
-			return listenKV(i, addr, d.shards)
+			srv, back, err := listenDurableKV(c.prov, i, addr, d.shards)
+			if err != nil {
+				return nil, err
+			}
+			c.backs[i] = back
+			return srv, nil
 		})
 		if err != nil {
 			return fmt.Errorf("cluster %s: %w", id, err)
@@ -709,6 +894,7 @@ func (d *tcprouterDep) Swap(i int, behavior string, seed int64) error {
 		if err != nil {
 			return err
 		}
+		c.closeBack(i) // the Byzantine automaton runs without storage
 		err = rebindListener(c.srvs, c.addrs, i, func(addr string) (*tcpnet.Server, error) {
 			return tcpnet.Listen(types.ServerID(i), addr, a)
 		})
@@ -720,11 +906,11 @@ func (d *tcprouterDep) Swap(i int, behavior string, seed int64) error {
 }
 
 func (d *tcprouterDep) JoinCluster() error {
-	c, err := startTCPCluster(d.cfg, d.shards)
+	id := ring.ID(d.nextID)
+	c, err := startTCPCluster(d.cfg, d.shards, d.clusterDir(id))
 	if err != nil {
 		return err
 	}
-	id := ring.ID(d.nextID)
 	if err := d.r.AddCluster(id, c.st); err != nil {
 		c.st.Close()
 		c.closeServers()
@@ -765,6 +951,9 @@ func (d *tcprouterDep) Close() {
 	}
 	for _, c := range d.retired {
 		c.closeServers()
+	}
+	if d.dir != "" {
+		_ = os.RemoveAll(d.dir)
 	}
 }
 

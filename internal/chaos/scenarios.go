@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"luckystore/internal/simnet"
+	"luckystore/internal/storage"
 	"luckystore/internal/types"
 )
 
@@ -293,6 +294,74 @@ var Scenarios = []Scenario{
 				{At: frac(p, 0.80), Action: Action{Kind: ActPartition, Groups: isolate(p, cutSrv)}},
 				{At: frac(p, 0.92), Action: Action{Kind: ActHeal}},
 			}
+		},
+	},
+	{
+		Name:        "kill-mid-fsync",
+		Description: "disks die mid-write (torn frame) and mid-commit (failed fsync); each victim restarts and recovers from its WAL",
+		NumKeys:     4,
+		Schedule: func(p SchedParams) []Event {
+			rng := rand.New(rand.NewSource(p.Seed))
+			perm := rng.Perm(p.Servers)
+			a, b := perm[0], perm[1%len(perm)]
+			// One victim down at a time — well inside t. Deployments
+			// without injectable storage skip the disk events benignly
+			// and the restarts become warm restarts of running servers.
+			return []Event{
+				{At: frac(p, 0.15), Action: Action{Kind: ActDiskFault, Server: a, Disk: storage.FaultTornWrite}},
+				{At: frac(p, 0.35), Action: Action{Kind: ActRestart, Server: a}},
+				{At: frac(p, 0.45), Action: Action{Kind: ActDiskFault, Server: b, Disk: storage.FaultFsyncError}},
+				{At: frac(p, 0.65), Action: Action{Kind: ActRestart, Server: b}},
+				{At: frac(p, 0.72), Action: Action{Kind: ActDiskFault, Server: a, Disk: storage.FaultTornWrite}},
+				{At: frac(p, 0.88), Action: Action{Kind: ActRestart, Server: a}},
+			}
+		},
+	},
+	{
+		Name:        "disk-faults-under-traffic",
+		Description: "staggered disk deaths on two servers while a third crash-restarts, all under hot-key traffic",
+		NumKeys:     3,
+		HotFrac:     0.6,
+		Schedule: func(p SchedParams) []Event {
+			rng := rand.New(rand.NewSource(p.Seed))
+			perm := rng.Perm(p.Servers)
+			a, b, c := perm[0], perm[1%len(perm)], perm[2%len(perm)]
+			// At most two servers faulty at once (a's dead disk plus c's
+			// crash), matching the default t=2 budget; smaller shapes see
+			// the guard skip the overlap deterministically.
+			return []Event{
+				{At: frac(p, 0.10), Action: Action{Kind: ActDiskFault, Server: a, Disk: storage.FaultTornWrite}},
+				{At: frac(p, 0.20), Action: Action{Kind: ActCrash, Server: c}},
+				{At: frac(p, 0.40), Action: Action{Kind: ActRestart, Server: a}},
+				{At: frac(p, 0.50), Action: Action{Kind: ActRestart, Server: c}},
+				{At: frac(p, 0.60), Action: Action{Kind: ActDiskFault, Server: b, Disk: storage.FaultFsyncError}},
+				{At: frac(p, 0.85), Action: Action{Kind: ActRestart, Server: b}},
+			}
+		},
+	},
+	{
+		Name:        "recover-under-load",
+		Description: "waves of up-to-t simultaneous crashes recover by WAL replay while writes and hot reads never pause",
+		NumKeys:     4,
+		HotFrac:     0.5,
+		WritePace:   400 * time.Microsecond,
+		Schedule: func(p SchedParams) []Event {
+			rng := rand.New(rand.NewSource(p.Seed))
+			const waves = 3
+			var evs []Event
+			for k := 0; k < waves; k++ {
+				victims := rng.Perm(p.Servers)[:max(p.T, 1)]
+				base := float64(k) / waves
+				for j, v := range victims {
+					down := frac(p, base+(0.10+0.05*float64(j))/waves)
+					up := frac(p, base+(0.55+0.08*float64(j))/waves)
+					evs = append(evs,
+						Event{At: down, Action: Action{Kind: ActCrash, Server: v}},
+						Event{At: up, Action: Action{Kind: ActRestart, Server: v}},
+					)
+				}
+			}
+			return evs
 		},
 	},
 	{

@@ -4,6 +4,8 @@ package core
 
 import (
 	"testing"
+
+	"luckystore/internal/storage"
 )
 
 // The steady-state allocation contract of the operation hot path
@@ -71,6 +73,59 @@ func TestGetSteadyStateAllocs(t *testing.T) {
 	}
 	if !r.LastMeta().Fast() {
 		t.Fatal("reads were not fast; the measurement did not hit the steady-state path")
+	}
+}
+
+// durableAllocBudget is the durability tax the WAL is allowed to add:
+// a disk-backed cluster (file backend, batched group-commit fsyncs) may
+// cost at most 2 allocations/op more than the same cluster writing
+// through in-memory backends. The WAL encode path reuses per-server
+// record buffers (storage.AppendRecord) and the group-commit batches
+// reuse their arenas, so steady state adds ~0; the budget leaves room
+// for the amortized arena growth and the occasional compaction cycle
+// inside the measurement window.
+const durableAllocBudget = 2
+
+// measureWriteAllocs brings up a disk-backed cluster over p and returns
+// the steady-state allocations per fast write.
+func measureWriteAllocs(t *testing.T, p storage.Provider) float64 {
+	t.Helper()
+	cl, err := NewCluster(Config{T: 1, B: 0, Fw: 0, NumReaders: 1}, WithStorage(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	w := cl.Writer()
+	for i := 0; i < 64; i++ {
+		if err := w.Write("warm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if err := w.Write("steady-state-value"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !w.LastMeta().Fast {
+		t.Fatal("writes were not fast; the measurement did not hit the steady-state path")
+	}
+	return allocs
+}
+
+// TestDurableFileWriteAllocOverhead pins the PR 8 acceptance bound:
+// file WAL + fsync batching within durableAllocBudget of the memory
+// backend, measured on identical clusters and traffic. Both backends
+// run their default compaction, so the comparison includes the same
+// amortized snapshot work.
+func TestDurableFileWriteAllocOverhead(t *testing.T) {
+	factory := func() storage.Automaton { return NewServer() }
+	mem := measureWriteAllocs(t, storage.NewMemProvider(factory))
+	file := measureWriteAllocs(t, storage.NewDirProvider(t.TempDir(), factory,
+		storage.WithSyncMode(storage.SyncBatched)))
+	t.Logf("steady-state write: memory %.1f allocs/op, file %.1f allocs/op", mem, file)
+	if file > mem+durableAllocBudget+0.5 {
+		t.Errorf("file backend costs %.1f allocs/op over memory's %.1f, budget +%d",
+			file-mem, mem, durableAllocBudget)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"luckystore/internal/node"
 	"luckystore/internal/simnet"
+	"luckystore/internal/storage"
 	"luckystore/internal/transport"
 	"luckystore/internal/types"
 )
@@ -18,9 +19,12 @@ type Cluster struct {
 	sim     *simnet.Network // non-nil when the cluster built its own simnet
 	factory func() node.Automaton
 	runners []*node.Runner
-	servers []node.Automaton
+	servers []node.Automaton // inner automata, for state inspection
 	writers []*Writer
 	readers []*Reader
+
+	store    storage.Provider
+	backends []storage.Backend // per server; nil when not durable
 }
 
 // ClusterOption configures a Cluster.
@@ -32,6 +36,7 @@ type clusterOpts struct {
 	automata  map[int]node.Automaton
 	regular   bool
 	dontStart map[int]bool
+	store     storage.Provider
 }
 
 // WithNetwork runs the cluster over an externally built network; the
@@ -64,6 +69,18 @@ func WithRegularServers() ClusterOption {
 	return func(o *clusterOpts) { o.regular = true }
 }
 
+// WithStorage gives every server a durable backend from the provider
+// (one per server, named by server identity): state-mutating messages
+// are logged and committed before their replies leave the server, any
+// existing records are replayed into the automaton at startup, and
+// RestartServer recovers from the backend instead of trusting what
+// the dead process left in memory. Servers whose automata were
+// substituted via WithServerAutomaton run without storage — a
+// Byzantine automaton has no meaningful durable state.
+func WithStorage(p storage.Provider) ClusterOption {
+	return func(o *clusterOpts) { o.store = p }
+}
+
 // NewCluster builds and starts a cluster for cfg.
 func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
@@ -82,7 +99,7 @@ func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 	ids = append(ids, types.WriterIDs(cfg.WritersN())...)
 	ids = append(ids, types.ReaderIDs(cfg.NumReaders)...)
 
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, store: o.store}
 	if o.regular {
 		c.factory = func() node.Automaton { return NewRegularServer() }
 	} else {
@@ -105,11 +122,23 @@ func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster server %d: %w", i, err)
 		}
 		a := o.automata[i]
+		substituted := a != nil
 		if a == nil {
 			a = c.factory()
 		}
-		r := node.NewRunner(ep, a)
+		run := a
+		var back storage.Backend
+		if c.store != nil && !substituted {
+			back, err = c.openAndRecover(i, a)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster server %d storage: %w", i, err)
+			}
+			run = storage.NewDurable(a, back, types.ServerID(i))
+		}
+		r := node.NewRunner(ep, run)
 		c.servers = append(c.servers, a)
+		c.backends = append(c.backends, back)
 		c.runners = append(c.runners, r)
 		if !o.dontStart[i] {
 			r.Start()
@@ -136,6 +165,26 @@ func NewCluster(cfg Config, opts ...ClusterOption) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// openAndRecover opens server i's backend and replays whatever it
+// already holds into a — on a fresh provider that is nothing; on a
+// reopened data directory it is the pre-crash state.
+func (c *Cluster) openAndRecover(i int, a node.Automaton) (storage.Backend, error) {
+	back, err := c.store.Open(string(types.ServerID(i)))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := storage.Recover(back, a); err != nil {
+		back.Close()
+		return nil, err
+	}
+	return back, nil
+}
+
+// ServerBackend returns server i's storage backend, nil when the
+// cluster runs without WithStorage (or the automaton was substituted).
+// Chaos deployments use it to arm injected disk faults.
+func (c *Cluster) ServerBackend(i int) storage.Backend { return c.backends[i] }
 
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -168,11 +217,17 @@ func (c *Cluster) CrashServer(i int) { c.runners[i].Crash() }
 // processed messages.
 func (c *Cluster) CrashServerAfterSteps(i, n int) { c.runners[i].CrashAfterSteps(n) }
 
-// RestartServer restarts server i's message pump after a crash, keeping
-// the automaton's state — a crash-recovery with stable storage, so the
-// restarted server is merely slow, not faulty, in the model's terms.
-// Messages sent while the server was down that are still queued in its
-// inbox are processed after the restart (they were "in transit").
+// RestartServer restarts server i's message pump after a crash — the
+// crash-recovery-with-stable-storage transition, so the restarted
+// server is merely slow, not faulty, in the model's terms. What
+// "stable storage" means depends on how the cluster was built: with a
+// WithStorage backend, a fresh automaton is rebuilt by replaying the
+// server's WAL (the in-memory state died with the crash, exactly as a
+// real process death would lose it); without one — the default — the
+// automaton object is simply kept across the restart, which models
+// stable storage only for in-process crashes. Messages sent while the
+// server was down that are still queued in its inbox are processed
+// after the restart (they were "in transit").
 //
 // Restart methods are for use by one coordinating goroutine (a test or
 // a chaos schedule); they do not synchronize with each other.
@@ -180,22 +235,46 @@ func (c *Cluster) RestartServer(i int) error {
 	if i < 0 || i >= len(c.servers) {
 		return fmt.Errorf("cluster restart: server %d out of range [0,%d)", i, len(c.servers))
 	}
-	return c.restart(i, c.servers[i])
+	if c.backends[i] == nil {
+		return c.restart(i, c.servers[i], c.servers[i])
+	}
+	a := c.factory()
+	if _, err := storage.Recover(c.backends[i], a); err != nil {
+		return fmt.Errorf("cluster restart server %d: %w", i, err)
+	}
+	return c.restart(i, a, storage.NewDurable(a, c.backends[i], types.ServerID(i)))
 }
 
-// RestartServerFresh restarts server i with a brand-new automaton: a
-// crash-recovery with NO stable storage. An amnesiac server answers
-// protocol-correctly from initial state, which the model can only
-// classify as Byzantine — schedules must count fresh-restarted servers
-// against b.
-func (c *Cluster) RestartServerFresh(i int) error { return c.restart(i, c.factory()) }
+// RestartServerFresh restarts server i with a brand-new automaton AND
+// a wiped backend: a crash-recovery with NO stable storage — the only
+// amnesiac path. An amnesiac server answers protocol-correctly from
+// initial state, which the model can only classify as Byzantine —
+// schedules must count fresh-restarted servers against b.
+func (c *Cluster) RestartServerFresh(i int) error {
+	if i < 0 || i >= len(c.servers) {
+		return fmt.Errorf("cluster restart: server %d out of range [0,%d)", i, len(c.servers))
+	}
+	a := c.factory()
+	if c.backends[i] == nil {
+		return c.restart(i, a, a)
+	}
+	if err := c.backends[i].Wipe(); err != nil {
+		return fmt.Errorf("cluster fresh-restart server %d: %w", i, err)
+	}
+	return c.restart(i, a, storage.NewDurable(a, c.backends[i], types.ServerID(i)))
+}
 
 // SwapServerAutomaton crash-stops server i and brings it back running
 // the given automaton — the hook chaos schedules use to turn a correct
-// server Byzantine (an internal/fault behavior) mid-run.
-func (c *Cluster) SwapServerAutomaton(i int, a node.Automaton) error { return c.restart(i, a) }
+// server Byzantine (an internal/fault behavior) mid-run. The swapped-in
+// automaton runs without storage; the server's backend is left intact,
+// so a later RestartServer recovers the last correct durable state.
+func (c *Cluster) SwapServerAutomaton(i int, a node.Automaton) error { return c.restart(i, a, a) }
 
-func (c *Cluster) restart(i int, a node.Automaton) error {
+// restart replaces server i's runner: inner is what tests inspect via
+// ServerAutomaton, run is what the runner actually steps (a Durable
+// wrapper around inner when the server is disk-backed).
+func (c *Cluster) restart(i int, inner, run node.Automaton) error {
 	if i < 0 || i >= len(c.runners) {
 		return fmt.Errorf("cluster restart: server %d out of range [0,%d)", i, len(c.runners))
 	}
@@ -204,20 +283,26 @@ func (c *Cluster) restart(i int, a node.Automaton) error {
 	if err != nil {
 		return fmt.Errorf("cluster restart server %d: %w", i, err)
 	}
-	r := node.NewRunner(ep, a)
-	c.servers[i] = a
+	r := node.NewRunner(ep, run)
+	c.servers[i] = inner
 	c.runners[i] = r
 	r.Start()
 	return nil
 }
 
 // Close stops every server runner and shuts the network down, joining
-// all goroutines the cluster started.
+// all goroutines the cluster started, then closes the storage
+// backends (flushing anything pending).
 func (c *Cluster) Close() {
 	if c.net != nil {
 		_ = c.net.Close() // closing endpoints unblocks every runner
 	}
 	for _, r := range c.runners {
 		r.Stop()
+	}
+	for _, b := range c.backends {
+		if b != nil {
+			_ = b.Close()
+		}
 	}
 }

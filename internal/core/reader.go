@@ -113,13 +113,16 @@ func (r *Reader) Read() (types.Tagged, error) {
 		if err := r.broadcast(wire.Read{TSR: r.tsr, Round: rnd}); err != nil {
 			return types.Tagged{}, err
 		}
-		if rnd == 1 {
-			timer = resetTimer(&r.roundTimer, r.cfg.roundTimeout())
-		}
+		timer = resetTimer(&r.roundTimer, r.cfg.roundTimeout())
+		inGrace := false
 
 		// Fig. 2 line 17: wait for S−t acks of this round, and in round
 		// 1 also for the synchrony timer (early exit when all S servers
-		// answered this round).
+		// answered this round). A timer expiry below a quorum starts
+		// the retransmitGrace cycle: after the grace the broadcast is
+		// re-sent (see the retransmitGrace doc — duplicates are
+		// idempotent on servers, and a lost broadcast would otherwise
+		// wedge the round until the operation deadline).
 		r.resetRoundSeen()
 		roundAcks := 0
 		for roundAcks < r.cfg.S() &&
@@ -132,6 +135,15 @@ func (r *Reader) Read() (types.Tagged, error) {
 				roundAcks += r.acceptAck(view, rnd, env)
 			case <-timer.C:
 				expired = true
+				if roundAcks < r.cfg.Quorum() {
+					if inGrace {
+						if err := r.broadcast(wire.Read{TSR: r.tsr, Round: rnd}); err != nil {
+							return types.Tagged{}, err
+						}
+					}
+					inGrace = true
+					timer = resetTimer(&r.roundTimer, retransmitGrace)
+				}
 			case <-opDeadline.C:
 				return types.Tagged{}, fmt.Errorf("READ(tsr=%d) round %d: %w", r.tsr, rnd, ErrOpTimeout)
 			}
@@ -208,6 +220,11 @@ func (r *Reader) writeBack(c types.Tagged, opDeadline *time.Timer) error {
 		if err := r.broadcast(wire.W{Round: round, Tag: int64(r.tsr), C: c}); err != nil {
 			return err
 		}
+		// Retransmit after the retransmitGrace cycle while below a
+		// quorum (see the query loop): write-back rounds are
+		// idempotent on servers.
+		timer := resetTimer(&r.roundTimer, r.cfg.roundTimeout())
+		inGrace := false
 		r.resetRoundSeen()
 		got := 0
 		for got < r.cfg.Quorum() {
@@ -224,6 +241,14 @@ func (r *Reader) writeBack(c types.Tagged, opDeadline *time.Timer) error {
 					r.roundSeen[i] = true
 					got++
 				}
+			case <-timer.C:
+				if inGrace {
+					if err := r.broadcast(wire.W{Round: round, Tag: int64(r.tsr), C: c}); err != nil {
+						return err
+					}
+				}
+				inGrace = true
+				timer = resetTimer(&r.roundTimer, retransmitGrace)
 			case <-opDeadline.C:
 				return fmt.Errorf("READ(tsr=%d) write-back round %d: %w", r.tsr, round, ErrOpTimeout)
 			}

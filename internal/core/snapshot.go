@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sort"
+
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// snapshotFrozenChunk bounds the frozen entries carried by one
+// synthetic PW, comfortably inside the wire codec's frozen-set cap.
+const snapshotFrozenChunk = 4096
+
+// SnapshotRecords emits the server's state as a bounded sequence of
+// synthetic protocol messages: replaying them into a fresh automaton
+// reproduces pw/w/vw, every frozen slot and every reader timestamp
+// exactly (storage.Snapshotter). Using ordinary messages keeps
+// recovery on the automaton's only state-mutation path — a snapshot
+// cannot express a state the protocol itself cannot reach.
+//
+// Order matters once: frozen slots are emitted before the reader
+// timestamps. At replay time every readerTS is still tsr0, so the
+// freezing guard (tsr >= readerTS[r]) accepts each stored pair
+// verbatim; the READs that restore the timestamps come after. The
+// register pairs ride W rounds 1–3 from the writer identity (accepted
+// by both the standard and the regular variant); merges are monotone
+// max-merges, so their relative order is irrelevant.
+//
+// The emission is bounded by live state — three pairs plus the
+// per-reader slots, nothing per writer and nothing per historical
+// write — which is what keeps the compacted log within the
+// space-bounds yardstick (DESIGN.md §11).
+func (s *Server) SnapshotRecords(emit func(from types.ProcID, m wire.Message) error) error {
+	s.mu.Lock()
+	pw, w, vw := s.pw, s.w, s.vw
+	frozen := make([]types.FrozenEntry, 0, len(s.frozen))
+	for r, fp := range s.frozen {
+		frozen = append(frozen, types.FrozenEntry{Reader: r, PW: fp.PW, TSR: fp.TSR})
+	}
+	readers := make([]types.ReadStamp, 0, len(s.readerTS))
+	for r, tsr := range s.readerTS {
+		readers = append(readers, types.ReadStamp{Reader: r, TSR: tsr})
+	}
+	s.mu.Unlock()
+	sort.Slice(frozen, func(i, j int) bool { return frozen[i].Reader < frozen[j].Reader })
+	sort.Slice(readers, func(i, j int) bool { return readers[i].Reader < readers[j].Reader })
+
+	from := types.WriterID()
+	for len(frozen) > 0 {
+		chunk := frozen
+		if len(chunk) > snapshotFrozenChunk {
+			chunk = chunk[:snapshotFrozenChunk]
+		}
+		frozen = frozen[len(chunk):]
+		if err := emit(from, wire.PW{TS: 1, PW: pw, W: w, Frozen: chunk}); err != nil {
+			return err
+		}
+	}
+	if !pw.IsBottom() {
+		if err := emit(from, wire.W{Round: 1, Tag: int64(pw.TS), C: pw}); err != nil {
+			return err
+		}
+	}
+	if !w.IsBottom() {
+		if err := emit(from, wire.W{Round: 2, Tag: int64(w.TS), C: w}); err != nil {
+			return err
+		}
+	}
+	if !vw.IsBottom() {
+		if err := emit(from, wire.W{Round: 3, Tag: int64(vw.TS), C: vw}); err != nil {
+			return err
+		}
+	}
+	for _, rs := range readers {
+		if err := emit(rs.Reader, wire.Read{TSR: rs.TSR, Round: 2}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

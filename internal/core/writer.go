@@ -185,6 +185,20 @@ func (w *Writer) NextTS() types.TS { return w.ts + 1 }
 // resetTimer arms a pooled timer, creating it on first use. Go 1.23+
 // timer semantics make Reset safe without draining: a pending fire from
 // a previous operation is discarded by the Reset.
+// retransmitGrace separates the synchrony verdict from loss recovery:
+// a wait loop whose round timer expired below a quorum re-arms for
+// this long before re-sending its round message. Scheduling jitter on
+// a loaded machine routinely delays an in-flight ack past a round
+// timer tuned to link delay; actual loss (a TCP conn silently
+// swallowing one write after its peer restarts) does not resolve
+// itself at any timescale. The grace keeps spurious retransmissions
+// out of the message-complexity measurements while still unwedging a
+// genuinely lost broadcast well inside any operation deadline.
+// Retransmission itself is always safe: server transitions are
+// idempotent max-merges, and duplicate messages are already part of
+// the chaos fault model.
+const retransmitGrace = 50 * time.Millisecond
+
 func resetTimer(t **time.Timer, d time.Duration) *time.Timer {
 	if *t == nil {
 		*t = time.NewTimer(d)
@@ -259,10 +273,24 @@ func (w *Writer) queryStamp(opDeadline *time.Timer) (types.Stamp, error) {
 	} else {
 		clear(w.wackSeen)
 	}
+	// Retransmit the query after the retransmitGrace cycle while below
+	// a quorum: a round-1 READ is stateless on servers, so re-asking
+	// is always safe.
+	timer := resetTimer(&w.roundTimer, w.cfg.roundTimeout())
+	defer timer.Stop()
+	inGrace := false
 	got := 0
 	qmax := types.Stamp0
 	for got < w.cfg.Quorum() {
 		select {
+		case <-timer.C:
+			if inGrace {
+				if err := w.sendTo(w.allServers(), wire.Read{TSR: w.qtsr, Round: 1}); err != nil {
+					return types.Stamp0, err
+				}
+			}
+			inGrace = true
+			timer = resetTimer(&w.roundTimer, retransmitGrace)
 		case env, ok := <-w.ep.Recv():
 			if !ok {
 				return types.Stamp0, transport.ErrClosed
@@ -315,6 +343,7 @@ func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, opDeadline *t
 	defer timer.Stop()
 	w.resetAcks()
 	expired := false
+	inGrace := false
 	for w.ackCount < w.cfg.S() && !(w.ackCount >= w.cfg.Quorum() && expired) {
 		select {
 		case env, ok := <-w.ep.Recv():
@@ -324,6 +353,20 @@ func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, opDeadline *t
 			w.acceptPWAck(env)
 		case <-timer.C:
 			expired = true
+			// Below a quorum the PW may have been lost on a stale
+			// conn; the merge is idempotent, so after the
+			// retransmitGrace cycle re-send (same targets, same
+			// frozen set) rather than wedge until the operation
+			// deadline.
+			if w.ackCount < w.cfg.Quorum() {
+				if inGrace {
+					if err := w.sendTo(w.pwTargets(f), pwMsg); err != nil {
+						return err
+					}
+				}
+				inGrace = true
+				timer = resetTimer(&w.roundTimer, retransmitGrace)
+			}
 		case <-opDeadline.C:
 			return fmt.Errorf("WRITE(ts=%d) pre-write phase: %w", w.ts, ErrOpTimeout)
 		}
@@ -354,14 +397,15 @@ func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, opDeadline *t
 	// Write phase (Fig. 1 lines 9–11): two more rounds.
 	for round := 2; round <= 3; round++ {
 		msg := wire.W{Round: round, Tag: int64(c.TS), C: w.pw}
-		if err := w.sendTo(w.wTargets(f, round), msg); err != nil {
+		targets := w.wTargets(f, round)
+		if err := w.sendTo(targets, msg); err != nil {
 			return err
 		}
 		if f != nil && f.CrashAfterW[round] {
 			w.crashed = true
 			return ErrCrashed
 		}
-		if err := w.awaitWAcks(round, int64(c.TS), opDeadline); err != nil {
+		if err := w.awaitWAcks(round, int64(c.TS), targets, msg, opDeadline); err != nil {
 			return err
 		}
 	}
@@ -507,13 +551,17 @@ func (w *Writer) duplicateStamp(newread []types.ReadStamp, j int) bool {
 	return false
 }
 
-// awaitWAcks waits for S−t valid WRITE_ACKs for the given round.
-func (w *Writer) awaitWAcks(round int, tag int64, opDeadline *time.Timer) error {
+// awaitWAcks waits for S−t valid WRITE_ACKs for the given round,
+// retransmitting msg to targets after the retransmitGrace cycle while
+// below a quorum (W rounds are idempotent on servers).
+func (w *Writer) awaitWAcks(round int, tag int64, targets []types.ProcID, msg wire.Message, opDeadline *time.Timer) error {
 	if w.wackSeen == nil {
 		w.wackSeen = make([]bool, w.cfg.S())
 	} else {
 		clear(w.wackSeen)
 	}
+	timer := resetTimer(&w.roundTimer, w.cfg.roundTimeout())
+	inGrace := false
 	got := 0
 	for got < w.cfg.Quorum() {
 		select {
@@ -529,6 +577,14 @@ func (w *Writer) awaitWAcks(round int, tag int64, opDeadline *time.Timer) error 
 				w.wackSeen[i] = true
 				got++
 			}
+		case <-timer.C:
+			if inGrace {
+				if err := w.sendTo(targets, msg); err != nil {
+					return err
+				}
+			}
+			inGrace = true
+			timer = resetTimer(&w.roundTimer, retransmitGrace)
 		case <-opDeadline.C:
 			return fmt.Errorf("WRITE(ts=%d) W round %d: %w", w.ts, round, ErrOpTimeout)
 		}

@@ -1,0 +1,62 @@
+package keyed
+
+import (
+	"sort"
+
+	"luckystore/internal/transport"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// snapshotter mirrors storage.Snapshotter structurally, so this
+// package stays free of a storage dependency.
+type snapshotter interface {
+	SnapshotRecords(emit func(from types.ProcID, m wire.Message) error) error
+}
+
+// SnapshotRecords implements storage.Snapshotter for the keyed server:
+// each register's snapshot records are emitted wrapped in that key's
+// Keyed envelope, in sorted key order so snapshots are deterministic.
+// Registers whose automata cannot snapshot themselves are skipped.
+// The caller must be quiesced relative to stepping (compaction and
+// recovery both own their automaton privately).
+func (s *Server) SnapshotRecords(emit func(from types.ProcID, m wire.Message) error) error {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.regs))
+	for k := range s.regs {
+		keys = append(keys, k)
+	}
+	regs := make(map[string]snapshotter, len(keys))
+	for k, reg := range s.regs {
+		if sn, ok := reg.(snapshotter); ok {
+			regs[k] = sn
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		sn, ok := regs[k]
+		if !ok {
+			continue
+		}
+		key := k
+		if err := sn.SnapshotRecords(func(from types.ProcID, m wire.Message) error {
+			return emit(from, wire.Keyed{Key: key, Inner: m})
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step implements node.Automaton across the whole sharded server for
+// single-goroutine contexts — log replay during recovery steps keyed
+// records through the same routing the live traffic used. It must not
+// race the shard workers: recover before the runner starts.
+func (s *ShardedServer) Step(from types.ProcID, m wire.Message) []transport.Outgoing {
+	i := 0
+	if k, ok := m.(wire.Keyed); ok {
+		i = ShardIndex(k.Key, len(s.shards))
+	}
+	return s.shards[i].Step(from, m)
+}

@@ -31,6 +31,7 @@ import (
 	"luckystore/internal/keyed"
 	"luckystore/internal/node"
 	"luckystore/internal/simnet"
+	"luckystore/internal/storage"
 	"luckystore/internal/transport"
 	"luckystore/internal/types"
 )
@@ -62,6 +63,7 @@ type openOptions struct {
 	contenders int
 	writerID   types.ProcID
 	readerBase int
+	store      storage.Provider
 }
 
 // WithShards sets the number of shard workers each server runs its
@@ -95,6 +97,19 @@ func WithWriterID(id types.ProcID) Option {
 	return func(o *openOptions) { o.writerID = id }
 }
 
+// WithStorage gives every server a durable backend from the provider
+// (one per server, named by server identity). Every shard of a server
+// writes through the shared backend before acknowledging — the file
+// backend's group commit batches the shards' concurrent fsyncs — and
+// RestartServer rebuilds the whole keyed state by replaying the
+// backend instead of trusting what the dead process left in memory.
+// The provider's factory must produce keyed automata (e.g.
+// kv.NewServerAutomaton) so compaction and recovery route wire.Keyed
+// records correctly.
+func WithStorage(p storage.Provider) Option {
+	return func(o *openOptions) { o.store = p }
+}
+
 // WithReaderBase offsets the store's reader identities: local reader
 // idx speaks as types.ReaderID(base+idx). Contending stores need
 // disjoint reader ids — servers key the freezing machinery by reader
@@ -118,11 +133,14 @@ type Store struct {
 	shards     int
 	net        transport.Network
 	sim        *simnet.Network
-	contenders int          // contender identities pre-registered at Open
-	writerID   types.ProcID // identity this store's writers bind stamps under
-	readerBase int          // local reader idx speaks as ReaderID(readerBase+idx)
+	contenders int                    // contender identities pre-registered at Open
+	writerID   types.ProcID           // identity this store's writers bind stamps under
+	readerBase int                    // local reader idx speaks as ReaderID(readerBase+idx)
 	runners    []node.Process         // per-server pumps (sharded, or plain after a swap)
 	srvs       []*keyed.ShardedServer // per-server keyed state, retained for warm restarts
+
+	store    storage.Provider
+	backends []storage.Backend // per server; nil when not durable
 
 	writerDemux  *keyed.Demux
 	readerDemuxs []*keyed.Demux
@@ -182,6 +200,7 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 		contenders: o.contenders,
 		writerID:   types.WriterID(),
 		readers:    make([]sync.Map, cfg.NumReaders),
+		store:      o.store,
 	}
 	for i := 0; i < cfg.S(); i++ {
 		ep, err := sim.Endpoint(types.ServerID(i))
@@ -190,8 +209,17 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 			return nil, err
 		}
 		srv := keyed.NewShardedServer(o.shards, func() node.Automaton { return core.NewServer() })
-		r := node.NewShardedRunner(ep, srv.Shards(), srv.Route())
+		var back storage.Backend
+		if st.store != nil {
+			back, err = st.openAndRecover(i, srv)
+			if err != nil {
+				st.Close()
+				return nil, fmt.Errorf("kv server %d storage: %w", i, err)
+			}
+		}
+		r := node.NewShardedRunner(ep, durableShards(srv, back, i), srv.Route())
 		st.srvs = append(st.srvs, srv)
+		st.backends = append(st.backends, back)
 		st.runners = append(st.runners, r)
 		r.Start()
 	}
@@ -231,6 +259,15 @@ func NewShardedServerAutomaton(n int) *keyed.ShardedServer {
 		n = DefaultShards()
 	}
 	return keyed.NewShardedServer(n, func() node.Automaton { return core.NewServer() })
+}
+
+// NewStorageAutomaton returns the automaton storage backends rebuild
+// state into during compaction and recovery: a serialized keyed server
+// of core registers that can snapshot itself. Pass it as the factory
+// of storage.NewMemProvider / storage.NewDirProvider when opening a
+// store (or TCP server) with durable storage.
+func NewStorageAutomaton() storage.Automaton {
+	return keyed.NewServer(func() node.Automaton { return core.NewServer() })
 }
 
 // OpenWithEndpoints builds a client-side store over externally provided
@@ -529,11 +566,14 @@ func (s *Store) GetBatch(idx int, keys []string) (map[string]types.Tagged, error
 // once — machines fail, not registers).
 func (s *Store) CrashServer(i int) { s.runners[i].Crash() }
 
-// RestartServer restarts server i after a crash, keeping every
-// register's state (crash-recovery with stable storage): the server is
-// merely slow, not faulty, in the model's terms. Only valid on a store
-// that owns its servers (Open); stores over external endpoints return
-// an error.
+// RestartServer restarts server i after a crash — crash-recovery with
+// stable storage, so the server is merely slow, not faulty, in the
+// model's terms. With a WithStorage backend a fresh keyed server is
+// rebuilt by replaying the server's WAL (the in-memory state died with
+// the process); without one the server object is simply kept, which
+// models stable storage only for in-process crashes. Only valid on a
+// store that owns its servers (Open); stores over external endpoints
+// return an error.
 //
 // Restart methods are for use by one coordinating goroutine (a chaos
 // schedule); they do not synchronize with each other.
@@ -542,23 +582,38 @@ func (s *Store) RestartServer(i int) error {
 	if err != nil {
 		return err
 	}
+	back := s.backends[i]
+	if back != nil {
+		srv = keyed.NewShardedServer(s.shards, func() node.Automaton { return core.NewServer() })
+		if _, err := storage.Recover(back, srv); err != nil {
+			return fmt.Errorf("kv restart server %d: %w", i, err)
+		}
+		s.srvs[i] = srv
+	}
 	return s.restart(i, func(ep transport.Endpoint) node.Process {
-		return node.NewShardedRunner(ep, srv.Shards(), srv.Route())
+		return node.NewShardedRunner(ep, durableShards(srv, back, i), srv.Route())
 	})
 }
 
-// RestartServerFresh restarts server i with empty register state — a
-// crash-recovery with NO stable storage. An amnesiac server answers
-// protocol-correctly from initial state, which the model can only
-// classify as Byzantine; schedules must count fresh restarts against b.
+// RestartServerFresh restarts server i with empty register state AND a
+// wiped backend — a crash-recovery with NO stable storage, the only
+// amnesiac path. An amnesiac server answers protocol-correctly from
+// initial state, which the model can only classify as Byzantine;
+// schedules must count fresh restarts against b.
 func (s *Store) RestartServerFresh(i int) error {
 	if _, err := s.serverFor(i); err != nil {
 		return err
 	}
+	back := s.backends[i]
+	if back != nil {
+		if err := back.Wipe(); err != nil {
+			return fmt.Errorf("kv fresh-restart server %d: %w", i, err)
+		}
+	}
 	srv := keyed.NewShardedServer(s.shards, func() node.Automaton { return core.NewServer() })
 	s.srvs[i] = srv
 	return s.restart(i, func(ep transport.Endpoint) node.Process {
-		return node.NewShardedRunner(ep, srv.Shards(), srv.Route())
+		return node.NewShardedRunner(ep, durableShards(srv, back, i), srv.Route())
 	})
 }
 
@@ -574,6 +629,43 @@ func (s *Store) SwapServerAutomaton(i int, a node.Automaton) error {
 		return node.NewRunner(ep, a)
 	})
 }
+
+// openAndRecover opens server i's backend and replays whatever it
+// already holds into srv — nothing on a fresh provider, the pre-crash
+// keyed state on a reopened data directory. Replay routes through
+// ShardedServer.Step before the shard workers start, so no locking.
+func (s *Store) openAndRecover(i int, srv *keyed.ShardedServer) (storage.Backend, error) {
+	back, err := s.store.Open(string(types.ServerID(i)))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := storage.Recover(back, srv); err != nil {
+		back.Close()
+		return nil, err
+	}
+	return back, nil
+}
+
+// durableShards returns the automata the shard workers step: the bare
+// shards when back is nil, or each shard wrapped in a storage.Durable
+// sharing the server's one backend — their records land in a single
+// ordered log and their commits share group fsyncs.
+func durableShards(srv *keyed.ShardedServer, back storage.Backend, i int) []node.Automaton {
+	shards := srv.Shards()
+	if back == nil {
+		return shards
+	}
+	out := make([]node.Automaton, len(shards))
+	for j, sh := range shards {
+		out[j] = storage.NewDurable(sh, back, types.ServerID(i))
+	}
+	return out
+}
+
+// ServerBackend returns server i's storage backend, nil when the store
+// runs without WithStorage. Chaos deployments use it to arm injected
+// disk faults.
+func (s *Store) ServerBackend(i int) storage.Backend { return s.backends[i] }
 
 func (s *Store) serverFor(i int) (*keyed.ShardedServer, error) {
 	if s.sim == nil {
@@ -620,6 +712,11 @@ func (s *Store) Close() {
 		}
 		for _, r := range s.runners {
 			r.Stop()
+		}
+		for _, b := range s.backends {
+			if b != nil {
+				_ = b.Close()
+			}
 		}
 	})
 }

@@ -1,0 +1,105 @@
+package kv_test
+
+import (
+	"testing"
+
+	"luckystore/internal/core"
+	"luckystore/internal/kv"
+	"luckystore/internal/storage"
+	"luckystore/internal/types"
+)
+
+// TestStoreRestartRecoversFromBackend pins the durable KV path: with
+// WithStorage, RestartServer rebuilds every key's register by
+// replaying the server's WAL — whatever the restarted server knows, it
+// learned from the log, across all shards sharing one backend.
+func TestStoreRestartRecoversFromBackend(t *testing.T) {
+	cfg := core.Config{T: 1, B: 0, NumReaders: 1}
+	prov := storage.NewMemProvider(kv.NewStorageAutomaton)
+	s, err := kv.Open(cfg, kv.WithStorage(prov), kv.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for round, suffix := range []string{"-1", "-2"} {
+		for _, k := range keys {
+			if err := s.Put(k, types.Value(k+suffix)); err != nil {
+				t.Fatalf("put round %d %q: %v", round, k, err)
+			}
+		}
+	}
+
+	for i := 0; i < cfg.S(); i++ {
+		s.CrashServer(i)
+		if err := s.RestartServer(i); err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+	}
+
+	for _, k := range keys {
+		got, err := s.Get(0, k)
+		if err != nil {
+			t.Fatalf("get %q after restarts: %v", k, err)
+		}
+		if want := types.Value(k + "-2"); got.Val != want {
+			t.Fatalf("get %q = %q after restarts, want %q", k, got.Val, want)
+		}
+	}
+	if st := s.ServerBackend(0).Stats(); st.Records == 0 {
+		t.Fatalf("backend recorded nothing")
+	}
+}
+
+// TestStoreFreshRestartWipesBackend pins that RestartServerFresh is
+// the only amnesiac path for a durable KV server.
+func TestStoreFreshRestartWipesBackend(t *testing.T) {
+	cfg := core.Config{T: 1, B: 0, NumReaders: 1}
+	prov := storage.NewMemProvider(kv.NewStorageAutomaton)
+	s, err := kv.Open(cfg, kv.WithStorage(prov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashServer(2)
+	if err := s.RestartServerFresh(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.ServerBackend(2).Stats(); st.Records != 0 {
+		t.Fatalf("fresh restart left %d records in the backend", st.Records)
+	}
+}
+
+// TestStoreFileBackedEndToEnd runs a disk-backed store on the real
+// file WAL: write a few keys, crash+restart every server, read back.
+func TestStoreFileBackedEndToEnd(t *testing.T) {
+	cfg := core.Config{T: 1, B: 0, NumReaders: 1}
+	prov := storage.NewDirProvider(t.TempDir(), kv.NewStorageAutomaton)
+	s, err := kv.Open(cfg, kv.WithStorage(prov), kv.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, k := range []string{"x", "y", "z"} {
+		if err := s.Put(k, types.Value("durable-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < cfg.S(); i++ {
+		s.CrashServer(i)
+		if err := s.RestartServer(i); err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+	}
+	got, err := s.Get(0, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "durable-y" {
+		t.Fatalf("get y = %q, want %q", got.Val, "durable-y")
+	}
+}

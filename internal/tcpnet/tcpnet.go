@@ -491,7 +491,15 @@ func (c *Client) readLoop(from types.ProcID, cc *clientConn) {
 	for {
 		env, err := wire.DecodeFrame(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, net.ErrClosed) {
+				// The server went away (EOF on crash/shutdown) or the
+				// stream broke: uncache the connection now so the next
+				// send dials fresh instead of writing into a half-closed
+				// socket — such a write "succeeds" locally and the
+				// message is silently lost, which wedges one-shot
+				// operations against a restarted cluster. ErrClosed means
+				// our own side tore the connection down (Close or a
+				// concurrent dropConn); nothing to uncache.
 				c.dropConn(from, cc)
 			}
 			return

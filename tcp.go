@@ -6,6 +6,8 @@ import (
 
 	"luckystore/internal/core"
 	"luckystore/internal/kv"
+	"luckystore/internal/node"
+	"luckystore/internal/storage"
 	"luckystore/internal/tcpnet"
 	"luckystore/internal/transport"
 	"luckystore/internal/types"
@@ -22,6 +24,7 @@ const WireFormatVersion = wire.FormatVersion
 // TCPServer is one storage server listening on a real TCP socket.
 type TCPServer struct {
 	inner *tcpnet.Server
+	back  storage.Backend // non-nil when disk-backed (WithTCPDataDir)
 }
 
 // Addr returns the listening address (host:port).
@@ -31,17 +34,52 @@ func (s *TCPServer) Addr() string { return s.inner.Addr() }
 func (s *TCPServer) ID() ProcID { return s.inner.ID() }
 
 // Close stops the server; to the rest of the cluster this is a crash.
-func (s *TCPServer) Close() error { return s.inner.Close() }
+// A disk-backed server closes its WAL after the listener — stepping
+// has stopped by then, so the final flush+fsync captures every
+// acknowledged operation.
+func (s *TCPServer) Close() error {
+	err := s.inner.Close()
+	if s.back != nil {
+		if cerr := s.back.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // ListenTCP starts storage server i on addr (use "127.0.0.1:0" to pick
 // a free port). A production deployment runs one of these per machine;
-// cmd/luckyd wraps it as a daemon.
-func ListenTCP(i int, addr string) (*TCPServer, error) {
-	inner, err := tcpnet.Listen(types.ServerID(i), addr, core.NewServer())
+// cmd/luckyd wraps it as a daemon. With WithTCPDataDir the server
+// recovers its register from the directory's WAL before listening and
+// writes through it before acknowledging.
+func ListenTCP(i int, addr string, opts ...TCPOption) (*TCPServer, error) {
+	var o tcpOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	a := core.NewServer()
+	run := node.Automaton(a)
+	var back storage.Backend
+	if o.dataDir != "" {
+		var err error
+		back, err = storage.NewFile(o.dataDir, func() storage.Automaton { return core.NewServer() })
+		if err != nil {
+			return nil, fmt.Errorf("luckystore server %d storage: %w", i, err)
+		}
+		if _, err := storage.Recover(back, a); err != nil {
+			_ = back.Close()
+			return nil, fmt.Errorf("luckystore server %d recovery: %w", i, err)
+		}
+		run = storage.NewDurable(a, back, types.ServerID(i))
+	}
+	inner, err := tcpnet.Listen(types.ServerID(i), addr, run)
 	if err != nil {
+		if back != nil {
+			_ = back.Close()
+		}
 		return nil, err
 	}
-	return &TCPServer{inner: inner}, nil
+	return &TCPServer{inner: inner, back: back}, nil
 }
 
 // ServerAddrs builds the address map clients need from an ordered list
@@ -87,18 +125,30 @@ func NewTCPReader(cfg Config, i int, servers map[ProcID]string) (*Reader, io.Clo
 	return core.NewReader(cfg, id, ep), ep, nil
 }
 
-// TCPOption configures ListenTCPKV.
+// TCPOption configures ListenTCP and ListenTCPKV.
 type TCPOption func(*tcpOptions)
 
 type tcpOptions struct {
-	shards int
+	shards  int
+	dataDir string
 }
 
 // WithTCPShards sets how many shard workers the TCP KV server steps its
 // per-key registers on. Values below 1 mean the default (one per CPU,
-// capped — see kv.DefaultShards).
+// capped — see kv.DefaultShards). Ignored by ListenTCP.
 func WithTCPShards(n int) TCPOption {
 	return func(o *tcpOptions) { o.shards = n }
+}
+
+// WithTCPDataDir makes the server durable: its WAL and snapshots live
+// in dir (created if absent, one directory per server process). On
+// startup the server replays the directory's records — truncating a
+// torn tail left by a crash — before accepting connections, and every
+// state-mutating message is fsynced (group-committed) before its reply
+// leaves. Without this option the server keeps state only in memory
+// and a process death is an amnesiac (Byzantine-counted) restart.
+func WithTCPDataDir(dir string) TCPOption {
+	return func(o *tcpOptions) { o.dataDir = dir }
 }
 
 // ListenTCPKV starts a key-value storage server on addr: one lucky
@@ -115,11 +165,33 @@ func ListenTCPKV(i int, addr string, opts ...TCPOption) (*TCPServer, error) {
 		opt(&o)
 	}
 	srv := kv.NewShardedServerAutomaton(o.shards)
-	inner, err := tcpnet.ListenSharded(types.ServerID(i), addr, srv.Shards(), srv.Route())
+	shards := srv.Shards()
+	var back storage.Backend
+	if o.dataDir != "" {
+		var err error
+		back, err = storage.NewFile(o.dataDir, kv.NewStorageAutomaton)
+		if err != nil {
+			return nil, fmt.Errorf("luckystore kv server %d storage: %w", i, err)
+		}
+		// Replay routes through the sharded server's single-goroutine
+		// Step before any shard worker exists, then every shard writes
+		// through the one backend (group-committed fsyncs).
+		if _, err := storage.Recover(back, srv); err != nil {
+			_ = back.Close()
+			return nil, fmt.Errorf("luckystore kv server %d recovery: %w", i, err)
+		}
+		for j, sh := range shards {
+			shards[j] = storage.NewDurable(sh, back, types.ServerID(i))
+		}
+	}
+	inner, err := tcpnet.ListenSharded(types.ServerID(i), addr, shards, srv.Route())
 	if err != nil {
+		if back != nil {
+			_ = back.Close()
+		}
 		return nil, err
 	}
-	return &TCPServer{inner: inner}, nil
+	return &TCPServer{inner: inner, back: back}, nil
 }
 
 // OpenKVTCP connects the client side of a key-value store to a TCP

@@ -1,0 +1,194 @@
+package luckystore_test
+
+// Durable TCP e2e (PR 8 tentpole): disk-backed servers recover from
+// their data directories after every process is torn down — the
+// in-memory state is gone, so anything the reborn cluster serves, it
+// replayed from its WALs. Pre-crash stamps must survive exactly:
+// serving a lower stamp after acknowledging a write would be a
+// regression of acknowledged state, which the model counts Byzantine.
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"luckystore"
+)
+
+// durableTCPCfg runs in multi-writer mode (Writers: 2): the writer
+// client that reconnects after the cluster reboot is itself a fresh
+// process, and only the MW stamp-query round lets it bind timestamps
+// above the recovered state instead of replaying stale ones.
+func durableTCPCfg() luckystore.Config {
+	return luckystore.Config{T: 1, B: 0, Fw: 0, NumReaders: 1, Writers: 2,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 10 * time.Second}
+}
+
+// startDurableKVCluster starts S disk-backed KV servers, each with its
+// own subdirectory of root.
+func startDurableKVCluster(t *testing.T, cfg luckystore.Config, root string, addrs []string) []*luckystore.TCPServer {
+	t.Helper()
+	servers := make([]*luckystore.TCPServer, cfg.S())
+	for i := range servers {
+		addr := "127.0.0.1:0"
+		if addrs != nil {
+			addr = addrs[i]
+		}
+		var srv *luckystore.TCPServer
+		var err error
+		for attempt := 0; attempt < 100; attempt++ {
+			srv, err = luckystore.ListenTCPKV(i, addr,
+				luckystore.WithTCPShards(2),
+				luckystore.WithTCPDataDir(filepath.Join(root, srv0Name(i))))
+			if err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond) // address may linger in TIME_WAIT
+		}
+		if err != nil {
+			t.Fatalf("listen %d on %s: %v", i, addr, err)
+		}
+		servers[i] = srv
+	}
+	return servers
+}
+
+func srv0Name(i int) string { return string(rune('a'+i)) + "-data" }
+
+// TestTCPKVDurableRestartServesPreCrashState kills every server in a
+// disk-backed KV cluster and restarts them on the same addresses from
+// the same directories: the reborn cluster must serve the exact
+// pre-crash pairs — timestamps included — with zero warm memory to
+// lean on. This is the "RestartServer genuinely disk-backed" pin for
+// the TCP deployment.
+func TestTCPKVDurableRestartServesPreCrashState(t *testing.T) {
+	cfg := durableTCPCfg()
+	root := t.TempDir()
+	servers := startDurableKVCluster(t, cfg, root, nil)
+	addrs := make([]string, len(servers))
+	for i, s := range servers {
+		addrs[i] = s.Addr()
+	}
+
+	store, err := luckystore.OpenKVTCP(cfg, luckystore.ServerAddrs(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"alpha", "beta", "gamma"}
+	for _, k := range keys {
+		if err := store.Put(k, luckystore.Value("v1-"+k)); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+		if err := store.Put(k, luckystore.Value("v2-"+k)); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	want := make(map[string]luckystore.Tagged, len(keys))
+	for _, k := range keys {
+		got, err := store.Get(0, k)
+		if err != nil {
+			t.Fatalf("pre-crash get %q: %v", k, err)
+		}
+		want[k] = got
+	}
+	store.Close()
+
+	// Total cluster death: every process gone, every register's memory
+	// with it.
+	for _, s := range servers {
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+
+	reborn := startDurableKVCluster(t, cfg, root, addrs)
+	defer func() {
+		for _, s := range reborn {
+			s.Close()
+		}
+	}()
+
+	store2, err := luckystore.OpenKVTCP(cfg, luckystore.ServerAddrs(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	for _, k := range keys {
+		got, err := store2.Get(0, k)
+		if err != nil {
+			t.Fatalf("post-restart get %q: %v", k, err)
+		}
+		if got != want[k] {
+			t.Fatalf("post-restart get %q = %+v, want pre-crash %+v", k, got, want[k])
+		}
+	}
+	// And the recovered cluster still makes progress.
+	if err := store2.Put("alpha", "v3"); err != nil {
+		t.Fatalf("post-restart put: %v", err)
+	}
+	got, err := store2.Get(0, "alpha")
+	if err != nil || got.Val != "v3" {
+		t.Fatalf("post-restart rw cycle = %v, %v", got, err)
+	}
+}
+
+// TestTCPDurableSingleRegister pins the same contract for the plain
+// (single-register) ListenTCP path with WithTCPDataDir.
+func TestTCPDurableSingleRegister(t *testing.T) {
+	cfg := durableTCPCfg()
+	root := t.TempDir()
+	addrs := make([]string, cfg.S())
+	servers := make([]*luckystore.TCPServer, cfg.S())
+	for i := range servers {
+		srv, err := luckystore.ListenTCP(i, "127.0.0.1:0",
+			luckystore.WithTCPDataDir(filepath.Join(root, srv0Name(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	addrMap := luckystore.ServerAddrs(addrs)
+
+	w, wc, err := luckystore.NewTCPWriter(cfg, addrMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("persisted"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	wc.Close()
+	for _, s := range servers {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := range servers {
+		var srv *luckystore.TCPServer
+		for attempt := 0; attempt < 100; attempt++ {
+			srv, err = luckystore.ListenTCP(i, addrs[i],
+				luckystore.WithTCPDataDir(filepath.Join(root, srv0Name(i))))
+			if err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("relisten %d: %v", i, err)
+		}
+		defer srv.Close()
+	}
+	r, rc, err := luckystore.NewTCPReader(cfg, 0, addrMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := r.Read()
+	if err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if got.Val != "persisted" {
+		t.Fatalf("read %q after restart, want %q", got.Val, "persisted")
+	}
+}
