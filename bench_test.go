@@ -16,6 +16,7 @@ package luckystore_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -619,6 +620,134 @@ func BenchmarkTCPKVPutBatch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*benchBatchKeys)/b.Elapsed().Seconds(), "puts/s")
+}
+
+// --- Multi-writer fast-path benchmarks ------------------------------
+
+// benchMWStores opens a KV deployment with the given number of writer
+// identities — on the in-memory simnet or over loopback TCP — and
+// returns one client store per identity (index 0 is the primary).
+func benchMWStores(b *testing.B, writers int, tcp bool) []*kv.Store {
+	b.Helper()
+	cfg := core.Config{T: 1, B: 0, Fw: 1, NumReaders: 1,
+		RoundTimeout: 50 * time.Millisecond, OpTimeout: 30 * time.Second}
+	if !tcp {
+		var opts []kv.Option
+		if writers > 1 {
+			opts = append(opts, kv.WithContenders(writers-1))
+		}
+		st, err := kv.Open(cfg, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(st.Close)
+		stores := []*kv.Store{st}
+		for k := 1; k < writers; k++ {
+			ct, err := st.OpenContender(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(ct.Close)
+			stores = append(stores, ct)
+		}
+		return stores
+	}
+	if writers > 1 {
+		cfg.Writers = writers
+	}
+	m := make(map[types.ProcID]string, cfg.S())
+	for i := 0; i < cfg.S(); i++ {
+		auto := kv.NewShardedServerAutomaton(4)
+		srv, err := tcpnet.ListenSharded(types.ServerID(i), "127.0.0.1:0", auto.Shards(), auto.Route())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = srv.Close() })
+		m[types.ServerID(i)] = srv.Addr()
+	}
+	stores := make([]*kv.Store, writers)
+	for k := 0; k < writers; k++ {
+		wid := types.WriterIDN(k)
+		wep, err := tcpnet.Dial(wid, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := k * cfg.NumReaders
+		reps := make([]transport.Endpoint, cfg.NumReaders)
+		for i := range reps {
+			if reps[i], err = tcpnet.Dial(types.ReaderID(base+i), m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st, err := kv.OpenWithEndpoints(cfg, wep, reps,
+			kv.WithWriterID(wid), kv.WithReaderBase(base))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(st.Close)
+		stores[k] = st
+	}
+	return stores
+}
+
+// BenchmarkMWWriteFastPath measures hot-key Put throughput by writer
+// contention, on the in-memory network and over loopback TCP
+// (BENCH_mw.json in CI, both GOMAXPROCS legs). sw-baseline is the
+// published single-writer Fig. 1 path; uncontended opens a second
+// identity but writes only through the primary, so every steady-state
+// put rides the speculative one-round fast path (DESIGN.md §12) and
+// should track the baseline — the query-elision claim, priced.
+// contenders=2/4 race that many identities on the one key, where NACK
+// flips and query rounds price real contention.
+func BenchmarkMWWriteFastPath(b *testing.B) {
+	for _, tcp := range []bool{false, true} {
+		netName := "simnet"
+		if tcp {
+			netName = "tcp"
+		}
+		for _, v := range []struct {
+			name            string
+			writers, active int
+		}{
+			{"sw-baseline", 1, 1},
+			{"uncontended", 2, 1},
+			{"contenders=2", 2, 2},
+			{"contenders=4", 4, 4},
+		} {
+			b.Run(netName+"/"+v.name, func(b *testing.B) {
+				stores := benchMWStores(b, v.writers, tcp)
+				const key = "hot"
+				for w := 0; w < v.active; w++ { // warm caches; spec engages
+					for i := 0; i < 64; i++ {
+						if err := stores[w].Put(key, "warm"); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < v.active; w++ {
+					n := b.N / v.active
+					if w == 0 {
+						n += b.N % v.active
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							if err := stores[w].Put(key, types.Value(fmt.Sprintf("w%d.v%d", w, i))); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "puts/s")
+			})
+		}
+	}
 }
 
 // --- Router scale-out benchmarks ------------------------------------

@@ -6,16 +6,21 @@
 //	luckyctl -t 2 -b 1 -fw 1 -servers host:p0,host:p1,... read
 //	luckyctl wal <data-dir | segment-file>   # offline WAL inspection
 //	luckyctl wal -dump <segment-file>
+//	luckyctl stamps <data-dir>               # offline installed-stamp dump
 //
 // The server list must contain exactly S = 2t+b+1 addresses, in server
 // index order. The exit status is 0 on success; the read subcommand
 // prints "ts=<k> value=<v>" plus the round-trip count observed.
 //
-// The wal subcommand needs no cluster: it scans a server's data
-// directory (or one snapshot/log segment) offline, reporting per
+// The wal and stamps subcommands need no cluster. wal scans a server's
+// data directory (or one snapshot/log segment) offline, reporting per
 // segment the record count, byte size, CRC verdict and — for a file
-// with a torn tail — the byte offset where recovery would truncate.
-// Exit status 1 means at least one segment is damaged.
+// with a torn tail — the byte offset where recovery would truncate;
+// exit status 1 means at least one segment is damaged. stamps replays
+// the directory's segments through a real server automaton and prints,
+// per register, the installed ⟨seq, writer⟩ stamps (pw/w/vw) and the
+// written value a recovering server would hold — with multiple writer
+// identities, the stamp's writer component names whose write won.
 package main
 
 import (
@@ -47,13 +52,16 @@ func run(args []string) int {
 		return 2
 	}
 	if fs.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "luckyctl: need a subcommand: write <value> | read | wal <path>")
+		fmt.Fprintln(os.Stderr, "luckyctl: need a subcommand: write <value> | read | wal <path> | stamps <dir>")
 		return 2
 	}
-	// The wal subcommand is offline — dispatch before any cluster
-	// configuration is demanded or validated.
+	// The wal and stamps subcommands are offline — dispatch before any
+	// cluster configuration is demanded or validated.
 	if fs.Arg(0) == "wal" {
 		return runWAL(fs.Args()[1:])
+	}
+	if fs.Arg(0) == "stamps" {
+		return runStamps(fs.Args()[1:])
 	}
 
 	cfg := luckystore.Config{T: *t, B: *b, Fw: *fw,

@@ -143,7 +143,15 @@ type Report struct {
 	OpError    string         `json:"op_error,omitempty"`
 	Violations []string       `json:"violations,omitempty"`
 	Clean      bool           `json:"clean"`
-	History    []OpRecord     `json:"history,omitempty"`
+	// Writers is the contending writer-identity count the traffic ran
+	// with; MWClamped marks that the scenario asked for more than the
+	// deployment exposes and the run was clamped to single-writer (the
+	// matrix runs every scenario over every deployment kind, so the
+	// degradation is deliberate here — and explicit, unlike the silent
+	// fallback workload.Continuous used to apply).
+	Writers   int        `json:"writers,omitempty"`
+	MWClamped bool       `json:"mw_clamped,omitempty"`
+	History   []OpRecord `json:"history,omitempty"`
 
 	ops []checker.Op
 }
@@ -224,8 +232,19 @@ func Run(d Deployment, sc Scenario, seed int64, duration time.Duration, opts Opt
 	events := sc.Schedule(p)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 
+	// The matrix runs every scenario over every deployment kind, so a
+	// multi-writer scenario on a single-writer deployment clamps to one
+	// identity here — explicitly, recorded in the report — instead of
+	// tripping workload.ErrMWUnsupported.
+	genWriters := sc.Writers
+	clamped := false
+	if genWriters > 1 && writers <= 1 {
+		genWriters, clamped = 1, true
+	}
+
 	rep := &Report{
 		Scenario: sc.Name, Deployment: d.Kind(), Seed: seed, Duration: duration,
+		Writers: max(genWriters, 1), MWClamped: clamped,
 	}
 
 	// Traffic.
@@ -234,7 +253,7 @@ func Run(d Deployment, sc Scenario, seed int64, duration time.Duration, opts Opt
 	gen := workload.Continuous{
 		Keys: keys, Seed: seed,
 		HotFrac:   sc.HotFrac,
-		Writers:   sc.Writers,
+		Writers:   genWriters,
 		WritePace: sc.WritePace, ReadPace: sc.ReadPace,
 	}
 	type wlResult struct {

@@ -265,6 +265,61 @@ func TestContendingWritersEngagesBothIdentities(t *testing.T) {
 	}
 }
 
+// The fleet variant of the same guarantee: contending-writers-fleet on
+// the router deployments must route both writer identities through the
+// per-cluster writer-identity maps, across a join and a retirement.
+func TestContendingWritersFleetEngagesBothIdentities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	sc, err := Lookup("contending-writers-fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"router", "tcprouter"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			d, err := Open(kind, 2, sc.Writers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			mw, ok := d.(workload.MultiWriter)
+			if !ok || mw.NumWriters() != sc.Writers {
+				t.Fatalf("fleet deployment %s has no %d-writer capability", kind, sc.Writers)
+			}
+			rep, err := Run(d, sc, 11, 500*time.Millisecond, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.MWClamped {
+				t.Fatal("fleet run clamped multi-writer traffic to SWMR")
+			}
+			if rep.OpError != "" {
+				t.Errorf("operation error: %s", rep.OpError)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			perWriter := map[types.ProcID]int{}
+			for _, op := range rep.RecordedOps() {
+				if op.Kind == checker.KindWrite && op.Err == nil {
+					perWriter[op.Client]++
+					if idx := op.Client.WriterIndex(); op.Value.Stamp().Writer != types.WID(idx) {
+						t.Fatalf("op by %s bound writer component %d", op.Client, op.Value.Stamp().Writer)
+					}
+				}
+			}
+			for w := 0; w < sc.Writers; w++ {
+				if perWriter[types.WriterIDN(w)] == 0 {
+					t.Errorf("writer identity %d recorded no completed writes", w)
+				}
+			}
+		})
+	}
+}
+
 // fakeDep satisfies Deployment for guard unit tests; fault hooks
 // always succeed.
 type fakeDep struct{ cold bool }

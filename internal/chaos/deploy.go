@@ -582,10 +582,41 @@ const routerSeed = 1
 
 type routerDep struct {
 	workload.RouterDriver
-	cfg    core.Config
-	r      *router.Router
-	stores map[ring.ClusterID]*kv.Store // active clusters only
-	nextID int
+	cfg     core.Config
+	writers int
+	r       *router.Router
+	stores  map[ring.ClusterID]*kv.Store // active clusters only
+	nextID  int
+}
+
+// openSimCluster opens one simnet KV cluster for a router fleet:
+// in-memory storage backends, and — when writers > 1 — that many
+// writer identities, with every contender store adopted into the
+// primary so the cluster exposes the router's writer-identity map
+// (kv.Store.PutAs). The primary owns the contenders; closing it closes
+// them.
+func openSimCluster(cfg core.Config, writers int) (*kv.Store, error) {
+	opts := []kv.Option{kv.WithStorage(storage.NewMemProvider(kv.NewStorageAutomaton))}
+	if writers > 1 {
+		opts = append(opts, kv.WithContenders(writers-1))
+	}
+	st, err := kv.Open(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for k := 1; k < writers; k++ {
+		ct, err := st.OpenContender(k)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if err := st.AdoptContender(ct); err != nil {
+			ct.Close()
+			st.Close()
+			return nil, err
+		}
+	}
+	return st, nil
 }
 
 // NewRouter builds a scale-out fleet of n simnet KV clusters behind
@@ -593,15 +624,17 @@ type routerDep struct {
 // "rack i" in fleet terms — so the per-cluster failure budget (t, b)
 // is stressed everywhere at once while staying within the model. Each
 // cluster's servers write through in-memory storage backends, so a
-// warm restart is a genuine WAL replay.
-func NewRouter(cfg core.Config, n int) (Deployment, error) {
+// warm restart is a genuine WAL replay. writers > 1 opens that many
+// writer identities on every cluster (including ones that join later),
+// so fleet deployments carry contending multi-writer traffic.
+func NewRouter(cfg core.Config, n, writers int) (Deployment, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("chaos router: need at least one cluster")
 	}
-	d := &routerDep{cfg: cfg, stores: make(map[ring.ClusterID]*kv.Store, n)}
+	d := &routerDep{cfg: cfg, writers: writers, stores: make(map[ring.ClusterID]*kv.Store, n)}
 	backends := make(map[ring.ClusterID]router.Backend, n)
 	for ; d.nextID < n; d.nextID++ {
-		st, err := kv.Open(cfg, kv.WithStorage(storage.NewMemProvider(kv.NewStorageAutomaton)))
+		st, err := openSimCluster(cfg, writers)
 		if err != nil {
 			for _, prev := range d.stores {
 				prev.Close()
@@ -672,7 +705,7 @@ func (d *routerDep) Swap(i int, behavior string, seed int64) error {
 }
 
 func (d *routerDep) JoinCluster() error {
-	st, err := kv.Open(d.cfg, kv.WithStorage(storage.NewMemProvider(kv.NewStorageAutomaton)))
+	st, err := openSimCluster(d.cfg, d.writers)
 	if err != nil {
 		return err
 	}
@@ -740,8 +773,11 @@ func (c *tcpCluster) closeBack(i int) {
 }
 
 // startTCPCluster starts S sharded KV listeners with file WALs under
-// dir and dials a store.
-func startTCPCluster(cfg core.Config, shards int, dir string) (*tcpCluster, error) {
+// dir and dials a store. writers > 1 dials that many client stores
+// under contending writer identities (disjoint reader identities, same
+// listeners) and adopts each into the primary, so the cluster exposes
+// the writer-identity map fleet routers need (kv.Store.PutAs).
+func startTCPCluster(cfg core.Config, shards, writers int, dir string) (*tcpCluster, error) {
 	c := &tcpCluster{
 		prov:  storage.NewFaultProvider(storage.NewDirProvider(dir, kv.NewStorageAutomaton)),
 		backs: make([]storage.Backend, cfg.S()),
@@ -782,6 +818,20 @@ func startTCPCluster(cfg core.Config, shards int, dir string) (*tcpCluster, erro
 		return nil, err
 	}
 	c.st = st
+	for k := 1; k < writers; k++ {
+		ct, err := dialStore(cfg, addrMap, k)
+		if err != nil {
+			st.Close() // closes any contenders adopted so far
+			c.closeServers()
+			return nil, err
+		}
+		if err := st.AdoptContender(ct); err != nil {
+			ct.Close()
+			st.Close()
+			c.closeServers()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -789,6 +839,7 @@ type tcprouterDep struct {
 	workload.RouterDriver
 	cfg      core.Config
 	shards   int
+	writers  int
 	dir      string // temp data root, one subdirectory per cluster
 	r        *router.Router
 	clusters map[ring.ClusterID]*tcpCluster // active clusters only
@@ -799,8 +850,13 @@ type tcprouterDep struct {
 // NewTCPRouter builds a scale-out fleet of n loopback-TCP KV clusters
 // behind one router: the real-deployment shape of a fleet, where every
 // cluster is S sockets, a crash is a listener teardown, and every
-// server keeps a file WAL so restarts recover from disk.
-func NewTCPRouter(cfg core.Config, shards, n int) (Deployment, error) {
+// server keeps a file WAL so restarts recover from disk. writers > 1
+// dials that many contending writer identities per cluster (joined
+// clusters included), so the fleet carries multi-writer traffic.
+func NewTCPRouter(cfg core.Config, shards, n, writers int) (Deployment, error) {
+	if writers > 1 && cfg.Writers < writers {
+		cfg.Writers = writers
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -811,7 +867,7 @@ func NewTCPRouter(cfg core.Config, shards, n int) (Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos tcprouter: data dir: %w", err)
 	}
-	d := &tcprouterDep{cfg: cfg, shards: shards, dir: dir, clusters: make(map[ring.ClusterID]*tcpCluster, n)}
+	d := &tcprouterDep{cfg: cfg, shards: shards, writers: writers, dir: dir, clusters: make(map[ring.ClusterID]*tcpCluster, n)}
 	backends := make(map[ring.ClusterID]router.Backend, n)
 	fail := func(err error) (Deployment, error) {
 		for _, c := range d.clusters {
@@ -823,7 +879,7 @@ func NewTCPRouter(cfg core.Config, shards, n int) (Deployment, error) {
 	}
 	for ; d.nextID < n; d.nextID++ {
 		id := ring.ID(d.nextID)
-		c, err := startTCPCluster(cfg, shards, d.clusterDir(id))
+		c, err := startTCPCluster(cfg, shards, writers, d.clusterDir(id))
 		if err != nil {
 			return fail(err)
 		}
@@ -907,7 +963,7 @@ func (d *tcprouterDep) Swap(i int, behavior string, seed int64) error {
 
 func (d *tcprouterDep) JoinCluster() error {
 	id := ring.ID(d.nextID)
-	c, err := startTCPCluster(d.cfg, d.shards, d.clusterDir(id))
+	c, err := startTCPCluster(d.cfg, d.shards, d.writers, d.clusterDir(id))
 	if err != nil {
 		return err
 	}
@@ -959,10 +1015,12 @@ func (d *tcprouterDep) Close() {
 
 // Open builds a deployment by kind name with the default chaos
 // configuration — the entry point luckychaos and the smoke matrix use.
-// writers > 1 opens that many writer identities on the kinds that
-// support contention (core, kv, tcpkv); the fleet and regular kinds
-// stay single-writer, and multi-writer scenarios degrade to SWMR
-// traffic on them.
+// writers > 1 opens that many writer identities on every kind that
+// supports contention (core, kv, tcpkv, router, tcprouter — the fleet
+// kinds route contending writes through their per-cluster
+// writer-identity maps); only the regular variant stays single-writer,
+// and multi-writer scenarios are explicitly clamped to SWMR traffic on
+// it (Report.MWClamped).
 func Open(kind string, readers, writers int) (Deployment, error) {
 	switch kind {
 	case "core":
@@ -974,9 +1032,9 @@ func Open(kind string, readers, writers int) (Deployment, error) {
 	case "tcpkv":
 		return NewTCPKV(DefaultConfig(readers), 0, writers)
 	case "router":
-		return NewRouter(DefaultConfig(readers), 2)
+		return NewRouter(DefaultConfig(readers), 2, writers)
 	case "tcprouter":
-		return NewTCPRouter(DefaultConfig(readers), 0, 2)
+		return NewTCPRouter(DefaultConfig(readers), 0, 2, writers)
 	case "regular":
 		cfg := DefaultConfig(readers)
 		return NewRegular(regular.Config{

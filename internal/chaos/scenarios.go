@@ -297,6 +297,26 @@ var Scenarios = []Scenario{
 		},
 	},
 	{
+		Name:        "contending-writers-fleet",
+		Description: "two writer identities race on hot keys spread across a fleet while a cluster joins, a rack crash-restarts, and an original cluster retires",
+		NumKeys:     6,
+		HotFrac:     0.6,
+		Writers:     2,
+		Schedule: func(p SchedParams) []Event {
+			rng := rand.New(rand.NewSource(p.Seed))
+			victim := rng.Intn(p.Servers)
+			// Fleet events land between the crash window's edges so
+			// migrations overlap contending traffic; non-fleet deployments
+			// skip the join/remove benignly and keep the crash-restart.
+			return []Event{
+				{At: frac(p, 0.15), Action: Action{Kind: ActJoinCluster}},
+				{At: frac(p, 0.30), Action: Action{Kind: ActCrash, Server: victim}},
+				{At: frac(p, 0.55), Action: Action{Kind: ActRestart, Server: victim}},
+				{At: frac(p, 0.70), Action: Action{Kind: ActRemoveCluster, Server: 0}},
+			}
+		},
+	},
+	{
 		Name:        "kill-mid-fsync",
 		Description: "disks die mid-write (torn frame) and mid-commit (failed fsync); each victim restarts and recovers from its WAL",
 		NumKeys:     4,

@@ -129,6 +129,53 @@ func TestDurableFileWriteAllocOverhead(t *testing.T) {
 	}
 }
 
+// TestMWFastPathWriteAllocs pins the speculative multi-writer path to
+// the single-writer allocation contract: once the stamp cache is warm
+// and the key is quiet, an MW Put elides the query round and its hot
+// path costs no more than the published Fig. 1 write — the same
+// 1 + S message boxings. The query-round slow path (NoSpec) may spend
+// up to double: it boxes one READ request plus S READ_ACKs on top.
+func TestMWFastPathWriteAllocs(t *testing.T) {
+	measure := func(noSpec bool) (float64, WriteMeta) {
+		cl, err := NewCluster(Config{T: 1, B: 0, Fw: 0, NumReaders: 1,
+			Writers: 2, NoSpec: noSpec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		w := cl.WriterN(0)
+		for i := 0; i < 64; i++ {
+			if err := w.Write("warm"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(300, func() {
+			if err := w.Write("steady-state-value"); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return allocs, w.LastMeta()
+	}
+
+	spec, m := measure(false)
+	if !m.Fast || !m.Spec || m.Queried {
+		t.Fatalf("measurement missed the speculative fast path: %+v", m)
+	}
+	if spec > steadyStateAllocBudget+0.5 {
+		t.Errorf("speculative MW write: %.1f allocs/op, budget %d (single-writer contract)",
+			spec, steadyStateAllocBudget)
+	}
+
+	slow, m := measure(true)
+	if !m.Fast || m.Spec || !m.Queried {
+		t.Fatalf("NoSpec measurement missed the query path: %+v", m)
+	}
+	if slow > 2*steadyStateAllocBudget+0.5 {
+		t.Errorf("query-round MW write: %.1f allocs/op, budget %d", slow, 2*steadyStateAllocBudget)
+	}
+	t.Logf("MW write allocs/op: speculative %.1f, query-round %.1f", spec, slow)
+}
+
 // TestNewServerZeroMapAllocs pins the lazy-state contract: an idle
 // register costs the Server struct alone — the per-reader maps appear
 // only when a slow READ first touches them.

@@ -60,11 +60,18 @@ type Config struct {
 	// Writers is the number of writer clients sharing the register
 	// (MWMR). Zero or one selects the single-writer protocol exactly as
 	// published: no query round, stamps carry the writer's id with no
-	// contention possible. Above one, every WRITE first queries a
-	// quorum for the highest stamp (one extra round-trip) so concurrent
-	// writers totally order their stamps — the fine-grained-analysis
-	// bound that multi-writer fast writes need a solo writer.
+	// contention possible. Above one, a WRITE totally orders its stamp
+	// against concurrent writers: by default adaptively — a writer whose
+	// stamp cache is warm and whose telemetry says the key is quiet
+	// sends a speculative pre-write directly (one round, servers reject
+	// stale stamps), falling back to the explicit stamp-query round
+	// (one extra round-trip) under contention (DESIGN.md §12).
 	Writers int
+	// NoSpec disables the speculative multi-writer fast path: every
+	// MWMR WRITE pays the stamp-query round unconditionally, the pre-§12
+	// behavior. Benchmarks and experiments use it to measure the two
+	// regimes against each other; deployments have no reason to set it.
+	NoSpec bool
 	// RoundTimeout is the round-1 timer duration; zero selects
 	// DefaultRoundTimeout.
 	RoundTimeout time.Duration

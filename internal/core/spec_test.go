@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"luckystore/internal/checker"
+	"luckystore/internal/storage"
+	"luckystore/internal/types"
+	"luckystore/internal/wire"
+)
+
+// specConfig is the canonical multi-writer deployment for the
+// speculative fast-path tests (DESIGN.md §12): two writers, fw = 1 so
+// a quorum of acks is fast.
+func specConfig() Config {
+	return Config{T: 1, B: 0, Fw: 1, NumReaders: 1, Writers: 2,
+		RoundTimeout: 10 * time.Millisecond}
+}
+
+// After one warm-up write (cold cache: the writer must query), every
+// uncontended write speculates and completes in a single round trip —
+// the query round is elided.
+func TestMWSpecFastPathEngages(t *testing.T) {
+	c, err := NewCluster(specConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := c.WriterN(0)
+
+	if err := w.Write("warmup"); err != nil {
+		t.Fatal(err)
+	}
+	if m := w.LastMeta(); !m.Queried || m.Spec {
+		t.Fatalf("cold-cache write meta = %+v, want queried and not speculative", m)
+	}
+
+	const ops = 10
+	for i := 0; i < ops; i++ {
+		if err := w.Write(types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		m := w.LastMeta()
+		if !m.Spec || m.Queried || !m.Fast || m.Rounds != 1 {
+			t.Fatalf("uncontended MW write %d meta = %+v, want speculative fast 1-round", i, m)
+		}
+		if !m.Ghost.IsZero() {
+			t.Fatalf("uncontended speculative write %d left a ghost: %v", i, m.Ghost)
+		}
+	}
+	st := w.Stats()
+	if st.SpecAttempts != ops || st.SpecOps != ops || st.SpecFlips != 0 {
+		t.Errorf("stats = %+v, want %d clean speculative ops", st, ops)
+	}
+	if got := w.LastMeta().Stamp(); got != (types.Stamp{Seq: ops + 1, Writer: 0}) {
+		t.Errorf("final stamp = %v, want %d.0", got, ops+1)
+	}
+
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != types.Value(fmt.Sprintf("v%d", ops-1)) {
+		t.Errorf("read = %+v, want the last speculative write", got)
+	}
+}
+
+// A speculative pre-write whose cached stamp is stale is NACKed by the
+// servers, makes no server state change beyond the acks already in
+// flight, and the operation falls back to the query round — completing
+// strictly above both the installed stamp and its own ghost.
+func TestMWSpecNackFallsBackToQuery(t *testing.T) {
+	cfg := specConfig()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := c.WriterN(0)
+
+	for _, v := range []types.Value{"warm", "spec"} {
+		if err := w.Write(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := w.LastMeta(); !m.Spec {
+		t.Fatalf("warm uncontended write meta = %+v, want speculative", m)
+	}
+
+	// Another writer raced far ahead while w0 was not looking.
+	installed := types.Tagged{TS: 50, W: 1, Val: "raced"}
+	for i := 0; i < cfg.S(); i++ {
+		c.ServerAutomaton(i).(*Server).InjectState(installed, installed, installed)
+	}
+
+	if err := w.Write("mine"); err != nil {
+		t.Fatal(err)
+	}
+	m := w.LastMeta()
+	if m.Spec || !m.Queried {
+		t.Fatalf("stale-cache write meta = %+v, want flipped to the query path", m)
+	}
+	if m.Ghost != (types.Stamp{Seq: 3, Writer: 0}) {
+		t.Errorf("ghost = %v, want the aborted speculative stamp 3.0", m.Ghost)
+	}
+	if m.Stamp() != (types.Stamp{Seq: 51, Writer: 0}) {
+		t.Errorf("stamp = %v, want 51.0 (strictly above the installed 50.1)", m.Stamp())
+	}
+	st := w.Stats()
+	if st.SpecFlips != 1 {
+		t.Errorf("stats = %+v, want exactly one flip", st)
+	}
+
+	// The NACK cleared the calm flag: the next write pays the query
+	// round without even attempting to speculate.
+	attempts := st.SpecAttempts
+	if err := w.Write("after"); err != nil {
+		t.Fatal(err)
+	}
+	if m := w.LastMeta(); m.Spec || !m.Queried {
+		t.Fatalf("post-contention write meta = %+v, want query path", m)
+	}
+	if got := w.Stats().SpecAttempts; got != attempts {
+		t.Errorf("post-contention write speculated (attempts %d → %d); calm flag not cleared", attempts, got)
+	}
+
+	// An uncontended completion restores calm, so speculation resumes.
+	if err := w.Write("calm-again"); err != nil {
+		t.Fatal(err)
+	}
+	if m := w.LastMeta(); !m.Spec {
+		t.Fatalf("second post-contention write meta = %+v, want speculation restored", m)
+	}
+}
+
+// The server's writer-stamp rule, at the automaton level: a speculative
+// PW at or below the installed pre-write stamp is NACKed with no state
+// change; re-delivering the identical pair is acknowledged normally
+// (idempotent retransmit); a non-speculative PW is never NACKed.
+func TestServerSpecNackRule(t *testing.T) {
+	s := NewServer()
+	winner := types.Tagged{TS: 5, W: 1, Val: "winner"}
+	stepOne(t, s, types.WriterIDN(1), wire.PW{TS: 5, PW: winner, W: types.Bottom(), Spec: true})
+
+	// Lower stamp, spec: NACK carrying the installed maximum.
+	loser := types.Tagged{TS: 5, W: 0, Val: "loser"}
+	reply := stepOne(t, s, types.WriterIDN(0), wire.PW{TS: 5, PW: loser, W: types.Bottom(), Spec: true})
+	nack, ok := reply.(wire.PWNack)
+	if !ok {
+		t.Fatalf("reply = %+v, want PW_NACK", reply)
+	}
+	if nack.TS != 5 || nack.Max != winner.Stamp() {
+		t.Errorf("nack = %+v, want ts=5 max=%v", nack, winner.Stamp())
+	}
+	if pw, _, _ := s.State(); pw != winner {
+		t.Errorf("NACK changed server state: pw = %v", pw)
+	}
+
+	// The identical pair again: normal ack (retransmit stays idempotent).
+	reply = stepOne(t, s, types.WriterIDN(1), wire.PW{TS: 5, PW: winner, W: types.Bottom(), Spec: true})
+	if _, ok := reply.(wire.PWAck); !ok {
+		t.Fatalf("identical spec retransmit reply = %+v, want PW_ACK", reply)
+	}
+
+	// The same losing pair without Spec: the published merge — stale
+	// values are ignored but always acknowledged.
+	reply = stepOne(t, s, types.WriterIDN(0), wire.PW{TS: 5, PW: loser, W: types.Bottom()})
+	if _, ok := reply.(wire.PWAck); !ok {
+		t.Fatalf("non-spec PW reply = %+v, want PW_ACK", reply)
+	}
+	if pw, _, _ := s.State(); pw != winner {
+		t.Errorf("stale non-spec PW overwrote state: pw = %v", pw)
+	}
+}
+
+// Nasty interleaving: a speculating writer races a WriteAt handoff
+// replay that installs a far-higher foreign stamp (the rebalance
+// primitive) on the same register. Whatever the interleaving, the
+// speculating writer's completed stamps stay distinct and increasing,
+// and any aborted attempt surfaces as a ghost strictly below its
+// operation's completed stamp.
+func TestMWSpecRacesWriteAtReplay(t *testing.T) {
+	c, err := NewCluster(specConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w0, w1 := c.WriterN(0), c.WriterN(1)
+
+	if err := w0.Write("warm"); err != nil { // warm the cache so w0 speculates
+		t.Fatal(err)
+	}
+
+	const ops = 20
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Replays arrive at foreign stamps far above w0's cache, forcing
+		// NACKs mid-stream.
+		for i := 1; i <= ops; i++ {
+			rep := types.Tagged{TS: types.TS(100 * i), W: 7, Val: types.Value(fmt.Sprintf("mig%d", i))}
+			if err := w1.WriteAt(rep); err != nil {
+				t.Errorf("WriteAt %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	var stamps []types.Stamp
+	var ghosts []types.Stamp
+	for i := 0; i < ops; i++ {
+		if err := w0.Write(types.Value(fmt.Sprintf("w0-%d", i))); err != nil {
+			t.Fatalf("w0 op %d: %v", i, err)
+		}
+		m := w0.LastMeta()
+		stamps = append(stamps, m.Stamp())
+		if !m.Ghost.IsZero() {
+			ghosts = append(ghosts, m.Ghost)
+			if !m.Ghost.Less(m.Stamp()) {
+				t.Fatalf("op %d ghost %v not strictly below completed stamp %v", i, m.Ghost, m.Stamp())
+			}
+		}
+	}
+	wg.Wait()
+
+	for i := 1; i < len(stamps); i++ {
+		if !stamps[i-1].Less(stamps[i]) {
+			t.Errorf("w0 stamps not increasing: %v then %v", stamps[i-1], stamps[i])
+		}
+	}
+	seen := map[types.Stamp]bool{}
+	for _, st := range append(append([]types.Stamp{}, stamps...), ghosts...) {
+		if seen[st] {
+			t.Errorf("stamp %v bound twice across completions and ghosts", st)
+		}
+		seen[st] = true
+	}
+
+	// The register converges: a read returns the overall maximum.
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stamps[len(stamps)-1]
+	if rep := (types.Stamp{Seq: 100 * ops, Writer: 7}); want.Less(rep) {
+		want = rep
+	}
+	if got.Stamp() != want {
+		t.Errorf("read stamp = %v, want the maximum %v", got.Stamp(), want)
+	}
+}
+
+// Nasty interleaving: cache staleness across server restarts. The
+// stamps another writer installed survive on disk (PR 8's WAL), so a
+// writer that slept through both the contention and the reboot gets its
+// stale speculative attempt NACKed by recovered state — not silently
+// accepted against empty registers.
+func TestMWSpecStaleCacheAcrossRestart(t *testing.T) {
+	cfg := specConfig()
+	c, err := NewCluster(cfg, WithStorage(storage.NewDirProvider(
+		t.TempDir(), func() storage.Automaton { return NewServer() })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w0, w1 := c.WriterN(0), c.WriterN(1)
+
+	if err := w0.Write("w0-warm"); err != nil { // w0's cache: 〈1.0〉
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ { // w1 races ahead to 〈9.1〉
+		if err := w1.Write(types.Value(fmt.Sprintf("w1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last1 := w1.LastMeta().Stamp()
+
+	for i := 0; i < cfg.S(); i++ { // reboot every server from its WAL
+		c.CrashServer(i)
+		if err := c.RestartServer(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := w0.Write("w0-after"); err != nil {
+		t.Fatal(err)
+	}
+	m := w0.LastMeta()
+	if m.Spec {
+		t.Fatalf("stale speculative attempt completed against recovered stamps: %+v", m)
+	}
+	if m.Ghost.IsZero() || !m.Ghost.Less(last1) {
+		t.Errorf("ghost = %v, want the aborted stale attempt below %v", m.Ghost, last1)
+	}
+	if !last1.Less(m.Stamp()) {
+		t.Errorf("stamp = %v, want strictly above w1's recovered %v", m.Stamp(), last1)
+	}
+	got, err := c.Reader(0).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "w0-after" {
+		t.Errorf("read = %+v, want w0's post-restart write", got)
+	}
+}
+
+// Hand-built history for the checker: the collision the NACK rule
+// exists to prevent. A speculative attempt that guessed 〈5.0〉 while
+// 〈5.1〉 was already completed must lose — recorded as a failed (ghost)
+// write plus a completion strictly above, which the checker accepts,
+// including a concurrent read that returns the lingering ghost. Had the
+// attempt "won" (completed at 〈5.0〉 in real time after 〈5.1〉), the
+// checker must flag the history.
+func TestCheckerSpecGhostCollision(t *testing.T) {
+	base := time.Now()
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	ghostErr := fmt.Errorf("speculative attempt aborted")
+
+	// w1's winning write is concurrent with w0's whole operation: only
+	// then can a reader still return the dominated ghost — once 〈5.1〉
+	// completes, a quorum holds it and every later read returns ≥ 〈5.1〉.
+	w1op := checker.Op{Client: types.WriterIDN(1), Kind: checker.KindWrite,
+		Value: types.Tagged{TS: 5, W: 1, Val: "winner"}, Invoke: at(0), Return: at(30)}
+	// w0's operation: ghost at 5.0 (failed), completion at 6.0 — both
+	// inside one invocation window.
+	ghost := checker.Op{Client: types.WriterIDN(0), Kind: checker.KindWrite,
+		Value: types.Tagged{TS: 5, W: 0, Val: "retry"}, Invoke: at(20), Return: at(40), Err: ghostErr}
+	retry := checker.Op{Client: types.WriterIDN(0), Kind: checker.KindWrite,
+		Value: types.Tagged{TS: 6, W: 0, Val: "retry"}, Invoke: at(20), Return: at(40)}
+	// A read concurrent with w0's operation legitimately returns the
+	// lingering ghost pair.
+	ghostRead := checker.Op{Client: types.ReaderID(0), Kind: checker.KindRead,
+		Value: types.Tagged{TS: 5, W: 0, Val: "retry"}, Invoke: at(25), Return: at(35)}
+	lateRead := checker.Op{Client: types.ReaderID(0), Kind: checker.KindRead,
+		Value: types.Tagged{TS: 6, W: 0, Val: "retry"}, Invoke: at(50), Return: at(60)}
+
+	good := []checker.Op{w1op, ghost, retry, ghostRead, lateRead}
+	if vs := checker.CheckAtomicity(good); len(vs) != 0 {
+		t.Fatalf("ghost-collision history must be atomic, got %v", vs)
+	}
+
+	// The counterfactual: the speculative attempt completes at 5.0 even
+	// though 5.1 finished before it began. Stamp order now contradicts
+	// real-time order and the checker must say so.
+	bad := []checker.Op{
+		{Client: types.WriterIDN(1), Kind: checker.KindWrite,
+			Value: types.Tagged{TS: 5, W: 1, Val: "winner"}, Invoke: at(0), Return: at(10)},
+		{Client: types.WriterIDN(0), Kind: checker.KindWrite,
+			Value: types.Tagged{TS: 5, W: 0, Val: "retry"}, Invoke: at(20), Return: at(40)},
+	}
+	if vs := checker.CheckAtomicity(bad); len(vs) == 0 {
+		t.Fatal("speculative write completing below a previously completed stamp must be flagged")
+	}
+}

@@ -11,6 +11,16 @@ type OpStats struct {
 	Ops         int
 	FastOps     int
 	TotalRounds int
+	// Speculative fast-path telemetry (writers in multi-writer
+	// deployments only, DESIGN.md §12): attempts counts speculative
+	// pre-writes sent, SpecOps those that completed the operation
+	// (all-ACK quorum), SpecFlips those aborted to the query-round slow
+	// path by a NACK or a starved quorum. An operation whose attempt
+	// flipped still completes — it just pays the extra round — so
+	// SpecFlips measures wasted speculation, not failures.
+	SpecAttempts int
+	SpecOps      int
+	SpecFlips    int
 }
 
 // record folds one completed operation into the stats.
@@ -29,6 +39,24 @@ func (s OpStats) FastFraction() float64 {
 		return 0
 	}
 	return float64(s.FastOps) / float64(s.Ops)
+}
+
+// FlipRate reports the share of speculative attempts that aborted to
+// the slow path, 0 when the writer never speculated.
+func (s OpStats) FlipRate() float64 {
+	if s.SpecAttempts == 0 {
+		return 0
+	}
+	return float64(s.SpecFlips) / float64(s.SpecAttempts)
+}
+
+// SpecFraction reports the share of operations that completed on the
+// speculative fast path, 0 for an empty history.
+func (s OpStats) SpecFraction() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.SpecOps) / float64(s.Ops)
 }
 
 // MeanRounds reports the average round-trips per operation, 0 for an

@@ -30,6 +30,18 @@ type WriteMeta struct {
 	// already holding a higher stamp — direct evidence another writer
 	// raced this operation (wire v2's PW_ACK.Max).
 	Contended bool
+	// Spec reports that the operation completed on the speculative
+	// multi-writer fast path: the stamp came from the writer's cache,
+	// the query round was elided, and a full quorum acknowledged the
+	// pre-write with zero NACKs (DESIGN.md §12).
+	Spec bool
+	// Ghost is the stamp of a speculative pre-write that was NACKed (or
+	// starved of a quorum) and abandoned during this operation, zero
+	// when none. The abandoned pair may linger in server pw fields, so
+	// histories must record it as a failed write — concurrent readers
+	// may legitimately return it (the crashed-writer ghost of Section 5,
+	// inherited by aborted speculation; DESIGN.md §12).
+	Ghost types.Stamp
 }
 
 // Stamp returns the composite stamp the WRITE bound.
@@ -92,6 +104,20 @@ type Writer struct {
 	frozen  []types.FrozenEntry
 	crashed bool
 
+	// Speculative fast-path state (multi-writer deployments only,
+	// DESIGN.md §12). cachedMax is the highest stamp this writer has
+	// observed on the wire — fed by query folds, PW_ACK/PW_NACK Max
+	// fields and its own completed stamps. cacheOK records that the
+	// cache reflects at least one quorum observation; calm is the
+	// contention telemetry — cleared whenever an operation sees
+	// contention evidence (a NACK or a higher Max in an ack), restored
+	// by an uncontended completion. A WRITE speculates only when both
+	// hold; correctness never depends on either (servers reject stale
+	// speculative stamps), only the fast-path hit rate does.
+	cachedMax types.Stamp
+	cacheOK   bool
+	calm      bool
+
 	// serverIDs caches the all-servers broadcast target list.
 	serverIDs []types.ProcID
 
@@ -101,6 +127,9 @@ type Writer struct {
 	acks       []wire.PWAck // slot per server, valid where ackSeen
 	ackSeen    []bool
 	ackCount   int
+	opTS       types.TS    // TS of the in-flight pre-write, matched by acceptPWAck
+	nackSeen   bool        // a PW_NACK arrived for the in-flight speculative attempt
+	nackMax    types.Stamp // highest Max any such NACK carried
 	wackSeen   []bool
 	outBuf     []transport.Outgoing
 	qtsr       types.ReaderTS // stamp-query tag, incremented per query
@@ -176,7 +205,7 @@ func (w *Writer) WriteAt(c types.Tagged) error {
 	}
 	opDeadline := resetTimer(&w.opTimer, w.cfg.opTimeout())
 	defer opDeadline.Stop()
-	return w.bind(c, nil, false, opDeadline)
+	return w.bind(c, nil, false, types.Stamp0, opDeadline)
 }
 
 // NextTS returns the timestamp the next WRITE will use (for tests).
@@ -208,7 +237,7 @@ func resetTimer(t **time.Timer, d time.Duration) *time.Timer {
 	return *t
 }
 
-// resetAcks clears the PW_ACK set for a new pre-write round.
+// resetAcks clears the PW_ACK/PW_NACK state for a new pre-write round.
 func (w *Writer) resetAcks() {
 	if w.acks == nil {
 		w.acks = make([]wire.PWAck, w.cfg.S())
@@ -218,6 +247,8 @@ func (w *Writer) resetAcks() {
 		clear(w.ackSeen)
 	}
 	w.ackCount = 0
+	w.nackSeen = false
+	w.nackMax = types.Stamp0
 }
 
 func (w *Writer) write(v types.Value, f *WriteFault) error {
@@ -232,12 +263,38 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 
 	// Choose the stamp. Single-writer deployments take the published
 	// Fig. 1 path: advance the sequence, no extra round. Multi-writer
-	// deployments first query a quorum for the highest stamp in the
-	// system, then bind one above it — the stamp is final from this
-	// point, whatever the PW round later reveals about the race.
+	// deployments totally order the stamp against concurrent writers —
+	// speculatively from the cache when the telemetry allows it, by an
+	// explicit quorum query otherwise. Once chosen, the stamp of a
+	// (non-aborted) attempt is final, whatever the PW round later
+	// reveals about the race.
 	seq := w.ts
 	queried := false
+	var ghost types.Stamp
 	if w.cfg.MW() {
+		if f == nil && !w.cfg.NoSpec && w.cacheOK && w.calm {
+			// Speculative fast path (DESIGN.md §12): bind one above the
+			// cached maximum and let the servers arbitrate. A NACK or a
+			// starved quorum aborts the attempt with no writer state
+			// change and falls through to the query-round slow path.
+			sseq := seq
+			if sseq < w.cachedMax.Seq {
+				sseq = w.cachedMax.Seq
+			}
+			c := types.Tagged{TS: sseq + 1, W: w.wid, Val: v}
+			done, err := w.bindSpec(c, opDeadline)
+			if err != nil || done {
+				return err
+			}
+			// The abandoned pair may linger on servers that acknowledged
+			// it before the verdict: record it as this operation's ghost
+			// and retry strictly above it, so the completed write can
+			// never share the ghost's stamp.
+			ghost = c.Stamp()
+			if seq < c.TS {
+				seq = c.TS
+			}
+		}
 		qmax, err := w.queryStamp(opDeadline)
 		if err != nil {
 			return err
@@ -245,10 +302,19 @@ func (w *Writer) write(v types.Value, f *WriteFault) error {
 		if seq < qmax.Seq {
 			seq = qmax.Seq
 		}
+		w.foldCache(qmax)
+		w.cacheOK = true
 		queried = true
 	}
 	c := types.Tagged{TS: seq + 1, W: w.wid, Val: v}
-	return w.bind(c, f, queried, opDeadline)
+	return w.bind(c, f, queried, ghost, opDeadline)
+}
+
+// foldCache raises the cached maximum stamp to at least s.
+func (w *Writer) foldCache(s types.Stamp) {
+	if w.cachedMax.Less(s) {
+		w.cachedMax = s
+	}
 }
 
 // queryStamp is the MWMR stamp-discovery round: broadcast a round-1
@@ -322,12 +388,16 @@ func (w *Writer) queryStamp(opDeadline *time.Timer) (types.Stamp, error) {
 // bind runs the PW and W phases of Fig. 1 at the already-chosen pair c.
 // The stamp is immutable from here on (see the Writer doc): contention
 // observed in the PW_ACKs is recorded in the meta, never acted on.
-func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, opDeadline *time.Timer) error {
+// ghost is the stamp of an aborted speculative attempt earlier in the
+// same operation (zero when none), threaded into the meta so drivers
+// can record it as a failed write.
+func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, ghost types.Stamp, opDeadline *time.Timer) error {
 	// Pre-write phase (Fig. 1 lines 3–4): ship PW with the frozen set
 	// left over from the previous WRITE's freezevalues().
 	w.ts = c.TS
 	w.last = c.Stamp()
 	w.pw = c
+	w.opTS = c.TS
 	pwMsg := wire.PW{TS: c.TS, PW: w.pw, W: w.w, Frozen: w.frozen}
 	if err := w.sendTo(w.pwTargets(f), pwMsg); err != nil {
 		return err
@@ -380,7 +450,12 @@ func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, opDeadline *t
 	w.freezeValues()
 
 	meta := WriteMeta{TS: c.TS, Writer: c.W, PWAcks: w.ackCount,
-		Queried: queried, Contended: w.sawContention(c)}
+		Queried: queried, Contended: w.sawContention(c), Ghost: ghost}
+	// A NACKed speculative attempt earlier in this operation counts as
+	// contention evidence even when the retry's own acks are clean: one
+	// full query-path operation must complete uncontended before the
+	// writer speculates again.
+	w.noteCompletion(c, meta.Contended || !ghost.IsZero())
 	rounds := 1
 	if queried {
 		rounds = 2 // the stamp query is a round-trip too
@@ -394,7 +469,18 @@ func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, opDeadline *t
 		return nil
 	}
 
-	// Write phase (Fig. 1 lines 9–11): two more rounds.
+	if err := w.writePhase(c, f, opDeadline); err != nil {
+		return err
+	}
+	meta.Rounds = rounds + 2
+	w.lastMeta = meta
+	w.stats.record(meta.Rounds, false)
+	return nil
+}
+
+// writePhase runs the write phase of Fig. 1 lines 9–11: two more W
+// rounds at the already pre-written pair c.
+func (w *Writer) writePhase(c types.Tagged, f *WriteFault, opDeadline *time.Timer) error {
 	for round := 2; round <= 3; round++ {
 		msg := wire.W{Round: round, Tag: int64(c.TS), C: w.pw}
 		targets := w.wTargets(f, round)
@@ -409,10 +495,117 @@ func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, opDeadline *t
 			return err
 		}
 	}
-	meta.Rounds = rounds + 2
-	w.lastMeta = meta
-	w.stats.record(meta.Rounds, false)
 	return nil
+}
+
+// noteCompletion feeds the speculative fast path's telemetry at the
+// point the pre-write quorum is in: the counted acks' Max fields and
+// the bound stamp itself raise the stamp cache (a quorum observation,
+// so the cache becomes trustworthy), and the contention verdict sets
+// the calm flag for the next operation's speculation decision.
+func (w *Writer) noteCompletion(c types.Tagged, contended bool) {
+	for i, seen := range w.ackSeen {
+		if seen {
+			w.foldCache(w.acks[i].Max)
+		}
+	}
+	w.foldCache(c.Stamp())
+	w.cacheOK = true
+	w.calm = !contended
+}
+
+// bindSpec attempts the speculative pre-write of DESIGN.md §12 at the
+// already-chosen pair c: PW is sent with Spec set and — unlike bind —
+// no writer state is committed up front, because the attempt may be
+// rejected. done reports that the operation completed (the quorum came
+// back all-ACK); done == false with a nil error means the attempt was
+// aborted — a server NACKed the stamp, or the quorum starved — and the
+// caller must fall back to the query-round slow path, treating c as a
+// ghost (servers that acknowledged before the verdict keep the pair).
+func (w *Writer) bindSpec(c types.Tagged, opDeadline *time.Timer) (done bool, err error) {
+	w.stats.SpecAttempts++
+	w.opTS = c.TS
+	pwMsg := wire.PW{TS: c.TS, PW: c, W: w.w, Frozen: w.frozen, Spec: true}
+	if err := w.sendTo(w.allServers(), pwMsg); err != nil {
+		return false, err
+	}
+
+	// Wait as bind does, with two extra exits: a PW_NACK decides the
+	// attempt immediately, and a starved quorum (two timer cycles below
+	// S−t acks) abandons it rather than retransmitting — the slow path
+	// owns loss recovery, and a stale spec stamp would only be NACKed
+	// again anyway.
+	timer := resetTimer(&w.roundTimer, w.cfg.roundTimeout())
+	defer timer.Stop()
+	w.resetAcks()
+	expired := false
+	inGrace := false
+	for w.ackCount < w.cfg.S() && !(w.ackCount >= w.cfg.Quorum() && expired) && !w.nackSeen {
+		select {
+		case env, ok := <-w.ep.Recv():
+			if !ok {
+				return false, transport.ErrClosed
+			}
+			w.acceptPWAck(env)
+		case <-timer.C:
+			expired = true
+			if w.ackCount < w.cfg.Quorum() {
+				if inGrace {
+					w.calm = false
+					w.stats.SpecFlips++
+					return false, nil
+				}
+				inGrace = true
+				timer = resetTimer(&w.roundTimer, retransmitGrace)
+			}
+		case <-opDeadline.C:
+			return false, fmt.Errorf("WRITE(ts=%d) speculative pre-write: %w", c.TS, ErrOpTimeout)
+		}
+	}
+	w.drainPWAcks()
+	if w.nackSeen {
+		// Some server already held a stamp at or above c. The NACK made
+		// no server state change; the writer made none either, so the
+		// abort is clean — remember the evidence and flip to the slow
+		// path.
+		w.foldCache(w.nackMax)
+		w.calm = false
+		w.stats.SpecFlips++
+		return false, nil
+	}
+
+	// A quorum acknowledged with zero NACKs: every acking server
+	// installed c as strictly newest, and by quorum intersection any
+	// previously completed WRITE's stamp sat in at least one honest
+	// server of this quorum — which would have NACKed. So c outranks
+	// every write that completed before this one began, exactly the
+	// guarantee the query round buys, and the commit proceeds as in
+	// bind.
+	w.ts = c.TS
+	w.last = c.Stamp()
+	w.pw = c
+	w.frozen = nil
+	w.w = w.pw
+	w.freezeValues()
+
+	meta := WriteMeta{TS: c.TS, Writer: c.W, PWAcks: w.ackCount,
+		Contended: w.sawContention(c), Spec: true}
+	w.noteCompletion(c, meta.Contended)
+	w.stats.SpecOps++
+
+	if w.ackCount >= w.cfg.FastWriteAcks() {
+		meta.Rounds, meta.Fast = 1, true
+		w.lastMeta = meta
+		w.stats.record(1, true)
+		return true, nil
+	}
+	if err := w.writePhase(c, nil, opDeadline); err != nil {
+		return true, err
+	}
+	meta.Rounds = 3
+	w.lastMeta = meta
+	w.stats.record(3, false)
+	return true, nil
 }
 
 // sawContention reports whether any counted PW_ACK's Max exceeds the
@@ -429,19 +622,34 @@ func (w *Writer) sawContention(c types.Tagged) bool {
 	return false
 }
 
-// acceptPWAck records a structurally valid, correctly tagged PW_ACK
-// from a server not yet counted.
+// acceptPWAck records a structurally valid PW_ACK or PW_NACK tagged
+// with the in-flight pre-write's TS. Acks from servers not yet counted
+// enter the ack set; a NACK (speculative attempts only — servers never
+// NACK a non-spec PW) raises the nack flag that aborts bindSpec. Stale
+// replies to an abandoned speculative attempt carry its old TS and are
+// dropped here: the slow-path retry binds strictly above the ghost, so
+// opTS always moves on before new acks are awaited.
 func (w *Writer) acceptPWAck(env wire.Envelope) {
-	a, ok := env.Msg.(wire.PWAck)
-	// Validate the envelope's interface value, not the unboxed a —
+	// Validate the envelope's interface value, not an unboxed copy —
 	// re-boxing it would allocate on every ack.
-	if !ok || !validServer(w.cfg, env.From) || a.TS != w.ts || wire.Validate(env.Msg) != nil {
-		return
-	}
-	if i := env.From.Index(); !w.ackSeen[i] {
-		w.ackSeen[i] = true
-		w.acks[i] = a
-		w.ackCount++
+	switch a := env.Msg.(type) {
+	case wire.PWAck:
+		if !validServer(w.cfg, env.From) || a.TS != w.opTS || wire.Validate(env.Msg) != nil {
+			return
+		}
+		if i := env.From.Index(); !w.ackSeen[i] {
+			w.ackSeen[i] = true
+			w.acks[i] = a
+			w.ackCount++
+		}
+	case wire.PWNack:
+		if !validServer(w.cfg, env.From) || a.TS != w.opTS || wire.Validate(env.Msg) != nil {
+			return
+		}
+		w.nackSeen = true
+		if w.nackMax.Less(a.Max) {
+			w.nackMax = a.Max
+		}
 	}
 }
 

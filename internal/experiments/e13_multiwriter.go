@@ -27,7 +27,10 @@ func E13MultiWriter() (*Result, error) {
 	const nOps = 12
 
 	for _, writers := range []int{1, 2, 3} {
-		cfg := core.Config{T: 2, B: 1, Fw: 1, NumReaders: 1, Writers: writers,
+		// NoSpec pins the pre-§12 regime this experiment measures: every
+		// MW write pays the query round unconditionally. E16 measures
+		// the adaptive speculative path against this baseline.
+		cfg := core.Config{T: 2, B: 1, Fw: 1, NumReaders: 1, Writers: writers, NoSpec: true,
 			RoundTimeout: expRoundTimeout, OpTimeout: expOpTimeout}
 		ids := append(types.ServerIDs(cfg.S()), types.WriterIDs(cfg.WritersN())...)
 		ids = append(ids, types.ReaderID(0))
@@ -99,7 +102,7 @@ func E13MultiWriter() (*Result, error) {
 		"Contention telemetry (Writers=2, servers later hold installed stamp 〈50.5〉)",
 		"phase", "contended", "stamp", "ok")
 	{
-		cfg := core.Config{T: 2, B: 1, Fw: 1, NumReaders: 0, Writers: 2,
+		cfg := core.Config{T: 2, B: 1, Fw: 1, NumReaders: 0, Writers: 2, NoSpec: true,
 			RoundTimeout: expRoundTimeout, OpTimeout: expOpTimeout}
 		c, err := core.NewCluster(cfg)
 		if err != nil {

@@ -67,6 +67,7 @@ var registry = map[string]Runner{
 	"E12": E12Latency,
 	"E13": E13MultiWriter,
 	"E14": E14MWReads,
+	"E16": E16SpecFastPath,
 }
 
 // IDs returns the experiment ids in run order.

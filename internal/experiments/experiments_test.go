@@ -7,10 +7,10 @@ import (
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Fatalf("got %d experiments, want 14: %v", len(ids), ids)
+	if len(ids) != 15 {
+		t.Fatalf("got %d experiments, want 15: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[1] != "E2" || ids[9] != "E10" || ids[13] != "E14" {
+	if ids[0] != "E1" || ids[1] != "E2" || ids[9] != "E10" || ids[14] != "E16" {
 		t.Errorf("ids not numerically ordered: %v", ids)
 	}
 }
@@ -47,17 +47,18 @@ func runAndCheck(t *testing.T, id string) {
 	}
 }
 
-func TestE1FastWrites(t *testing.T)   { runAndCheck(t, "E1") }
-func TestE2FastReads(t *testing.T)    { runAndCheck(t, "E2") }
-func TestE3SlowPaths(t *testing.T)    { runAndCheck(t, "E3") }
-func TestE4Tradeoff(t *testing.T)     { runAndCheck(t, "E4") }
-func TestE5UpperBound(t *testing.T)   { runAndCheck(t, "E5") }
-func TestE6TradingReads(t *testing.T) { runAndCheck(t, "E6") }
-func TestE7WriteBound(t *testing.T)   { runAndCheck(t, "E7") }
-func TestE8TwoPhase(t *testing.T)     { runAndCheck(t, "E8") }
-func TestE9Regular(t *testing.T)      { runAndCheck(t, "E9") }
-func TestE10Ghost(t *testing.T)       { runAndCheck(t, "E10") }
-func TestE11Baselines(t *testing.T)   { runAndCheck(t, "E11") }
-func TestE12Latency(t *testing.T)     { runAndCheck(t, "E12") }
-func TestE13MultiWriter(t *testing.T) { runAndCheck(t, "E13") }
-func TestE14MWReads(t *testing.T)     { runAndCheck(t, "E14") }
+func TestE1FastWrites(t *testing.T)    { runAndCheck(t, "E1") }
+func TestE2FastReads(t *testing.T)     { runAndCheck(t, "E2") }
+func TestE3SlowPaths(t *testing.T)     { runAndCheck(t, "E3") }
+func TestE4Tradeoff(t *testing.T)      { runAndCheck(t, "E4") }
+func TestE5UpperBound(t *testing.T)    { runAndCheck(t, "E5") }
+func TestE6TradingReads(t *testing.T)  { runAndCheck(t, "E6") }
+func TestE7WriteBound(t *testing.T)    { runAndCheck(t, "E7") }
+func TestE8TwoPhase(t *testing.T)      { runAndCheck(t, "E8") }
+func TestE9Regular(t *testing.T)       { runAndCheck(t, "E9") }
+func TestE10Ghost(t *testing.T)        { runAndCheck(t, "E10") }
+func TestE11Baselines(t *testing.T)    { runAndCheck(t, "E11") }
+func TestE12Latency(t *testing.T)      { runAndCheck(t, "E12") }
+func TestE13MultiWriter(t *testing.T)  { runAndCheck(t, "E13") }
+func TestE14MWReads(t *testing.T)      { runAndCheck(t, "E14") }
+func TestE16SpecFastPath(t *testing.T) { runAndCheck(t, "E16") }

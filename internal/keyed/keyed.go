@@ -11,6 +11,7 @@ package keyed
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"luckystore/internal/node"
@@ -43,6 +44,23 @@ func (s *Server) Regs() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.regs)
+}
+
+// Range calls fn for every instantiated register in sorted key order.
+// The lock is held across the iteration: callers are offline tooling
+// (luckyctl stamps) and tests inspecting a quiesced server, never the
+// hot path.
+func (s *Server) Range(fn func(key string, reg node.Automaton)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.regs))
+	for k := range s.regs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(k, s.regs[k])
+	}
 }
 
 // Step implements node.Automaton: unwrap, dispatch, re-wrap.

@@ -1,0 +1,48 @@
+//go:build !race
+
+package kv
+
+import (
+	"testing"
+
+	"luckystore/internal/core"
+)
+
+// kvMWAllocBudget is the engine-level allocation budget for a
+// speculative multi-writer Put: the core contract (1 + S message
+// boxings) plus the store's own hot path — per-key handle lookup and
+// the write lock — which must stay allocation-free, leaving headroom
+// for runtime noise only. Excluded under -race, whose instrumentation
+// inflates counts.
+const kvMWAllocBudget = 10
+
+func TestMWFastPathPutAllocs(t *testing.T) {
+	st, err := Open(core.Config{T: 1, B: 0, Fw: 0, NumReaders: 1},
+		WithContenders(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const key = "hot"
+	for i := 0; i < 64; i++ {
+		if err := st.Put(key, "warm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if err := st.Put(key, "steady-state-value"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	m, err := st.PutMeta(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fast || !m.Spec || m.Queried {
+		t.Fatalf("measurement missed the speculative fast path: %+v", m)
+	}
+	if allocs > kvMWAllocBudget+0.5 {
+		t.Errorf("speculative MW Put: %.1f allocs/op, budget %d", allocs, kvMWAllocBudget)
+	}
+}

@@ -148,6 +148,15 @@ type Store struct {
 	writers sync.Map   // key string → *writerHandle
 	readers []sync.Map // per reader client: key string → *readerHandle
 
+	// adopted is the writer-identity map: contending stores attached
+	// with AdoptContender, index k−1 holding identity "wk". It turns
+	// this store into a single façade over every writer identity of its
+	// cluster (PutAs/PutMetaAs), which is how fleet layers
+	// (internal/router) route multi-writer traffic without tracking
+	// contender stores themselves. Populated at assembly time, before
+	// the store is shared — never mutated concurrently with operations.
+	adopted []*Store
+
 	openMu sync.Mutex // cold path: first-use handle creation
 	closed atomic.Bool
 
@@ -339,6 +348,60 @@ func (s *Store) OpenContender(k int) (*Store, error) {
 	}
 	return OpenWithEndpoints(s.cfg, wep, readerEPs,
 		WithWriterID(types.WriterIDN(k)), WithReaderBase(k*s.cfg.NumReaders))
+}
+
+// AdoptContender attaches a contending store — OpenContender's result,
+// or a TCP client store dialed under a contender identity — to this
+// store as its next writer identity, transferring ownership: Close
+// closes adopted stores too. Contenders must be adopted in identity
+// order ("w1", "w2", …); the store checks and refuses mismatches, so a
+// fleet assembled out of order fails loudly at build time rather than
+// binding stamps under the wrong identity. Adopt before sharing the
+// store across goroutines — adoption is assembly, not an operation.
+func (s *Store) AdoptContender(c *Store) error {
+	k := len(s.adopted) + 1
+	if want := types.WriterIDN(k); c.writerID != want {
+		return fmt.Errorf("kv: adopting store with writer id %q as identity %d (want %q)", c.writerID, k, want)
+	}
+	s.adopted = append(s.adopted, c)
+	return nil
+}
+
+// NumWriters reports the writer identities reachable through this
+// store: itself plus every adopted contender.
+func (s *Store) NumWriters() int { return 1 + len(s.adopted) }
+
+// PutAs writes value under key through writer identity w: 0 is this
+// store's own writer (identical to Put), w ≥ 1 the w-th adopted
+// contender. Distinct identities may Put the same key concurrently —
+// per-key atomicity across them is the multi-writer protocol's job.
+func (s *Store) PutAs(w int, key string, value types.Value) error {
+	st, err := s.writerStore(w)
+	if err != nil {
+		return err
+	}
+	return st.Put(key, value)
+}
+
+// PutMetaAs returns the metadata of writer identity w's last Put on
+// key (see PutMeta).
+func (s *Store) PutMetaAs(w int, key string) (core.WriteMeta, error) {
+	st, err := s.writerStore(w)
+	if err != nil {
+		return core.WriteMeta{}, err
+	}
+	return st.PutMeta(key)
+}
+
+// writerStore resolves writer identity w to its backing store.
+func (s *Store) writerStore(w int) (*Store, error) {
+	if w == 0 {
+		return s, nil
+	}
+	if w < 1 || w > len(s.adopted) {
+		return nil, fmt.Errorf("kv: writer identity %d out of range [0,%d] (AdoptContender)", w, len(s.adopted))
+	}
+	return s.adopted[w-1], nil
 }
 
 // Config returns the store's configuration.
@@ -717,6 +780,9 @@ func (s *Store) Close() {
 			if b != nil {
 				_ = b.Close()
 			}
+		}
+		for _, c := range s.adopted {
+			c.Close()
 		}
 	})
 }

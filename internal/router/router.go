@@ -57,6 +57,20 @@ type Backend interface {
 
 var _ Backend = (*kv.Store)(nil)
 
+// MultiWriterBackend is the optional capability of backends exposing
+// contending writer identities: a kv.Store that adopted contender
+// stores (kv.AdoptContender) implements it, for simnet and TCP fleets
+// alike. PutAs(0, …) is the backend's own writer; higher identities
+// contend on the same registers.
+type MultiWriterBackend interface {
+	Backend
+	NumWriters() int
+	PutAs(w int, key string, value types.Value) error
+	PutMetaAs(w int, key string) (core.WriteMeta, error)
+}
+
+var _ MultiWriterBackend = (*kv.Store)(nil)
+
 // Options configures a Router.
 type Options struct {
 	// Seed seeds the consistent-hash ring. Every router and proxy
@@ -156,6 +170,29 @@ func (r *Router) Clusters() []ring.ClusterID {
 
 // NumReaders returns the per-cluster reader-client count.
 func (r *Router) NumReaders() int { return r.opts.Readers }
+
+// NumWriters reports how many contending writer identities are usable
+// fleet-wide: the minimum over the active clusters' writer-identity
+// maps, 1 as soon as any backend is single-writer. A key may migrate
+// to any cluster, so an identity is only usable if every cluster can
+// serve it.
+func (r *Router) NumWriters() int {
+	st := r.st.Load()
+	if st == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range st.active {
+		m, ok := b.(MultiWriterBackend)
+		if !ok {
+			return 1
+		}
+		if nw := m.NumWriters(); n == 0 || nw < n {
+			n = nw
+		}
+	}
+	return max(n, 1)
+}
 
 // keyStateFor returns key's placement cache entry, creating it on
 // first touch.
@@ -345,6 +382,30 @@ func (r *Router) Put(key string, value types.Value) (core.WriteMeta, error) {
 		return core.WriteMeta{}, err
 	}
 	return b.PutMeta(key)
+}
+
+// PutAs writes value under key through contending writer identity w of
+// the owning cluster; PutAs(0, …) is Put. Distinct identities may run
+// concurrently on the same key — the per-key migration lock is shared,
+// so contending puts proceed in parallel while a handoff still excludes
+// them all. Identity w must exist on every cluster (NumWriters).
+func (r *Router) PutAs(w int, key string, value types.Value) (core.WriteMeta, error) {
+	if w == 0 {
+		return r.Put(key, value)
+	}
+	ks, b, err := r.acquire(key)
+	if err != nil {
+		return core.WriteMeta{}, err
+	}
+	defer ks.mu.RUnlock()
+	m, ok := b.(MultiWriterBackend)
+	if !ok {
+		return core.WriteMeta{}, fmt.Errorf("router: cluster owning %q exposes a single writer identity", key)
+	}
+	if err := m.PutAs(w, key, value); err != nil {
+		return core.WriteMeta{}, err
+	}
+	return m.PutMetaAs(w, key)
 }
 
 // Get reads key through reader idx of the owning cluster.

@@ -178,7 +178,7 @@ func TestProcIDRoles(t *testing.T) {
 		{ProcID("x7"), 0, 7, false, false, false},
 		{ProcID("s"), 0, -1, false, false, false},
 		{ProcID("s-1"), 0, -1, false, false, false},
-		{ProcID("s01"), 0, 1, false, false, false}, // leading zero rejected
+		{ProcID("s01"), 0, 1, false, false, false},        // leading zero rejected
 		{ProcID("w2"), RoleWriter, 2, false, true, false}, // MWMR: writer 2
 		{ProcID("w0"), 0, 0, false, false, false},         // writer 0 is "w", not "w0"
 		{ProcID("r1x"), 0, -1, false, false, false},

@@ -33,15 +33,22 @@ import (
 )
 
 // FormatVersion is the wire format version byte carried by every frame
-// this codec emits. Version 2 added the writer component of the
-// composite stamp: every tagged value carries a writer varint after its
-// timestamp, and PW_ACK carries the server's max stamp. Decoders accept
-// both v2 and v1 frames (a v1 tagged value decodes with writer 0, the
-// exact meaning it had when single-writer was the only mode), so mixed
+// this codec emits. Version 3 added the speculative multi-writer fast
+// path: PW carries a trailing spec flag byte (after the frozen set, so
+// the v2 layout is a strict prefix) and servers may answer a spec PW
+// with the new PW_NACK message. Decoders accept v3, v2 and v1 frames (a
+// v1 tagged value decodes with writer 0; a v2 PW decodes with Spec
+// false — exactly the meanings those bytes had when emitted), so mixed
 // fleets can roll forward; anything else is rejected before the body is
 // interpreted, so the format can evolve without silent
 // misinterpretation.
-const FormatVersion = 2
+const FormatVersion = 3
+
+// FormatVersionV2 is the pre-speculation MWMR wire format: version 2
+// added the writer component of the composite stamp (a writer varint in
+// every tagged value) and the max stamp in PW_ACK, but has no spec flag
+// on PW and no PW_NACK kind.
+const FormatVersionV2 = 2
 
 // FormatVersionV1 is the pre-MWMR wire format: identical layout minus
 // the writer varint in tagged values and the max stamp in PW_ACK.
@@ -68,7 +75,18 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 		buf = binary.AppendVarint(buf, int64(v.TS))
 		buf = appendTagged(buf, v.PW)
 		buf = appendTagged(buf, v.W)
-		return appendFrozenSet(buf, v.Frozen), nil
+		buf = appendFrozenSet(buf, v.Frozen)
+		// The spec flag trails the v2 layout (format v3).
+		spec := byte(0)
+		if v.Spec {
+			spec = 1
+		}
+		return append(buf, spec), nil
+	case PWNack:
+		buf = append(buf, byte(KindPWNack))
+		buf = binary.AppendVarint(buf, int64(v.TS))
+		buf = binary.AppendVarint(buf, int64(v.Max.Seq))
+		return binary.AppendVarint(buf, int64(v.Max.Writer)), nil
 	case PWAck:
 		buf = append(buf, byte(KindPWAck))
 		buf = binary.AppendVarint(buf, int64(v.TS))
@@ -385,9 +403,9 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 
 // DecodeEnvelopeVersion decodes an envelope encoded in the given wire
 // format version — the version byte of the frame the body arrived in.
-// Versions 1 and 2 are supported.
+// Versions 1, 2 and 3 are supported.
 func DecodeEnvelopeVersion(ver byte, b []byte) (Envelope, error) {
-	if ver != FormatVersion && ver != FormatVersionV1 {
+	if ver != FormatVersion && ver != FormatVersionV2 && ver != FormatVersionV1 {
 		return Envelope{}, fmt.Errorf("%w: unsupported wire format version %d", ErrMalformed, ver)
 	}
 	d := decoder{b: b, ver: ver}
@@ -557,6 +575,19 @@ func (d *decoder) message(depth int) Message {
 		m.PW = d.tagged()
 		m.W = d.tagged()
 		m.Frozen = d.frozenSet()
+		if d.ver >= 3 {
+			m.Spec = d.byte() != 0
+		}
+		return m
+	case KindPWNack:
+		if d.ver < 3 {
+			d.fail("PW_NACK in a v%d frame", d.ver)
+			return nil
+		}
+		var m PWNack
+		m.TS = types.TS(d.varint())
+		m.Max.Seq = types.TS(d.varint())
+		m.Max.Writer = types.WID(d.varint())
 		return m
 	case KindPWAck:
 		var m PWAck

@@ -60,9 +60,12 @@ func interopEnvelopes() []struct {
 		env("pw_mw", PW{TS: 7, PW: types.Tagged{TS: 7, W: 2, Val: "v7"},
 			W: types.Tagged{TS: 7, W: 1, Val: "v6"}}),
 		env("pwack_max", PWAck{TS: 3, Max: types.Stamp{Seq: 9, Writer: 4}}),
+		env("pw_spec", PW{TS: 8, PW: types.Tagged{TS: 8, W: 2, Val: "spec"},
+			W: types.Tagged{TS: 7, W: 2, Val: "prev"}, Spec: true}),
+		env("pwnack", PWNack{TS: 8, Max: types.Stamp{Seq: 10, Writer: 1}}),
 		env("readack_mw", ReadAck{TSR: 2, Round: 2,
 			PW: types.Tagged{TS: 5, W: 3, Val: "pw"}, W: types.Tagged{TS: 5, W: 1, Val: "w"},
-			VW: types.Tagged{TS: 4, W: 2, Val: "vw"},
+			VW:     types.Tagged{TS: 4, W: 2, Val: "vw"},
 			Frozen: types.FrozenPair{PW: types.Tagged{TS: 3, W: 1, Val: "fz"}, TSR: 2}}),
 		env("w_frozen", W{Round: 3, Tag: -4, C: types.Tagged{TS: 4, Val: types.Value([]byte{0, 1, 0xFF, 0xFE})},
 			Frozen: []types.FrozenEntry{{Reader: types.ReaderID(1), PW: types.Tagged{TS: 4, Val: "f"}, TSR: 2}}}),

@@ -133,20 +133,20 @@ func DecodeFrame(r io.Reader) (Envelope, error) {
 		}
 		start := len(buf)
 		buf = grow(buf, start+chunk)
-		if _, err := io.ReadFull(r, buf[start : start+chunk]); err != nil {
+		if _, err := io.ReadFull(r, buf[start:start+chunk]); err != nil {
 			*bp = buf
 			putFrameBuf(bp)
 			return Envelope{}, fmt.Errorf("read frame body: %w", err)
 		}
 		// The version byte arrives with the first chunk; checking it
 		// here rejects an unsupported-version frame before its (up to
-		// 16 MiB) body is transferred and buffered. v1 frames (pre-MWMR
-		// peers) still decode.
-		if start == 0 && buf[0] != FormatVersion && buf[0] != FormatVersionV1 {
+		// 16 MiB) body is transferred and buffered. v1 and v2 frames
+		// (pre-MWMR / pre-speculation peers) still decode.
+		if start == 0 && buf[0] != FormatVersion && buf[0] != FormatVersionV2 && buf[0] != FormatVersionV1 {
 			v := buf[0]
 			*bp = buf
 			putFrameBuf(bp)
-			return Envelope{}, fmt.Errorf("%w: unsupported wire format version %d (want %d or %d)", ErrMalformed, v, FormatVersionV1, FormatVersion)
+			return Envelope{}, fmt.Errorf("%w: unsupported wire format version %d (want %d..%d)", ErrMalformed, v, FormatVersionV1, FormatVersion)
 		}
 	}
 	env, err := DecodeEnvelopeVersion(buf[0], buf[1:])

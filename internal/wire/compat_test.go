@@ -133,14 +133,14 @@ func TestDecodeV1Frames(t *testing.T) {
 	}
 }
 
-// TestDecodeEnvelopeVersionRejectsUnknown: only versions 1 and 2 are
+// TestDecodeEnvelopeVersionRejectsUnknown: only versions 1–3 are
 // decodable; anything else must be refused up front.
 func TestDecodeEnvelopeVersionRejectsUnknown(t *testing.T) {
 	body, err := AppendEnvelope(nil, Envelope{From: "w", To: "s0", Msg: Read{TSR: 1, Round: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range []byte{0, 3, 0xFF} {
+	for _, v := range []byte{0, 4, 0xFF} {
 		if _, err := DecodeEnvelopeVersion(v, body); err == nil {
 			t.Errorf("version %d accepted", v)
 		}
@@ -172,5 +172,153 @@ func TestV2CarriesWriterThroughTCPFraming(t *testing.T) {
 	}
 	if pw := got.Msg.(PW); pw.PW.Stamp() != (types.Stamp{Seq: 9, Writer: 3}) {
 		t.Errorf("writer component lost: %v", pw.PW)
+	}
+}
+
+// --- v2 ↔ v3 interop ------------------------------------------------
+//
+// Version 3 added the trailing spec flag on PW and the PW_NACK kind.
+// Both directions are pinned: v2 frames (no spec byte, full stamps)
+// must decode on a current decoder with Spec false, and a v3 encoding
+// of a non-spec PW must be byte-identical to the v2 encoding plus the
+// single trailing zero byte — which is what lets a v2 peer's decoder,
+// were it lenient about trailing bytes, at worst reject (never
+// misread) a v3 frame, and what keeps the layouts prefix-compatible.
+
+// appendMessageV2 encodes the kinds whose layout changed in v3 exactly
+// as a v2 peer would have sent them: full composite stamps, no spec
+// byte, PW_ACK with Max.
+func appendMessageV2(buf []byte, m Message) []byte {
+	switch v := m.(type) {
+	case PW:
+		buf = append(buf, byte(KindPW))
+		buf = binary.AppendVarint(buf, int64(v.TS))
+		buf = appendTagged(buf, v.PW)
+		buf = appendTagged(buf, v.W)
+		return appendFrozenSet(buf, v.Frozen)
+	case PWAck:
+		buf = append(buf, byte(KindPWAck))
+		buf = binary.AppendVarint(buf, int64(v.TS))
+		buf = binary.AppendVarint(buf, int64(v.Max.Seq))
+		buf = binary.AppendVarint(buf, int64(v.Max.Writer))
+		buf = binary.AppendUvarint(buf, uint64(len(v.NewRead)))
+		for _, rs := range v.NewRead {
+			buf = appendString(buf, string(rs.Reader))
+			buf = binary.AppendVarint(buf, int64(rs.TSR))
+		}
+		return buf
+	case Keyed:
+		buf = append(buf, byte(KindKeyed))
+		buf = appendString(buf, v.Key)
+		return appendMessageV2(buf, v.Inner)
+	default:
+		panic("appendMessageV2: unsupported kind in test encoder")
+	}
+}
+
+// frameV2 wraps a v2-encoded envelope in a framed stream.
+func frameV2(from, to types.ProcID, m Message) []byte {
+	body := []byte{FormatVersionV2}
+	body = appendString(body, string(from))
+	body = appendString(body, string(to))
+	body = appendMessageV2(body, m)
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	return append(frame, body...)
+}
+
+// v2Envelopes is the v2 interop corpus: the kinds whose layout v3
+// touched, with non-zero writer components (the v2 novelty) throughout.
+func v2Envelopes() []Envelope {
+	mk := func(from, to types.ProcID, m Message) Envelope {
+		return Envelope{From: from, To: to, Msg: m}
+	}
+	return []Envelope{
+		mk(types.WriterIDN(2), "s0", PW{TS: 9, PW: types.Tagged{TS: 9, W: 2, Val: "v9"},
+			W: types.Tagged{TS: 8, W: 1, Val: "v8"},
+			Frozen: []types.FrozenEntry{{Reader: types.ReaderID(0),
+				PW: types.Tagged{TS: 7, W: 2, Val: "f"}, TSR: 3}}}),
+		mk("s0", types.WriterIDN(2), PWAck{TS: 9, Max: types.Stamp{Seq: 11, Writer: 1},
+			NewRead: []types.ReadStamp{{Reader: types.ReaderID(1), TSR: 5}}}),
+		mk(types.WriterIDN(1), "s2", Keyed{Key: "hot", Inner: PW{TS: 3,
+			PW: types.Tagged{TS: 3, W: 1, Val: "k"}, W: types.Bottom()}}),
+	}
+}
+
+// TestDecodeV2Frames: every v2 frame decodes on the current decoder to
+// the envelope the v2 peer meant — Spec false, stamps intact — and
+// re-encoding it as v3 round-trips.
+func TestDecodeV2Frames(t *testing.T) {
+	for _, want := range v2Envelopes() {
+		raw := frameV2(want.From, want.To, want.Msg)
+		got, err := DecodeFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("v2 frame %T failed to decode: %v", want.Msg, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("v2 frame decoded to\n %+v\nwant\n %+v", got, want)
+		}
+		reenc, err := AppendFrame(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := DecodeFrame(bytes.NewReader(reenc))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, want) {
+			t.Errorf("v2→v3 re-encode diverged:\n %+v\nwant\n %+v", again, want)
+		}
+	}
+}
+
+// TestV3PWIsV2PlusSpecByte pins the prefix-compatibility that makes the
+// two formats interoperable: the current encoding of a PW is the v2
+// encoding with exactly one trailing flag byte.
+func TestV3PWIsV2PlusSpecByte(t *testing.T) {
+	m := PW{TS: 4, PW: types.Tagged{TS: 4, W: 3, Val: "x"}, W: types.Tagged{TS: 3, W: 1, Val: "y"}}
+	v2 := appendMessageV2(nil, m)
+	for _, spec := range []bool{false, true} {
+		m.Spec = spec
+		v3, err := AppendMessage(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flag := byte(0)
+		if spec {
+			flag = 1
+		}
+		want := append(append([]byte(nil), v2...), flag)
+		if !bytes.Equal(v3, want) {
+			t.Errorf("spec=%v: v3 encoding is not v2+flag:\n v3   %x\n want %x", spec, v3, want)
+		}
+	}
+}
+
+// TestPWNackRoundTripAndVersionGate: PW_NACK frames round-trip on the
+// current codec, and the kind is refused inside pre-v3 frames — a v2
+// body can never have legally carried it.
+func TestPWNackRoundTripAndVersionGate(t *testing.T) {
+	env := Envelope{From: "s1", To: types.WriterIDN(2),
+		Msg: PWNack{TS: 9, Max: types.Stamp{Seq: 12, Writer: 1}}}
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Errorf("got %+v, want %+v", got, env)
+	}
+
+	body, err := AppendEnvelope(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ver := range []byte{FormatVersionV1, FormatVersionV2} {
+		if _, err := DecodeEnvelopeVersion(ver, body); err == nil {
+			t.Errorf("PW_NACK accepted inside a v%d frame", ver)
+		}
 	}
 }

@@ -33,15 +33,22 @@ func FuzzDecodeFrame(f *testing.F) {
 		bad[4] ^= 0xFF
 		f.Add(bad)
 	}
-	// v1 frames seed the compat decode path (tagged values without the
-	// writer component) so the fuzzer mutates around both layouts.
+	// v1 and v2 frames seed the compat decode paths (tagged values
+	// without the writer component; PWs without the spec byte) so the
+	// fuzzer mutates around all three layouts.
 	for _, env := range v1Envelopes() {
 		frame := frameV1(env.From, env.To, env.Msg)
 		f.Add(frame)
 		f.Add(frame[:len(frame)-1])
 	}
+	for _, env := range v2Envelopes() {
+		frame := frameV2(env.From, env.To, env.Msg)
+		f.Add(frame)
+		f.Add(frame[:len(frame)-1])
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 2, FormatVersion, 0})
+	f.Add([]byte{0, 0, 0, 2, FormatVersionV2, 0})
 	f.Add([]byte{0, 0, 0, 2, FormatVersionV1, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(binary.BigEndian.AppendUint32(nil, maxFrameSize))
@@ -88,7 +95,7 @@ func FuzzEncodeDecode(f *testing.F) {
 		c2 := types.Tagged{TS: types.TS(tag), W: types.WID(round % 3), Val: types.Value(val2)}
 		frozen := []types.FrozenEntry{{Reader: types.ReaderID(int(rdr)), PW: c, TSR: types.ReaderTS(tsr)}}
 		var m Message
-		switch sel % 13 {
+		switch sel % 14 {
 		case 0:
 			m = PW{TS: types.TS(ts), PW: c, W: c2, Frozen: frozen}
 		case 1:
@@ -119,7 +126,9 @@ func FuzzEncodeDecode(f *testing.F) {
 				Keyed{Key: "second", Inner: Read{TSR: types.ReaderTS(tsr), Round: int(round)}},
 			}}
 		case 12:
-			m = PW{TS: types.TS(ts), PW: c, W: c2} // nil frozen set
+			m = PW{TS: types.TS(ts), PW: c, W: c2, Spec: round%2 == 1} // nil frozen set
+		case 13:
+			m = PWNack{TS: types.TS(ts), Max: types.Stamp{Seq: types.TS(tag), Writer: types.WID(round % 7)}}
 		}
 		env := Envelope{From: types.WriterID(), To: types.ServerID(int(rdr) % 8), Msg: m}
 		frame, err := AppendFrame(nil, env)

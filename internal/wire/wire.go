@@ -36,6 +36,7 @@ const (
 	KindABDReadAck
 	KindKeyed
 	KindBatch
+	KindPWNack
 )
 
 func (k Kind) String() string {
@@ -64,6 +65,8 @@ func (k Kind) String() string {
 		return "KEYED"
 	case KindBatch:
 		return "BATCH"
+	case KindPWNack:
+		return "PW_NACK"
 	default:
 		return fmt.Sprintf("invalid-kind(%d)", int(k))
 	}
@@ -81,11 +84,20 @@ var ErrMalformed = errors.New("malformed message")
 // PW is the pre-write message of WRITE (Fig. 1 line 4):
 // PW〈ts, pw, w, frozen〉. The Frozen set carries values frozen for slow
 // READs detected during the previous WRITE.
+//
+// Spec (format v3) marks a speculative multi-writer pre-write: the
+// writer skipped the stamp-query round and chose the stamp from its
+// cache. Servers apply the writer-stamp rule to speculative PWs only —
+// a Spec PW whose stamp is not strictly above the server's installed
+// pw is answered with PW_NACK and makes no state change — so a stale
+// cache is caught server-side instead of trusted. v2 peers neither
+// send nor receive the flag; a non-spec PW behaves exactly as before.
 type PW struct {
 	TS     types.TS
 	PW     types.Tagged
 	W      types.Tagged
 	Frozen []types.FrozenEntry
+	Spec   bool
 }
 
 // Kind implements Message.
@@ -108,6 +120,20 @@ type PWAck struct {
 
 // Kind implements Message.
 func (PWAck) Kind() Kind { return KindPWAck }
+
+// PWNack is the server's rejection of a speculative PW (format v3): the
+// pre-write's stamp was not strictly above the server's installed pw
+// stamp, so the server made no state change. Max carries the installed
+// stamp, which the writer folds into its cache before falling back to
+// the full query-round slow path. Only Spec PWs are ever NACKed — the
+// non-speculative pre-write keeps its unconditional max-merge ACK.
+type PWNack struct {
+	TS  types.TS
+	Max types.Stamp
+}
+
+// Kind implements Message.
+func (PWNack) Kind() Kind { return KindPWNack }
 
 // W is the write-phase message W〈round, tag, c〉 (Fig. 1 line 10), also
 // used by the reader's write-back (Fig. 2 line 27, where the tag is the
@@ -261,6 +287,14 @@ func Validate(m Message) error {
 			if !rs.Reader.IsReader() {
 				return fmt.Errorf("%w: newread entry for non-reader %q", ErrMalformed, rs.Reader)
 			}
+		}
+		return nil
+	case PWNack:
+		if v.TS <= types.TS0 {
+			return fmt.Errorf("%w: PW_NACK.ts %d not positive", ErrMalformed, v.TS)
+		}
+		if v.Max.Seq < types.TS0 || v.Max.Writer < 0 {
+			return fmt.Errorf("%w: PW_NACK.max stamp %v negative", ErrMalformed, v.Max)
 		}
 		return nil
 	case W:

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -10,6 +11,22 @@ import (
 	"luckystore/internal/checker"
 	"luckystore/internal/types"
 )
+
+// ErrMWUnsupported is returned by Continuous.Run when the workload asks
+// for contending writer identities (Writers > 1) but the deployment
+// exposes only one. The silent fall-back to a single writer this
+// replaces made multi-writer scenarios vacuously pass on deployments
+// that never exercised contention; callers that genuinely want
+// best-effort degradation (the chaos matrix running one scenario set
+// over every deployment kind) clamp Writers themselves and say so.
+var ErrMWUnsupported = errors.New("workload: multi-writer traffic unsupported (deployment exposes a single writer identity)")
+
+// ErrSpecGhost marks the failed-write history entry recorded for a
+// speculative pre-write attempt that was NACKed or starved and
+// abandoned (OpMeta.Ghost). The pair may linger on servers, so the
+// checker must know the stamp was bound — as by a crashed writer —
+// without treating the attempt as a completed write.
+var ErrSpecGhost = errors.New("speculative pre-write aborted (stamp may linger on servers)")
 
 // Continuous generates open-ended traffic until its context is
 // cancelled: one writer goroutine per key and one goroutine per reader
@@ -91,13 +108,17 @@ func (g Continuous) Run(ctx context.Context, d Driver) (*checker.Recorder, error
 	// identities contend on every key through MultiWriter.WriteAs. A
 	// given writer identity still never runs two of its own writes
 	// concurrently — contention is across identities, as in the model.
+	// Asking for contention a deployment cannot deliver is an error,
+	// not a quiet downgrade (ErrMWUnsupported).
 	writers := 1
 	var mw MultiWriter
 	if g.Writers > 1 {
-		if m, ok := d.(MultiWriter); ok && m.NumWriters() > 1 {
-			mw = m
-			writers = min(g.Writers, m.NumWriters())
+		m, ok := d.(MultiWriter)
+		if !ok || m.NumWriters() <= 1 {
+			return rec, fmt.Errorf("%w: driver %T, Writers=%d", ErrMWUnsupported, d, g.Writers)
 		}
+		mw = m
+		writers = min(g.Writers, m.NumWriters())
 	}
 	for _, key := range keys {
 		for w := 0; w < writers; w++ {
@@ -127,6 +148,17 @@ func (g Continuous) Run(ctx context.Context, d Driver) (*checker.Recorder, error
 					ret := time.Now()
 					if err != nil {
 						got = types.Tagged{Val: v}
+					}
+					if !meta.Ghost.IsZero() {
+						// The operation abandoned a speculative pre-write
+						// at this stamp before completing at got's: record
+						// it as a failed write so the checker accepts
+						// concurrent reads that return the lingering pair.
+						rec.Add(checker.Op{
+							Client: types.WriterIDN(w), Kind: checker.KindWrite, Key: key,
+							Value:  types.Tagged{TS: meta.Ghost.Seq, W: meta.Ghost.Writer, Val: v},
+							Invoke: inv, Return: ret, Err: ErrSpecGhost,
+						})
 					}
 					op := checker.Op{
 						Client: types.WriterIDN(w), Kind: checker.KindWrite, Key: key,

@@ -35,6 +35,15 @@ const DefaultKey = "k0"
 type OpMeta struct {
 	Rounds int
 	Fast   bool
+	// Spec reports a write that completed on the speculative
+	// multi-writer fast path (no stamp-query round, DESIGN.md §12).
+	Spec bool
+	// Ghost is the stamp of a speculative pre-write attempt that was
+	// NACKed or starved and abandoned mid-operation, zero when none.
+	// Workloads must record it as a failed write in checker histories:
+	// the abandoned pair can linger on servers and concurrent reads may
+	// legitimately return it.
+	Ghost types.Stamp
 }
 
 // Driver abstracts a running deployment for workload generation.
@@ -89,7 +98,7 @@ func (d ClusterDriver) WriteAs(w int, _ string, v types.Value) (types.Tagged, Op
 		return types.Tagged{}, OpMeta{}, err
 	}
 	m := wr.LastMeta()
-	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast, Spec: m.Spec, Ghost: m.Ghost}, nil
 }
 
 // Read implements Driver.
@@ -144,7 +153,7 @@ func (d KVDriver) WriteAs(w int, key string, v types.Value) (types.Tagged, OpMet
 	if err != nil {
 		return types.Tagged{}, OpMeta{}, err
 	}
-	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast, Spec: m.Spec, Ghost: m.Ghost}, nil
 }
 
 // Read implements Driver.
@@ -178,7 +187,20 @@ func (d RouterDriver) Write(key string, v types.Value) (types.Tagged, OpMeta, er
 	if err != nil {
 		return types.Tagged{}, OpMeta{}, err
 	}
-	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast}, nil
+	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast, Spec: m.Spec, Ghost: m.Ghost}, nil
+}
+
+// NumWriters implements MultiWriter: the fleet-wide usable identity
+// count (minimum over clusters).
+func (d RouterDriver) NumWriters() int { return d.R.NumWriters() }
+
+// WriteAs implements MultiWriter via the router's writer-identity map.
+func (d RouterDriver) WriteAs(w int, key string, v types.Value) (types.Tagged, OpMeta, error) {
+	m, err := d.R.PutAs(w, key, v)
+	if err != nil {
+		return types.Tagged{}, OpMeta{}, err
+	}
+	return m.Value(v), OpMeta{Rounds: m.Rounds, Fast: m.Fast, Spec: m.Spec, Ghost: m.Ghost}, nil
 }
 
 // Read implements Driver.

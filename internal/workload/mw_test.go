@@ -2,6 +2,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -96,7 +97,7 @@ func TestContinuousContendingWritersKV(t *testing.T) {
 
 // Drivers without the MultiWriter capability (or with Writers left at
 // the default) degrade to the classic single-writer shape.
-func TestContinuousWritersFallsBackToSingle(t *testing.T) {
+func TestContinuousWritersUnsupportedIsExplicit(t *testing.T) {
 	st, err := kv.Open(core.Config{T: 1, B: 0, Fw: 0, NumReaders: 1,
 		RoundTimeout: 10 * time.Millisecond, OpTimeout: 5 * time.Second})
 	if err != nil {
@@ -106,18 +107,15 @@ func TestContinuousWritersFallsBackToSingle(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 	defer cancel()
-	// Writers: 3 requested, but the driver has a single identity.
+	// Writers: 3 requested, but the driver has a single identity: the
+	// run must refuse rather than silently degrade to one writer — a
+	// degraded run would make contention scenarios vacuously pass.
 	rec, err := Continuous{Writers: 3, Seed: 9,
 		WritePace: time.Millisecond}.Run(ctx, KVDriver{S: st, Readers: 1})
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrMWUnsupported) {
+		t.Fatalf("Run with Writers=3 on a single-writer driver: err = %v, want ErrMWUnsupported", err)
 	}
-	for _, op := range rec.Ops() {
-		if op.Kind == checker.KindWrite && op.Client != types.WriterID() {
-			t.Fatalf("fallback recorded writer %s", op.Client)
-		}
-	}
-	for _, v := range checker.CheckAtomicityPerKey(rec.Ops()) {
-		t.Error(v)
+	if rec == nil || len(rec.Ops()) != 0 {
+		t.Fatalf("refused run must record no operations, got %v", rec)
 	}
 }
