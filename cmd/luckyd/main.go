@@ -14,6 +14,13 @@
 // workers (-shards; 0 means one per CPU) so independent keys never
 // serialize on one lock.
 //
+// With -admin the server additionally exposes an operational HTTP
+// plane: /metrics (Prometheus text: per-key-class service latency,
+// WAL fsync latency, shard queue depths, frame counters), /healthz,
+// /readyz (probes the data listener end to end), and /debug/stamps
+// (the per-key ⟨seq, writer⟩ stamps currently held, walked race-free
+// on the shard workers).
+//
 // With -data the server is durable: it writes a WAL (plus snapshots)
 // under the directory before acknowledging, and on startup replays the
 // directory — truncating any torn tail a crash left — before accepting
@@ -30,13 +37,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"luckystore"
+	"luckystore/internal/admin"
 )
 
 func main() {
@@ -53,7 +62,8 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 		listen  = fs.String("listen", "127.0.0.1:0", "TCP listen address")
 		kvMode  = fs.Bool("kv", false, "serve the key-value store (one lucky register per key) instead of the single register")
 		shards  = fs.Int("shards", 0, "shard workers stepping the KV registers; 0 means one per CPU (requires -kv)")
-		dataDir = fs.String("data", "", "data directory for the WAL and snapshots; empty keeps state in memory only")
+		dataDir   = fs.String("data", "", "data directory for the WAL and snapshots; empty keeps state in memory only")
+		adminAddr = fs.String("admin", "", "HTTP admin listen address serving /metrics, /healthz, /readyz, /debug/stamps; empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,16 +81,17 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 	}
 
 	var (
-		srv interface {
-			Addr() string
-			ID() luckystore.ProcID
-			io.Closer
-		}
+		srv *luckystore.TCPServer
 		err error
 	)
 	var opts []luckystore.TCPOption
 	if *dataDir != "" {
 		opts = append(opts, luckystore.WithTCPDataDir(*dataDir))
+	}
+	var reg *luckystore.MetricsRegistry
+	if *adminAddr != "" {
+		reg = luckystore.NewMetricsRegistry()
+		opts = append(opts, luckystore.WithTCPMetrics(reg))
 	}
 	if *kvMode {
 		srv, err = luckystore.ListenTCPKV(*index, *listen, append(opts, luckystore.WithTCPShards(*shards))...)
@@ -90,6 +101,28 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "luckyd: %v\n", err)
 		return 1
+	}
+	var adm *admin.Server
+	if *adminAddr != "" {
+		adm, err = admin.Listen(*adminAddr, admin.Options{
+			Registry: reg,
+			// Readiness probes the data plane end to end: the listener
+			// must still accept a connection.
+			Ready: func() error {
+				c, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+				if err != nil {
+					return err
+				}
+				return c.Close()
+			},
+			Stamps: srv.WriteStamps,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "luckyd: %v\n", err)
+			_ = srv.Close()
+			return 1
+		}
+		log.Printf("luckyd: admin plane on http://%s", adm.Addr())
 	}
 	mode := "register"
 	if *kvMode {
@@ -112,6 +145,9 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 	case <-stop:
 	}
 	log.Printf("luckyd: shutting down %s", srv.ID())
+	if adm != nil {
+		_ = adm.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "luckyd: close: %v\n", err)
 		return 1

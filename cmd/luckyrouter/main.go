@@ -29,11 +29,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
+	"time"
 
+	"luckystore/internal/admin"
+	"luckystore/internal/metrics"
 	"luckystore/internal/ring"
 	"luckystore/internal/router"
 )
@@ -70,6 +76,47 @@ func splitAddrs(v string) []string {
 	return out
 }
 
+// quorumReachable probes every cluster's servers with short TCP dials
+// and reports the first cluster that cannot assemble a majority. The
+// protocol's quorums are S-t sized, but t is a client-side parameter
+// the router does not know; a majority is the weakest threshold any
+// valid (t, b) choice needs, so it is the honest readiness bar here.
+func quorumReachable(clusters map[ring.ClusterID][]string) error {
+	for id, addrs := range clusters {
+		up := 0
+		for _, a := range addrs {
+			c, err := net.DialTimeout("tcp", a, time.Second)
+			if err != nil {
+				continue
+			}
+			_ = c.Close()
+			up++
+		}
+		if up <= len(addrs)/2 {
+			return fmt.Errorf("cluster %s: %d/%d servers reachable, majority needed", id, up, len(addrs))
+		}
+	}
+	return nil
+}
+
+// ringHandler serves the routing table: the seed and each cluster's
+// servers, in sorted cluster order — enough for an operator to check
+// two routers front the same fleet the same way.
+func ringHandler(seed int64, clusters map[ring.ClusterID][]string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "seed %d\n", seed)
+		ids := make([]string, 0, len(clusters))
+		for id := range clusters {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "%s %s\n", id, strings.Join(clusters[ring.ClusterID(id)], ","))
+		}
+	})
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], nil, nil))
 }
@@ -82,9 +129,10 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 	var clusters clusterList
 	fs.Var(&clusters, "cluster", "one cluster's comma-separated server addresses, in index order (repeat per cluster)")
 	var (
-		listen = fs.String("listen", "", "comma-separated virtual-server listen addresses (default: S loopback sockets on free ports)")
-		seed   = fs.Int64("seed", 1, "consistent-hash ring seed (must match every router of the fleet)")
-		vnodes = fs.Int("vnodes", 0, "virtual nodes per cluster on the ring; 0 means the default")
+		listen    = fs.String("listen", "", "comma-separated virtual-server listen addresses (default: S loopback sockets on free ports)")
+		seed      = fs.Int64("seed", 1, "consistent-hash ring seed (must match every router of the fleet)")
+		vnodes    = fs.Int("vnodes", 0, "virtual nodes per cluster on the ring; 0 means the default")
+		adminAddr = fs.String("admin", "", "HTTP admin listen address serving /metrics, /healthz, /readyz, /debug/ring; empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -106,10 +154,31 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 	for i, addrs := range clusters {
 		cfg.Clusters[ring.ID(i)] = addrs
 	}
+	var reg *metrics.Registry
+	if *adminAddr != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
 	p, err := router.NewProxy(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "luckyrouter: %v\n", err)
 		return 1
+	}
+	var adm *admin.Server
+	if *adminAddr != "" {
+		adm, err = admin.Listen(*adminAddr, admin.Options{
+			Registry: reg,
+			Ready:    func() error { return quorumReachable(cfg.Clusters) },
+			Extra: map[string]http.Handler{
+				"/debug/ring": ringHandler(*seed, cfg.Clusters),
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "luckyrouter: %v\n", err)
+			_ = p.Close()
+			return 1
+		}
+		log.Printf("luckyrouter: admin plane on http://%s", adm.Addr())
 	}
 	addrs := strings.Join(p.Addrs(), ",")
 	log.Printf("luckyrouter: fronting %d clusters (seed %d) on %s", len(clusters), *seed, addrs)
@@ -125,6 +194,9 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) int {
 	case <-stop:
 	}
 	log.Print("luckyrouter: shutting down")
+	if adm != nil {
+		_ = adm.Close()
+	}
 	if err := p.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "luckyrouter: close: %v\n", err)
 		return 1

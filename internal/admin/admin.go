@@ -1,0 +1,111 @@
+// Package admin serves the operational plane of a lucky-protocol
+// process over plain HTTP: Prometheus-text metrics, liveness and
+// readiness probes, and a race-free dump of the per-key stamps a server
+// currently holds. It is deliberately tiny — net/http, no framework, no
+// external deps — so every daemon (luckyd, luckyrouter, luckyload's
+// self-hosted fleets) can expose the same surface with one call.
+package admin
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"luckystore/internal/metrics"
+)
+
+// Options configures the endpoints a Server exposes. Every field is
+// optional: a nil Registry serves an empty /metrics page, a nil Ready
+// makes /readyz always succeed, a nil Stamps disables /debug/stamps
+// with 404.
+type Options struct {
+	// Registry renders on /metrics in Prometheus text format.
+	Registry *metrics.Registry
+	// Ready gates /readyz: nil error → 200, otherwise 503 with the
+	// error text. Typical implementations probe quorum reachability.
+	Ready func() error
+	// Stamps writes the server's current per-key ⟨seq, writerID⟩
+	// stamps to w (one "key seq writer" line per register), served on
+	// /debug/stamps. It must be safe to call concurrently with
+	// operation traffic.
+	Stamps func(w io.Writer) error
+	// Extra mounts additional handlers by path (e.g. "/debug/ring").
+	Extra map[string]http.Handler
+}
+
+// Server is a running admin listener.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+	done chan struct{}
+}
+
+// Listen starts the admin plane on addr ("host:port"; ":0" picks a free
+// port — see Addr). It returns once the listener is bound; requests are
+// served on background goroutines until Close.
+func Listen(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if opts.Registry != nil {
+			_ = opts.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness: the process is up and serving its admin plane.
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Ready != nil {
+			if err := opts.Ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "not ready: %v\n", err)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ready\n")
+	})
+	if opts.Stamps != nil {
+		mux.HandleFunc("/debug/stamps", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := opts.Stamps(w); err != nil {
+				// Headers are gone; append the error so a truncated dump
+				// is distinguishable from a complete one.
+				fmt.Fprintf(w, "# error: %v\n", err)
+			}
+		})
+	}
+	for path, h := range opts.Extra {
+		mux.Handle(path, h)
+	}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s := &Server{ln: ln, http: srv, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		_ = srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr is the bound address, useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for the serve loop to exit.
+// In-flight handlers may still be running; this is an abrupt stop, fit
+// for process shutdown.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	<-s.done
+	return err
+}

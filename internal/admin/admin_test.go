@@ -1,0 +1,95 @@
+package admin
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"luckystore/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("test_ops_total", "Test counter.").Add(7)
+	var ready atomic.Bool
+	srv, err := Listen("127.0.0.1:0", Options{
+		Registry: reg,
+		Ready: func() error {
+			if !ready.Load() {
+				return errors.New("quorum unreachable")
+			}
+			return nil
+		},
+		Stamps: func(w io.Writer) error {
+			_, err := fmt.Fprintln(w, "alpha 3 1")
+			return err
+		},
+		Extra: map[string]http.Handler{
+			"/debug/extra": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				io.WriteString(w, "extra")
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "test_ops_total 7") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/readyz"); code != 503 || !strings.Contains(body, "quorum unreachable") {
+		t.Fatalf("/readyz (failing): code=%d body=%q", code, body)
+	}
+	ready.Store(true)
+	if code, body := get(t, base+"/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("/readyz (passing): code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/debug/stamps"); code != 200 || body != "alpha 3 1\n" {
+		t.Fatalf("/debug/stamps: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/debug/extra"); code != 200 || body != "extra" {
+		t.Fatalf("/debug/extra: code=%d body=%q", code, body)
+	}
+}
+
+func TestAdminDefaults(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, _ := get(t, base+"/metrics"); code != 200 {
+		t.Fatalf("/metrics with nil registry: code=%d", code)
+	}
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("/readyz with nil Ready: code=%d", code)
+	}
+	if code, _ := get(t, base+"/debug/stamps"); code != 404 {
+		t.Fatalf("/debug/stamps with nil Stamps: code=%d", code)
+	}
+}

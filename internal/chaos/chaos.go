@@ -140,9 +140,14 @@ type Report struct {
 	Writes     int            `json:"writes"`
 	Reads      int            `json:"reads"`
 	FastFrac   float64        `json:"fast_frac"`
-	OpError    string         `json:"op_error,omitempty"`
-	Violations []string       `json:"violations,omitempty"`
-	Clean      bool           `json:"clean"`
+	// Traffic is the full shared-path summary (workload.Summarize) the
+	// headline counters above are drawn from; it adds latency
+	// percentiles, rounds/op, and ghost-stamp retries, in the same
+	// shape luckyload's SLO artifact uses.
+	Traffic    workload.Result `json:"traffic"`
+	OpError    string          `json:"op_error,omitempty"`
+	Violations []string        `json:"violations,omitempty"`
+	Clean      bool            `json:"clean"`
 	// Writers is the contending writer-identity count the traffic ran
 	// with; MWClamped marks that the scenario asked for more than the
 	// deployment exposes and the run was clamped to single-writer (the
@@ -303,26 +308,9 @@ func Run(d Deployment, sc Scenario, seed int64, duration time.Duration, opts Opt
 	if wl.err != nil {
 		rep.OpError = wl.err.Error()
 	}
-	var fast, rounds int
-	for _, op := range rep.ops {
-		if op.Err != nil {
-			continue
-		}
-		rep.Ops++
-		switch op.Kind {
-		case checker.KindWrite:
-			rep.Writes++
-		case checker.KindRead:
-			rep.Reads++
-		}
-		rounds += op.Rounds
-		if op.Fast {
-			fast++
-		}
-	}
-	if rep.Ops > 0 {
-		rep.FastFrac = float64(fast) / float64(rep.Ops)
-	}
+	rep.Traffic = workload.Summarize(rep.ops, duration+settleTime)
+	rep.Ops, rep.Writes, rep.Reads = rep.Traffic.Ops, rep.Traffic.Writes, rep.Traffic.Reads
+	rep.FastFrac = rep.Traffic.FastFrac
 	for _, v := range d.Check(rep.ops) {
 		rep.Violations = append(rep.Violations, v.String())
 	}

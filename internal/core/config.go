@@ -77,6 +77,12 @@ type Config struct {
 	RoundTimeout time.Duration
 	// OpTimeout bounds one operation; zero selects DefaultOpTimeout.
 	OpTimeout time.Duration
+	// Metrics attaches live client-side instrumentation (DESIGN.md
+	// §13): every Writer and Reader built from this Config records its
+	// operations into the shared instruments. Nil — the default —
+	// disables recording entirely; the hot paths then carry only a nil
+	// test, and either way no operation allocates for metrics.
+	Metrics *Metrics
 }
 
 // S returns the number of servers, 2t + b + 1 (optimal resilience).

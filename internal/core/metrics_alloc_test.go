@@ -1,0 +1,106 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"luckystore/internal/metrics"
+)
+
+// The instrumented-path allocation contract: live telemetry must ride
+// the existing budget. Every hot-path observe is an atomic add (or a
+// bits.Len64 bucket index into a fixed array), so enabling a full
+// registry on a cluster may add at most one allocation per operation
+// over the uninstrumented contract — and in practice adds zero.
+const metricsExtraAllocBudget = 1
+
+func instrumentedCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cfg := Config{T: 1, B: 0, Fw: 0, NumReaders: 1}
+	cfg.Metrics = NewMetrics(metrics.NewRegistry())
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestPutSteadyStateAllocsInstrumented(t *testing.T) {
+	cl := instrumentedCluster(t)
+	w := cl.Writer()
+	for i := 0; i < 64; i++ {
+		if err := w.Write("warm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if err := w.Write("steady-state-value"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > steadyStateAllocBudget+metricsExtraAllocBudget+0.5 {
+		t.Errorf("instrumented Write: %.1f allocs/op, budget %d+%d",
+			allocs, steadyStateAllocBudget, metricsExtraAllocBudget)
+	}
+	if !w.LastMeta().Fast {
+		t.Fatal("writes were not fast; the measurement did not hit the steady-state path")
+	}
+}
+
+func TestGetSteadyStateAllocsInstrumented(t *testing.T) {
+	cl := instrumentedCluster(t)
+	if err := cl.Writer().Write("stored"); err != nil {
+		t.Fatal(err)
+	}
+	r := cl.Reader(0)
+	for i := 0; i < 64; i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > steadyStateAllocBudget+metricsExtraAllocBudget+0.5 {
+		t.Errorf("instrumented Read: %.1f allocs/op, budget %d+%d",
+			allocs, steadyStateAllocBudget, metricsExtraAllocBudget)
+	}
+	if !r.LastMeta().Fast() {
+		t.Fatal("reads were not fast; the measurement did not hit the steady-state path")
+	}
+}
+
+// TestMetricsObservedWhileWithinBudget guards against the trivially
+// passing version of the contract: the counters must actually have
+// moved during the measured traffic.
+func TestMetricsObservedWhileWithinBudget(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := Config{T: 1, B: 0, Fw: 0, NumReaders: 1}
+	cfg.Metrics = NewMetrics(reg)
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 16; i++ {
+		if err := cl.Writer().Write("v"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Reader(0).Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := cfg.Metrics
+	if m.WriteOps.Value() < 16 || m.ReadOps.Value() < 16 {
+		t.Fatalf("instruments did not move: writes=%d reads=%d",
+			m.WriteOps.Value(), m.ReadOps.Value())
+	}
+	if m.WriteLatency.Count() < 16 || m.ReadLatency.Count() < 16 {
+		t.Fatalf("latency histograms did not move: w=%d r=%d",
+			m.WriteLatency.Count(), m.ReadLatency.Count())
+	}
+}

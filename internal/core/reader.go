@@ -91,6 +91,19 @@ func (r *Reader) resetRoundSeen() {
 // or the last value written. The returned Tagged carries the value and
 // the timestamp the writer assigned to it (the k of wr_k).
 func (r *Reader) Read() (types.Tagged, error) {
+	m := r.cfg.Metrics
+	if m == nil {
+		return r.read()
+	}
+	t0 := time.Now()
+	v, err := r.read()
+	if err == nil {
+		m.observeRead(r.lastMeta, time.Since(t0))
+	}
+	return v, err
+}
+
+func (r *Reader) read() (types.Tagged, error) {
 	opDeadline := resetTimer(&r.opTimer, r.cfg.opTimeout())
 	defer opDeadline.Stop()
 
@@ -137,9 +150,12 @@ func (r *Reader) Read() (types.Tagged, error) {
 				expired = true
 				if roundAcks < r.cfg.Quorum() {
 					if inGrace {
+						r.cfg.Metrics.retransmit()
 						if err := r.broadcast(wire.Read{TSR: r.tsr, Round: rnd}); err != nil {
 							return types.Tagged{}, err
 						}
+					} else {
+						r.cfg.Metrics.starved()
 					}
 					inGrace = true
 					timer = resetTimer(&r.roundTimer, retransmitGrace)
@@ -243,9 +259,12 @@ func (r *Reader) writeBack(c types.Tagged, opDeadline *time.Timer) error {
 				}
 			case <-timer.C:
 				if inGrace {
+					r.cfg.Metrics.retransmit()
 					if err := r.broadcast(wire.W{Round: round, Tag: int64(r.tsr), C: c}); err != nil {
 						return err
 					}
+				} else {
+					r.cfg.Metrics.starved()
 				}
 				inGrace = true
 				timer = resetTimer(&r.roundTimer, retransmitGrace)

@@ -50,6 +50,11 @@ type Server struct {
 	// readers: the regular variant of Appendix D, which tolerates
 	// malicious readers by never letting a reader modify pw/w/vw.
 	ignoreReaderWrites bool
+
+	// sm is the process-wide server instrumentation, shared by every
+	// per-key automaton of a server (SetMetrics); nil when the process
+	// runs uninstrumented.
+	sm *ServerMetrics
 }
 
 var (
@@ -186,8 +191,10 @@ func (s *Server) onPW(from types.ProcID, m wire.PW, out []transport.Outgoing) []
 	// installed the pair, and NACKing the second would abort a write
 	// the servers in fact accepted.
 	if m.Spec && !s.pw.Stamp().Less(m.PW.Stamp()) && s.pw != m.PW {
+		s.sm.pwNack()
 		return append(out, transport.Outgoing{To: from, Msg: wire.PWNack{TS: m.TS, Max: s.pw.Stamp()}})
 	}
+	s.sm.pw(m.Spec)
 	s.update(&s.pw, m.PW)
 	s.update(&s.w, m.W)
 	// Apply the frozen set even when pw'/w' are older than the local
@@ -229,6 +236,7 @@ func (s *Server) onPW(from types.ProcID, m wire.PW, out []transport.Outgoing) []
 // machinery): a fast READ leaves no trace, and only slow READs signal
 // the writer via freezing.
 func (s *Server) onRead(from types.ProcID, m wire.Read, out []transport.Outgoing) []transport.Outgoing {
+	s.sm.read()
 	if m.TSR > s.readerTS[from] && m.Round > 1 && from.IsReader() {
 		if s.readerTS == nil {
 			s.readerTS = make(map[types.ProcID]types.ReaderTS)
@@ -251,6 +259,7 @@ func (s *Server) onRead(from types.ProcID, m wire.Read, out []transport.Outgoing
 // onW handles a write-phase or write-back message (Fig. 3 lines 12–16):
 // round 1 updates pw, round 2 additionally w, round 3 additionally vw.
 func (s *Server) onW(from types.ProcID, m wire.W, out []transport.Outgoing) []transport.Outgoing {
+	s.sm.w()
 	s.update(&s.pw, m.C)
 	if m.Round > 1 {
 		s.update(&s.w, m.C)

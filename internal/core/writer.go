@@ -168,7 +168,18 @@ func (w *Writer) ID() types.ProcID { return w.id }
 // write is secured: after one round-trip on the fast path (S − fw
 // PW_ACKs within the synchrony timer), otherwise after the two
 // additional W rounds.
-func (w *Writer) Write(v types.Value) error { return w.write(v, nil) }
+func (w *Writer) Write(v types.Value) error {
+	m := w.cfg.Metrics
+	if m == nil {
+		return w.write(v, nil)
+	}
+	t0 := time.Now()
+	err := w.write(v, nil)
+	if err == nil {
+		m.observeWrite(w.lastMeta, time.Since(t0))
+	}
+	return err
+}
 
 // WriteWithFault runs a WRITE with scripted crash behavior; it returns
 // ErrCrashed at the scripted point and leaves the writer permanently
@@ -351,9 +362,12 @@ func (w *Writer) queryStamp(opDeadline *time.Timer) (types.Stamp, error) {
 		select {
 		case <-timer.C:
 			if inGrace {
+				w.cfg.Metrics.retransmit()
 				if err := w.sendTo(w.allServers(), wire.Read{TSR: w.qtsr, Round: 1}); err != nil {
 					return types.Stamp0, err
 				}
+			} else {
+				w.cfg.Metrics.starved()
 			}
 			inGrace = true
 			timer = resetTimer(&w.roundTimer, retransmitGrace)
@@ -430,9 +444,12 @@ func (w *Writer) bind(c types.Tagged, f *WriteFault, queried bool, ghost types.S
 			// deadline.
 			if w.ackCount < w.cfg.Quorum() {
 				if inGrace {
+					w.cfg.Metrics.retransmit()
 					if err := w.sendTo(w.pwTargets(f), pwMsg); err != nil {
 						return err
 					}
+				} else {
+					w.cfg.Metrics.starved()
 				}
 				inGrace = true
 				timer = resetTimer(&w.roundTimer, retransmitGrace)
@@ -555,6 +572,7 @@ func (w *Writer) bindSpec(c types.Tagged, opDeadline *time.Timer) (done bool, er
 					w.stats.SpecFlips++
 					return false, nil
 				}
+				w.cfg.Metrics.starved()
 				inGrace = true
 				timer = resetTimer(&w.roundTimer, retransmitGrace)
 			}
@@ -787,9 +805,12 @@ func (w *Writer) awaitWAcks(round int, tag int64, targets []types.ProcID, msg wi
 			}
 		case <-timer.C:
 			if inGrace {
+				w.cfg.Metrics.retransmit()
 				if err := w.sendTo(targets, msg); err != nil {
 					return err
 				}
+			} else {
+				w.cfg.Metrics.starved()
 			}
 			inGrace = true
 			timer = resetTimer(&w.roundTimer, retransmitGrace)

@@ -2,6 +2,7 @@ package keyed
 
 import (
 	"hash/fnv"
+	"sort"
 	"sync/atomic"
 
 	"luckystore/internal/node"
@@ -89,6 +90,29 @@ func (s *ShardedServer) Route() func(wire.Message) int {
 // Regs reports the number of instantiated registers across all shards.
 // It is safe to call concurrently with stepping.
 func (s *ShardedServer) Regs() int { return int(s.regs.Load()) }
+
+// NumShards reports the shard count.
+func (s *ShardedServer) NumShards() int { return len(s.shards) }
+
+// RangeShard calls fn for every instantiated register of shard i in
+// sorted key order. The shard's map is unlocked by design, so the call
+// MUST run with exclusive ownership of the shard: on the shard's
+// worker goroutine (node.StepPool.Do — how the admin API's live
+// /debug/stamps walks a serving store) or on a quiesced server.
+func (s *ShardedServer) RangeShard(i int, fn func(key string, reg node.Automaton)) {
+	if i < 0 || i >= len(s.shards) {
+		return
+	}
+	sh := s.shards[i]
+	keys := make([]string, 0, len(sh.regs))
+	for k := range sh.regs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(k, sh.regs[k])
+	}
+}
 
 // Step implements node.Automaton for one shard: unwrap, dispatch to the
 // key's automaton, re-wrap. The map access is unlocked — the shard's

@@ -26,9 +26,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"luckystore/internal/core"
 	"luckystore/internal/keyed"
+	"luckystore/internal/metrics"
 	"luckystore/internal/node"
 	"luckystore/internal/simnet"
 	"luckystore/internal/storage"
@@ -64,6 +66,7 @@ type openOptions struct {
 	writerID   types.ProcID
 	readerBase int
 	store      storage.Provider
+	metrics    *metrics.Registry
 }
 
 // WithShards sets the number of shard workers each server runs its
@@ -110,6 +113,18 @@ func WithStorage(p storage.Provider) Option {
 	return func(o *openOptions) { o.store = p }
 }
 
+// WithMetrics threads live instrumentation through every layer of the
+// store into reg: per-key-class Put/Get latency at the API boundary,
+// core writer/reader rounds and path counters (core.Metrics), server
+// message counters, per-server queue depths, send-side coalescer batch
+// widths, and — with WithStorage — WAL append/fsync latency and
+// group-commit batch sizes. The hot path stays allocation-free
+// (DESIGN.md §13); without this option every hook is a single nil
+// pointer test.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *openOptions) { o.metrics = reg }
+}
+
 // WithReaderBase offsets the store's reader identities: local reader
 // idx speaks as types.ReaderID(base+idx). Contending stores need
 // disjoint reader ids — servers key the freezing machinery by reader
@@ -141,6 +156,11 @@ type Store struct {
 
 	store    storage.Provider
 	backends []storage.Backend // per server; nil when not durable
+
+	met       *StoreMetrics        // nil when uninstrumented
+	srvMet    *core.ServerMetrics  // shared by every server automaton
+	durMet    *storage.DurableMetrics
+	runnersMu sync.RWMutex // guards runners[i] replacement vs gauge reads
 
 	writerDemux  *keyed.Demux
 	readerDemuxs []*keyed.Demux
@@ -201,6 +221,9 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.metrics != nil {
+		cfg.Metrics = core.NewMetrics(o.metrics)
+	}
 	st := &Store{
 		cfg:        cfg,
 		shards:     o.shards,
@@ -211,13 +234,18 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 		readers:    make([]sync.Map, cfg.NumReaders),
 		store:      o.store,
 	}
+	if o.metrics != nil {
+		st.met = newStoreMetrics(o.metrics)
+		st.srvMet = core.NewServerMetrics(o.metrics)
+		st.durMet = storage.NewDurableMetrics(o.metrics)
+	}
 	for i := 0; i < cfg.S(); i++ {
 		ep, err := sim.Endpoint(types.ServerID(i))
 		if err != nil {
 			st.Close()
 			return nil, err
 		}
-		srv := keyed.NewShardedServer(o.shards, func() node.Automaton { return core.NewServer() })
+		srv := st.newServer()
 		var back storage.Backend
 		if st.store != nil {
 			back, err = st.openAndRecover(i, srv)
@@ -226,27 +254,65 @@ func Open(cfg core.Config, opts ...Option) (*Store, error) {
 				return nil, fmt.Errorf("kv server %d storage: %w", i, err)
 			}
 		}
-		r := node.NewShardedRunner(ep, durableShards(srv, back, i), srv.Route())
+		r := node.NewShardedRunner(ep, st.durableShards(srv, back, i), srv.Route())
 		st.srvs = append(st.srvs, srv)
 		st.backends = append(st.backends, back)
 		st.runners = append(st.runners, r)
 		r.Start()
+	}
+	if st.met != nil {
+		for i := range st.runners {
+			idx := i
+			st.met.reg.GaugeFunc("lucky_kv_server_queue_depth",
+				"Envelopes queued on a server's shard mailboxes, not yet stepped.",
+				func() int64 {
+					st.runnersMu.RLock()
+					r := st.runners[idx]
+					st.runnersMu.RUnlock()
+					if q, ok := r.(interface{ QueueLen() int }); ok {
+						return int64(q.QueueLen())
+					}
+					return 0
+				}, metrics.L("server", string(types.ServerID(idx))))
+		}
 	}
 	wep, err := sim.Endpoint(types.WriterID())
 	if err != nil {
 		st.Close()
 		return nil, err
 	}
-	st.writerDemux = keyed.NewDemux(transport.NewCoalescer(wep))
+	st.writerDemux = keyed.NewDemux(st.newCoalescer(wep, "writer"))
 	for i := 0; i < cfg.NumReaders; i++ {
 		rep, err := sim.Endpoint(types.ReaderID(i))
 		if err != nil {
 			st.Close()
 			return nil, err
 		}
-		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(transport.NewCoalescer(rep)))
+		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(st.newCoalescer(rep, "reader")))
 	}
 	return st, nil
+}
+
+// newServer builds one sharded keyed server whose per-register
+// automata share the store's server metrics (nil when uninstrumented —
+// the hooks are no-ops).
+func (s *Store) newServer() *keyed.ShardedServer {
+	sm := s.srvMet
+	return keyed.NewShardedServer(s.shards, func() node.Automaton {
+		srv := core.NewServer()
+		srv.SetMetrics(sm)
+		return srv
+	})
+}
+
+// newCoalescer wraps ep in a send-side coalescer, instrumented under
+// the given role label when the store carries metrics.
+func (s *Store) newCoalescer(ep transport.Endpoint, role string) *transport.Coalescer {
+	c := transport.NewCoalescer(ep)
+	if s.met != nil {
+		c.SetMetrics(transport.NewCoalescerMetrics(s.met.reg, role))
+	}
+	return c
 }
 
 // NewServerAutomaton returns the keyed server automaton a KV server
@@ -268,6 +334,33 @@ func NewShardedServerAutomaton(n int) *keyed.ShardedServer {
 		n = DefaultShards()
 	}
 	return keyed.NewShardedServer(n, func() node.Automaton { return core.NewServer() })
+}
+
+// NewShardedServerAutomatonInstrumented is NewShardedServerAutomaton
+// with every register automaton sharing sm (nil is allowed and leaves
+// the hooks disabled) — the path an instrumented TCP server process
+// takes (luckystore.ListenTCPKV with metrics).
+func NewShardedServerAutomatonInstrumented(n int, sm *core.ServerMetrics) *keyed.ShardedServer {
+	if n < 1 {
+		n = DefaultShards()
+	}
+	return keyed.NewShardedServer(n, func() node.Automaton {
+		srv := core.NewServer()
+		srv.SetMetrics(sm)
+		return srv
+	})
+}
+
+// MetricsRegistry extracts the registry carried by a WithMetrics option
+// in opts, nil if none. Transport assemblers (luckystore.OpenKVTCP)
+// use it to instrument the endpoints they dial before handing them to
+// OpenWithEndpoints.
+func MetricsRegistry(opts ...Option) *metrics.Registry {
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o.metrics
 }
 
 // NewStorageAutomaton returns the automaton storage backends rebuild
@@ -307,15 +400,21 @@ func OpenWithEndpoints(cfg core.Config, writerEP transport.Endpoint, readerEPs [
 	if o.readerBase < 0 {
 		return nil, fmt.Errorf("kv: reader base = %d must be non-negative", o.readerBase)
 	}
-	st := &Store{
-		cfg:         cfg,
-		writerID:    o.writerID,
-		readerBase:  o.readerBase,
-		writerDemux: keyed.NewDemux(transport.NewCoalescer(writerEP)),
-		readers:     make([]sync.Map, len(readerEPs)),
+	if o.metrics != nil {
+		cfg.Metrics = core.NewMetrics(o.metrics)
 	}
+	st := &Store{
+		cfg:        cfg,
+		writerID:   o.writerID,
+		readerBase: o.readerBase,
+		readers:    make([]sync.Map, len(readerEPs)),
+	}
+	if o.metrics != nil {
+		st.met = newStoreMetrics(o.metrics)
+	}
+	st.writerDemux = keyed.NewDemux(st.newCoalescer(writerEP, "writer"))
 	for _, rep := range readerEPs {
-		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(transport.NewCoalescer(rep)))
+		st.readerDemuxs = append(st.readerDemuxs, keyed.NewDemux(st.newCoalescer(rep, "reader")))
 	}
 	return st, nil
 }
@@ -346,8 +445,13 @@ func (s *Store) OpenContender(k int) (*Store, error) {
 		}
 		readerEPs[j] = rep
 	}
-	return OpenWithEndpoints(s.cfg, wep, readerEPs,
-		WithWriterID(types.WriterIDN(k)), WithReaderBase(k*s.cfg.NumReaders))
+	copts := []Option{WithWriterID(types.WriterIDN(k)), WithReaderBase(k * s.cfg.NumReaders)}
+	if s.met != nil {
+		// Contender traffic lands in the same registry: the admin surface
+		// sees the whole fleet, not just the primary identity.
+		copts = append(copts, WithMetrics(s.met.reg))
+	}
+	return OpenWithEndpoints(s.cfg, wep, readerEPs, copts...)
 }
 
 // AdoptContender attaches a contending store — OpenContender's result,
@@ -419,9 +523,17 @@ func (s *Store) Put(key string, value types.Value) error {
 	if err != nil {
 		return err
 	}
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.w.Write(value)
+	err = h.w.Write(value)
+	h.mu.Unlock()
+	if err == nil {
+		s.met.observePut(key, t0)
+	}
+	return err
 }
 
 // PutMeta returns the write metadata of the last Put on key (only
@@ -481,9 +593,17 @@ func (s *Store) Get(idx int, key string) (types.Tagged, error) {
 	if err != nil {
 		return types.Tagged{}, err
 	}
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.r.Read()
+	v, err := h.r.Read()
+	h.mu.Unlock()
+	if err == nil {
+		s.met.observeGet(key, t0)
+	}
+	return v, err
 }
 
 // GetMeta returns the read metadata of reader idx's last Get on key. A
@@ -554,12 +674,19 @@ func (s *Store) PutAsync(key string, value types.Value) *PutFuture {
 		close(f.done)
 		return f
 	}
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	go func() {
 		defer close(f.done)
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		f.err = h.w.Write(value)
 		f.meta = h.w.LastMeta()
+		if f.err == nil {
+			s.met.observeAsyncPut(t0)
+		}
 	}()
 	return f
 }
@@ -574,11 +701,18 @@ func (s *Store) GetAsync(idx int, key string) *GetFuture {
 		close(f.done)
 		return f
 	}
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	go func() {
 		defer close(f.done)
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		f.val, f.err = h.r.Read()
+		if f.err == nil {
+			s.met.observeAsyncGet(t0)
+		}
 	}()
 	return f
 }
@@ -647,14 +781,14 @@ func (s *Store) RestartServer(i int) error {
 	}
 	back := s.backends[i]
 	if back != nil {
-		srv = keyed.NewShardedServer(s.shards, func() node.Automaton { return core.NewServer() })
+		srv = s.newServer()
 		if _, err := storage.Recover(back, srv); err != nil {
 			return fmt.Errorf("kv restart server %d: %w", i, err)
 		}
 		s.srvs[i] = srv
 	}
 	return s.restart(i, func(ep transport.Endpoint) node.Process {
-		return node.NewShardedRunner(ep, durableShards(srv, back, i), srv.Route())
+		return node.NewShardedRunner(ep, s.durableShards(srv, back, i), srv.Route())
 	})
 }
 
@@ -673,10 +807,10 @@ func (s *Store) RestartServerFresh(i int) error {
 			return fmt.Errorf("kv fresh-restart server %d: %w", i, err)
 		}
 	}
-	srv := keyed.NewShardedServer(s.shards, func() node.Automaton { return core.NewServer() })
+	srv := s.newServer()
 	s.srvs[i] = srv
 	return s.restart(i, func(ep transport.Endpoint) node.Process {
-		return node.NewShardedRunner(ep, durableShards(srv, back, i), srv.Route())
+		return node.NewShardedRunner(ep, s.durableShards(srv, back, i), srv.Route())
 	})
 }
 
@@ -702,6 +836,13 @@ func (s *Store) openAndRecover(i int, srv *keyed.ShardedServer) (storage.Backend
 	if err != nil {
 		return nil, err
 	}
+	if s.met != nil {
+		// Instrument the backend when it supports it (the file backend,
+		// possibly under a fault wrapper that forwards the method).
+		if fb, ok := back.(interface{ SetMetrics(*storage.FileMetrics) }); ok {
+			fb.SetMetrics(storage.NewFileMetrics(s.met.reg))
+		}
+	}
 	if _, err := storage.Recover(back, srv); err != nil {
 		back.Close()
 		return nil, err
@@ -713,14 +854,16 @@ func (s *Store) openAndRecover(i int, srv *keyed.ShardedServer) (storage.Backend
 // shards when back is nil, or each shard wrapped in a storage.Durable
 // sharing the server's one backend — their records land in a single
 // ordered log and their commits share group fsyncs.
-func durableShards(srv *keyed.ShardedServer, back storage.Backend, i int) []node.Automaton {
+func (s *Store) durableShards(srv *keyed.ShardedServer, back storage.Backend, i int) []node.Automaton {
 	shards := srv.Shards()
 	if back == nil {
 		return shards
 	}
 	out := make([]node.Automaton, len(shards))
 	for j, sh := range shards {
-		out[j] = storage.NewDurable(sh, back, types.ServerID(i))
+		d := storage.NewDurable(sh, back, types.ServerID(i))
+		d.SetMetrics(s.durMet)
+		out[j] = d
 	}
 	return out
 }
@@ -747,7 +890,9 @@ func (s *Store) restart(i int, build func(transport.Endpoint) node.Process) erro
 		return fmt.Errorf("kv restart server %d: %w", i, err)
 	}
 	r := build(ep)
+	s.runnersMu.Lock()
 	s.runners[i] = r
+	s.runnersMu.Unlock()
 	r.Start()
 	return nil
 }

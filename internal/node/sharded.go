@@ -118,6 +118,17 @@ func (r *ShardedRunner) CrashAfterSteps(n int) {
 // shards.
 func (r *ShardedRunner) Steps() int64 { return r.steps.Load() }
 
+// QueueLen reports the total number of envelopes queued across every
+// shard mailbox but not yet stepped — the live backpressure signal the
+// admin metrics export per server.
+func (r *ShardedRunner) QueueLen() int {
+	n := 0
+	for _, q := range r.queues {
+		n += q.Len()
+	}
+	return n
+}
+
 // Stop is an alias of Crash: in this model a graceful shutdown and a
 // crash are indistinguishable to the rest of the system.
 func (r *ShardedRunner) Stop() { r.Crash() }

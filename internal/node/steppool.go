@@ -15,11 +15,13 @@ import (
 const stepQueueDepth = 256
 
 // poolJob is one queued automaton step plus the callback that receives
-// its output.
+// its output — or, when do is set, an arbitrary closure run with
+// exclusive ownership of the shard automaton (see Do).
 type poolJob struct {
 	from types.ProcID
 	msg  wire.Message
 	sink func([]transport.Outgoing)
+	do   func(Automaton)
 }
 
 // StepPool drives shard automata from explicit submissions, the
@@ -91,6 +93,50 @@ func (p *StepPool) Submit(from types.ProcID, m wire.Message, sink func([]transpo
 	}
 }
 
+// Do runs fn on shard i's worker goroutine with exclusive ownership of
+// that shard's automaton — the race-free way to inspect (or mutate)
+// live shard state without stopping the pool; the admin API's
+// /debug/stamps walks shards this way. Do blocks until fn has run and
+// returns true, or returns false without running fn if the pool is
+// closed (or closes while the job is queued). fn must not block on the
+// pool itself: its shard steps nothing until fn returns.
+func (p *StepPool) Do(i int, fn func(Automaton)) bool {
+	if i < 0 || i >= len(p.queues) {
+		return false
+	}
+	done := make(chan struct{})
+	job := poolJob{do: func(a Automaton) {
+		defer close(done)
+		fn(a)
+	}}
+	select {
+	case <-p.stop:
+		return false
+	case p.queues[i] <- job:
+	}
+	select {
+	case <-done:
+		return true
+	case <-p.stop:
+		// Close may have dropped the queued job; it may also already be
+		// running. Either way the worker exits without stepping further,
+		// so waiting on done could hang — report failure.
+		return false
+	}
+}
+
+// NumShards reports the pool's shard count.
+func (p *StepPool) NumShards() int { return len(p.queues) }
+
+// QueueLen reports the number of jobs queued on shard i — the live
+// backpressure signal the admin metrics export per shard.
+func (p *StepPool) QueueLen(i int) int {
+	if i < 0 || i >= len(p.queues) {
+		return 0
+	}
+	return len(p.queues[i])
+}
+
 // Close stops every worker and waits for them to exit. Jobs queued but
 // not yet stepped are dropped — to a client this is indistinguishable
 // from the server crashing with those messages in flight, which the
@@ -110,6 +156,10 @@ func (p *StepPool) work(i int) {
 		case <-p.stop:
 			return
 		case job := <-p.queues[i]:
+			if job.do != nil {
+				job.do(p.shards[i])
+				continue
+			}
 			scratch = StepInto(p.shards[i], job.from, job.msg, scratch[:0])
 			if job.sink != nil {
 				job.sink(scratch)

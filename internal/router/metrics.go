@@ -1,0 +1,70 @@
+package router
+
+import (
+	"sync"
+
+	"luckystore/internal/metrics"
+	"luckystore/internal/ring"
+)
+
+// Metrics instruments the routing layer: per-cluster operation counts
+// (how the ring spreads traffic), the routing epoch, and migration
+// activity — placements moved by a fleet change, and how many of those
+// carried data (the read-then-write-forward handoff). Per-cluster
+// counters are cached in sync.Maps so the hot path after the first
+// operation per cluster is one lock-free load plus an atomic add. Nil
+// disables everything.
+type Metrics struct {
+	reg        *metrics.Registry
+	Migrations *metrics.Counter // placements moved to a new owner
+	Handoffs   *metrics.Counter // migrations that forwarded a pair
+
+	puts sync.Map // ring.ClusterID → *metrics.Counter
+	gets sync.Map
+}
+
+// NewMetrics wires the router instruments into reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+		Migrations: reg.Counter("lucky_router_migrations_total",
+			"Key placements moved to a new owning cluster."),
+		Handoffs: reg.Counter("lucky_router_handoffs_total",
+			"Migrations that forwarded a pair (read-then-write-forward)."),
+	}
+}
+
+func (m *Metrics) counterFor(cache *sync.Map, name, help string, c ring.ClusterID) *metrics.Counter {
+	if v, ok := cache.Load(c); ok {
+		return v.(*metrics.Counter)
+	}
+	ctr := m.reg.Counter(name, help, metrics.L("cluster", string(c)))
+	v, _ := cache.LoadOrStore(c, ctr)
+	return v.(*metrics.Counter)
+}
+
+func (m *Metrics) put(c ring.ClusterID) {
+	if m == nil {
+		return
+	}
+	m.counterFor(&m.puts, "lucky_router_puts_total",
+		"Puts routed, by owning cluster.", c).Inc()
+}
+
+func (m *Metrics) get(c ring.ClusterID) {
+	if m == nil {
+		return
+	}
+	m.counterFor(&m.gets, "lucky_router_gets_total",
+		"Gets routed, by owning cluster.", c).Inc()
+}
+
+func (m *Metrics) migrated(handoff bool) {
+	if m == nil {
+		return
+	}
+	m.Migrations.Inc()
+	if handoff {
+		m.Handoffs.Inc()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"luckystore/internal/metrics"
 	"luckystore/internal/ring"
 	"luckystore/internal/tcpnet"
 	"luckystore/internal/transport"
@@ -35,11 +36,60 @@ type Proxy struct {
 	ring  *ring.Ring
 	addrs map[ring.ClusterID]map[types.ProcID]string // per-cluster dial map
 	ls    []net.Listener
+	met   *proxyMetrics
 
 	mu       sync.Mutex
 	sessions map[types.ProcID]*session
 	closed   bool
 	wg       sync.WaitGroup
+}
+
+// proxyMetrics instruments the forwarding plane: inbound request
+// frames, forwarded messages by owning cluster (the proxy's view of how
+// the ring spreads traffic), and live session count. Nil disables
+// everything.
+type proxyMetrics struct {
+	reg      *metrics.Registry
+	framesIn *metrics.Counter
+	forwards sync.Map // ring.ClusterID → *metrics.Counter
+}
+
+func newProxyMetrics(reg *metrics.Registry, p *Proxy) *proxyMetrics {
+	reg.GaugeFunc("lucky_proxy_clusters", "Clusters the proxy fronts.",
+		func() int64 { return int64(len(p.addrs)) })
+	reg.GaugeFunc("lucky_proxy_sessions", "Downstream client sessions.",
+		func() int64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return int64(len(p.sessions))
+		})
+	return &proxyMetrics{
+		reg: reg,
+		framesIn: reg.Counter("lucky_proxy_frames_in_total",
+			"Request frames received from downstream clients."),
+	}
+}
+
+func (m *proxyMetrics) frameIn() {
+	if m == nil {
+		return
+	}
+	m.framesIn.Inc()
+}
+
+func (m *proxyMetrics) forward(c ring.ClusterID) {
+	if m == nil {
+		return
+	}
+	if v, ok := m.forwards.Load(c); ok {
+		v.(*metrics.Counter).Inc()
+		return
+	}
+	ctr := m.reg.Counter("lucky_proxy_forwards_total",
+		"Messages forwarded upstream, by owning cluster.",
+		metrics.L("cluster", string(c)))
+	v, _ := m.forwards.LoadOrStore(c, ctr)
+	v.(*metrics.Counter).Inc()
 }
 
 // ProxyConfig configures NewProxy.
@@ -54,6 +104,8 @@ type ProxyConfig struct {
 	// Listen holds the S downstream addresses to listen on; empty
 	// means S times "127.0.0.1:0".
 	Listen []string
+	// Metrics, when non-nil, receives the proxy's live instruments.
+	Metrics *metrics.Registry
 }
 
 // session is one downstream client identity's forwarding state: its
@@ -119,6 +171,9 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		}
 		p.addrs[id] = m
 	}
+	if cfg.Metrics != nil {
+		p.met = newProxyMetrics(cfg.Metrics, p)
+	}
 	for i, a := range listen {
 		l, err := net.Listen("tcp", a)
 		if err != nil {
@@ -183,16 +238,20 @@ func (p *Proxy) serveConn(idx int, conn net.Conn) {
 			_ = conn.Close()
 			return
 		}
+		p.met.frameIn()
 		for _, e := range wire.Expand(env) {
 			k, ok := e.Msg.(wire.Keyed)
 			if !ok {
 				continue // only the keyed protocol is routable by key
 			}
-			up, err := sess.upstream(p.ring.Lookup(k.Key))
+			owner := p.ring.Lookup(k.Key)
+			up, err := sess.upstream(owner)
 			if err != nil {
 				continue // dead cluster == crashed servers; clients tolerate
 			}
-			_ = up.Send(e.To, e.Msg)
+			if up.Send(e.To, e.Msg) == nil {
+				p.met.forward(owner)
+			}
 		}
 	}
 }

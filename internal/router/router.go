@@ -33,6 +33,7 @@ import (
 
 	"luckystore/internal/core"
 	"luckystore/internal/kv"
+	"luckystore/internal/metrics"
 	"luckystore/internal/ring"
 	"luckystore/internal/types"
 )
@@ -83,6 +84,10 @@ type Options struct {
 	// below it route to the same reader on whichever cluster owns the
 	// key.
 	Readers int
+	// Metrics, when non-nil, threads live instrumentation through the
+	// routing layer into the registry: per-cluster op counts, the
+	// routing epoch, and migration/handoff counters.
+	Metrics *metrics.Registry
 }
 
 // state is the router's immutable routing epoch: swapped whole on every
@@ -111,6 +116,7 @@ type keyState struct {
 // still be handed off out of them).
 type Router struct {
 	opts Options
+	met  *Metrics // nil when uninstrumented
 
 	mu sync.Mutex // serializes fleet changes and Close
 	st atomic.Pointer[state]
@@ -147,6 +153,15 @@ func New(opts Options, backends map[ring.ClusterID]Backend) (*Router, error) {
 		active:  active,
 		retired: map[ring.ClusterID]Backend{},
 	})
+	if opts.Metrics != nil {
+		r.met = NewMetrics(opts.Metrics)
+		opts.Metrics.GaugeFunc("lucky_router_epoch",
+			"Current routing epoch (bumped by every fleet change; 0 after Close).",
+			func() int64 { return int64(r.Epoch()) })
+		opts.Metrics.GaugeFunc("lucky_router_clusters",
+			"Active clusters in the ring.",
+			func() int64 { return int64(len(r.Clusters())) })
+	}
 	return r, nil
 }
 
@@ -263,6 +278,7 @@ func (r *Router) migrateLocked(key string, ks *keyState) error {
 			return fmt.Errorf("router: handoff write of %q to %s: %w", key, owner, err)
 		}
 	}
+	r.met.migrated(oldB != nil)
 	ks.cluster = owner
 	ks.epoch = st.epoch
 	return nil
@@ -378,6 +394,7 @@ func (r *Router) Put(key string, value types.Value) (core.WriteMeta, error) {
 		return core.WriteMeta{}, err
 	}
 	defer ks.mu.RUnlock()
+	r.met.put(ks.cluster)
 	if err := b.Put(key, value); err != nil {
 		return core.WriteMeta{}, err
 	}
@@ -398,6 +415,7 @@ func (r *Router) PutAs(w int, key string, value types.Value) (core.WriteMeta, er
 		return core.WriteMeta{}, err
 	}
 	defer ks.mu.RUnlock()
+	r.met.put(ks.cluster)
 	m, ok := b.(MultiWriterBackend)
 	if !ok {
 		return core.WriteMeta{}, fmt.Errorf("router: cluster owning %q exposes a single writer identity", key)
@@ -415,6 +433,7 @@ func (r *Router) Get(idx int, key string) (types.Tagged, core.ReadMeta, error) {
 		return types.Tagged{}, core.ReadMeta{}, err
 	}
 	defer ks.mu.RUnlock()
+	r.met.get(ks.cluster)
 	v, err := b.Get(idx, key)
 	if err != nil {
 		return types.Tagged{}, core.ReadMeta{}, err
@@ -443,6 +462,7 @@ func (r *Router) PutBatch(puts map[string]types.Value) error {
 			errs = append(errs, fmt.Errorf("put %q: %w", key, err))
 			continue
 		}
+		r.met.put(ks.cluster)
 		pends = append(pends, pending{ks: ks, f: b.PutAsync(key, value), key: key})
 	}
 	for _, p := range pends {
@@ -479,6 +499,7 @@ func (r *Router) GetBatch(idx int, keys []string) (map[string]types.Tagged, erro
 			errs = append(errs, fmt.Errorf("get %q: %w", key, err))
 			continue
 		}
+		r.met.get(ks.cluster)
 		pends = append(pends, pending{ks: ks, f: b.GetAsync(idx, key), key: key})
 	}
 	out := make(map[string]types.Tagged, len(pends))

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"time"
+
 	"luckystore/internal/node"
 	"luckystore/internal/transport"
 	"luckystore/internal/types"
@@ -26,7 +28,13 @@ type Durable struct {
 	self  types.ProcID
 	buf   []byte // record encode scratch, reused every step
 	dead  bool
+	met   *DurableMetrics // nil disables; set before stepping begins
 }
+
+// SetMetrics attaches live instrumentation. Like every other field, it
+// is owned by the stepping goroutine: call it before the first step
+// (at construction/wiring time), not concurrently with stepping.
+func (d *Durable) SetMetrics(m *DurableMetrics) { d.met = m }
 
 var (
 	_ node.Automaton     = (*Durable)(nil)
@@ -62,6 +70,10 @@ func (d *Durable) StepAppend(from types.ProcID, m wire.Message, out []transport.
 	if !Mutating(m) {
 		return res
 	}
+	var t0 time.Time
+	if d.met != nil {
+		t0 = time.Now()
+	}
 	var err error
 	d.buf, err = AppendRecord(d.buf[:0], from, d.self, m)
 	if err == nil {
@@ -73,6 +85,10 @@ func (d *Durable) StepAppend(from types.ProcID, m wire.Message, out []transport.
 	if err != nil {
 		d.dead = true
 		return res[:n]
+	}
+	if d.met != nil {
+		d.met.Appends.Inc()
+		d.met.AppendLatency.ObserveSince(t0)
 	}
 	return res
 }

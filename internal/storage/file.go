@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"luckystore/internal/types"
 	"luckystore/internal/wire"
@@ -108,7 +110,14 @@ type File struct {
 	closed      bool
 
 	encScratch []byte // compaction/snapshot encode buffer
+
+	met atomic.Pointer[FileMetrics] // nil until SetMetrics
 }
+
+// SetMetrics attaches (or detaches, with nil) live instrumentation.
+// Safe at any time: writeFlush runs outside the backend lock, so the
+// pointer is atomic rather than mu-guarded.
+func (f *File) SetMetrics(m *FileMetrics) { f.met.Store(m) }
 
 var _ Backend = (*File)(nil)
 
@@ -464,6 +473,10 @@ func (f *File) finishFlushLocked(buf []byte, recs int, target int64, err error) 
 	f.durableSeq = target
 	f.walRecords += recs
 	f.walBytes += int64(len(buf))
+	if m := f.met.Load(); m != nil {
+		m.FlushRecords.ObserveN(int64(recs))
+		m.FlushBytes.Add(int64(len(buf)))
+	}
 }
 
 // writeFlush performs the IO for one flush. With tear set it writes
@@ -490,8 +503,12 @@ func (f *File) writeFlush(buf []byte, tear bool, lastFrame int) error {
 		return err
 	}
 	if f.mode != SyncNone {
+		t0 := time.Now()
 		if err := f.wal.Sync(); err != nil {
 			return err
+		}
+		if m := f.met.Load(); m != nil {
+			m.FsyncLatency.ObserveSince(t0)
 		}
 	}
 	return nil
@@ -739,6 +756,9 @@ func (f *File) compactLocked() error {
 	}
 	f.snapRecords, f.snapBytes = written, st.Size()
 	f.compactions++
+	if m := f.met.Load(); m != nil {
+		m.Compactions.Inc()
+	}
 	return nil
 }
 

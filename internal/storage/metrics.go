@@ -1,0 +1,47 @@
+package storage
+
+import "luckystore/internal/metrics"
+
+// FileMetrics instruments the file backend's group commit: how long
+// each fsync takes, how many records (and bytes) each flushed batch
+// carried — the group-commit amortization E15 measures — and how many
+// compactions have sealed the log. Observations are atomic and
+// allocation-free; a nil *FileMetrics disables everything.
+type FileMetrics struct {
+	FsyncLatency *metrics.Histogram // wall time of one fsync (ns)
+	FlushRecords *metrics.Histogram // records per flushed batch (count-valued)
+	FlushBytes   *metrics.Counter   // framed bytes flushed, ever
+	Compactions  *metrics.Counter   // snapshots sealed
+}
+
+// NewFileMetrics wires the file-backend instruments into reg.
+func NewFileMetrics(reg *metrics.Registry) *FileMetrics {
+	return &FileMetrics{
+		FsyncLatency: reg.Histogram("lucky_wal_fsync_latency_ns",
+			"Wall time of one WAL fsync, nanoseconds."),
+		FlushRecords: reg.Histogram("lucky_wal_flush_records",
+			"Records per flushed WAL batch (group-commit width, count-valued buckets)."),
+		FlushBytes: reg.Counter("lucky_wal_flush_bytes_total",
+			"Framed bytes flushed to the WAL."),
+		Compactions: reg.Counter("lucky_wal_compactions_total",
+			"Log compactions: snapshot segments sealed."),
+	}
+}
+
+// DurableMetrics instruments the Durable stepper: how many mutating
+// steps were logged and the per-step append+commit latency — what one
+// acknowledged write pays for durability, fsync wait included.
+type DurableMetrics struct {
+	Appends       *metrics.Counter
+	AppendLatency *metrics.Histogram
+}
+
+// NewDurableMetrics wires the durable-stepper instruments into reg.
+func NewDurableMetrics(reg *metrics.Registry) *DurableMetrics {
+	return &DurableMetrics{
+		Appends: reg.Counter("lucky_wal_appends_total",
+			"Mutating steps logged to the WAL."),
+		AppendLatency: reg.Histogram("lucky_wal_append_latency_ns",
+			"Per-step WAL append+commit latency, nanoseconds (fsync wait included)."),
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"luckystore/internal/metrics"
 	"luckystore/internal/node"
 	"luckystore/internal/transport"
 	"luckystore/internal/types"
@@ -35,13 +37,16 @@ const framePipelineDepth = 64
 //
 // The shards and route function typically come from a
 // keyed.ShardedServer's Shards and Route methods.
-func ListenSharded(id types.ProcID, addr string, shards []node.Automaton, route func(wire.Message) int) (*Server, error) {
+func ListenSharded(id types.ProcID, addr string, shards []node.Automaton, route func(wire.Message) int, opts ...ServerOption) (*Server, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("tcpnet: sharded server needs at least one shard")
 	}
 	s, err := listen(id, addr)
 	if err != nil {
 		return nil, err
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	s.pool = node.NewStepPool(shards, route)
 	s.wg.Add(1)
@@ -144,6 +149,7 @@ readLoop:
 		if err != nil {
 			break // EOF, malformed frame, or closed
 		}
+		s.met.frameIn()
 		inner := wire.Expand(env)
 		if len(inner) == 0 {
 			continue
@@ -157,12 +163,26 @@ readLoop:
 		}
 		for i, e := range inner {
 			slot := i
+			// Per-key-class service latency: submit to reply-filled,
+			// measured only for keyed messages on an instrumented server
+			// (cls stays -1 otherwise and the sink skips the observe).
+			var t0 time.Time
+			cls := -1
+			if s.met != nil {
+				if k, isKeyed := e.Msg.(wire.Keyed); isKeyed {
+					cls = metrics.KeyClass(k.Key)
+					t0 = time.Now()
+				}
+			}
 			// The connection authenticates the sender: ignore the
 			// claimed From and use the handshake identity. The sink runs
 			// on the shard worker; it only copies the peer-bound replies
 			// out of the worker's scratch and decrements.
 			ok := s.pool.Submit(peer, e.Msg, func(out []transport.Outgoing) {
 				pf.fill(slot, out, peer)
+				if cls >= 0 {
+					s.met.Service[cls].ObserveSince(t0)
+				}
 			})
 			if !ok {
 				// Pool closed mid-frame: complete the slot empty so the
@@ -232,6 +252,7 @@ func (s *Server) writePump(conn net.Conn, peer types.ProcID, frames <-chan *pend
 			_ = conn.Close() // stop the read loop too
 			continue
 		}
+		s.met.replies(len(replyBuf))
 		if len(frames) == 0 {
 			flush() // nothing completed is queued: the pipe would go idle
 		}

@@ -60,6 +60,7 @@ type Server struct {
 	ln   net.Listener
 	auto node.Automaton // serialized mode; nil when sharded
 	pool *node.StepPool // sharded mode; nil when serialized
+	met  *ServerMetrics // nil when uninstrumented
 
 	mu        sync.Mutex // serializes automaton steps across connections
 	connMu    sync.Mutex
@@ -69,14 +70,25 @@ type Server struct {
 	closed    chan struct{}
 }
 
+// ServerOption configures Listen and ListenSharded.
+type ServerOption func(*Server)
+
+// WithServerMetrics attaches live instrumentation to the server.
+func WithServerMetrics(m *ServerMetrics) ServerOption {
+	return func(s *Server) { s.met = m }
+}
+
 // Listen starts a server for the automaton on addr (e.g.
 // "127.0.0.1:0"); the chosen address is available via Addr. Every
 // automaton step is serialized behind one mutex; a keyed store meant to
 // step independent keys in parallel should use ListenSharded instead.
-func Listen(id types.ProcID, addr string, auto node.Automaton) (*Server, error) {
+func Listen(id types.ProcID, addr string, auto node.Automaton, opts ...ServerOption) (*Server, error) {
 	s, err := listen(id, addr)
 	if err != nil {
 		return nil, err
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	s.auto = auto
 	s.wg.Add(1)
@@ -106,6 +118,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // ID returns the server's process id.
 func (s *Server) ID() types.ProcID { return s.id }
+
+// Pool returns the sharded step pool, nil in serialized mode. The
+// admin surface uses it for per-shard queue-depth gauges and for
+// walking live shard state on the worker goroutines (StepPool.Do).
+func (s *Server) Pool() *node.StepPool { return s.pool }
 
 // Close stops the listener and every connection, waiting for all
 // server goroutines to exit. It is idempotent and safe to call
@@ -179,6 +196,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF, malformed frame, or closed
 		}
+		s.met.frameIn()
 		// A batch frame unwraps at the endpoint boundary: each inner
 		// message is a separate automaton step. Replies to one batch
 		// coalesce back into a single frame, so a lucky multi-key round
@@ -204,6 +222,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := writeReplies(bw, s.id, peer, replies); err != nil {
 			return
 		}
+		s.met.replies(len(replies))
 		if err := bw.Flush(); err != nil {
 			return
 		}
@@ -225,12 +244,21 @@ type Client struct {
 	addrs map[types.ProcID]string
 	mbox  *transport.Mailbox
 	dial  func(addr string) (net.Conn, error) // swappable in tests
+	met   *ClientMetrics                      // nil when uninstrumented
 
 	mu     sync.Mutex
 	conns  map[types.ProcID]*clientConn
 	dials  map[types.ProcID]*dialCall // in-flight dials, one per destination
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// ClientOption configures Dial.
+type ClientOption func(*Client)
+
+// WithClientMetrics attaches live instrumentation to the client.
+func WithClientMetrics(m *ClientMetrics) ClientOption {
+	return func(c *Client) { c.met = m }
 }
 
 type clientConn struct {
@@ -279,7 +307,7 @@ var (
 // Dial creates a client endpoint for the process id, configured with
 // the server address map. Connections are established on first send to
 // each server.
-func Dial(id types.ProcID, servers map[types.ProcID]string) (*Client, error) {
+func Dial(id types.ProcID, servers map[types.ProcID]string, opts ...ClientOption) (*Client, error) {
 	if !id.Valid() || id.IsServer() {
 		return nil, fmt.Errorf("tcpnet: %q is not a client id", id)
 	}
@@ -290,14 +318,18 @@ func Dial(id types.ProcID, servers map[types.ProcID]string) (*Client, error) {
 		}
 		addrs[sid] = addr
 	}
-	return &Client{
+	c := &Client{
 		id:    id,
 		addrs: addrs,
 		mbox:  transport.NewMailbox(),
 		dial:  func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
 		conns: make(map[types.ProcID]*clientConn),
 		dials: make(map[types.ProcID]*dialCall),
-	}, nil
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
 }
 
 // ID implements transport.Endpoint.
@@ -322,6 +354,7 @@ func (c *Client) Send(to types.ProcID, m wire.Message) error {
 	env := wire.Envelope{From: c.id, To: to, Msg: m}
 	retried, err := c.sendOnce(to, env)
 	if err != nil && retried {
+		c.met.redial()
 		_, err = c.sendOnce(to, env)
 	}
 	return err
@@ -342,6 +375,7 @@ func (c *Client) sendOnce(to types.ProcID, env wire.Envelope) (retryable bool, e
 		c.dropConn(to, cc)
 		return true, fmt.Errorf("tcpnet send to %s: %w", to, err)
 	}
+	c.met.frameOut()
 	return false, nil
 }
 
@@ -362,6 +396,7 @@ func (c *Client) SendBatched(to types.ProcID, msgs []wire.Message) error {
 		// Same stale-connection redial as Send: the peer may have
 		// crash-restarted on its address since this batch's conn was
 		// cached.
+		c.met.redial()
 		_, err = c.sendBatchedOnce(to, msgs)
 	}
 	return err
@@ -381,6 +416,7 @@ func (c *Client) sendBatchedOnce(to types.ProcID, msgs []wire.Message) (retryabl
 			c.dropConn(to, cc)
 			return true, fmt.Errorf("tcpnet send to %s: %w", to, err)
 		}
+		c.met.frameOut()
 	}
 	cc.shrink()
 	return false, encErr
@@ -504,6 +540,7 @@ func (c *Client) readLoop(from types.ProcID, cc *clientConn) {
 			}
 			return
 		}
+		c.met.frameIn()
 		// Stamp the authenticated origin — the server this connection
 		// was dialed to — and unwrap batch frames at the endpoint
 		// boundary (non-batch frames take the allocation-free path).

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"luckystore/internal/metrics"
 	"luckystore/internal/types"
 	"luckystore/internal/wire"
 )
@@ -42,7 +44,35 @@ type Coalescer struct {
 
 	drained [][]wire.Message // flusher-owned scratch, parallel to its order
 	done    chan struct{}    // closed when the flusher goroutine has exited
+
+	met atomic.Pointer[CoalescerMetrics] // nil until SetMetrics
 }
+
+// CoalescerMetrics instruments the send-side group commit: how many
+// drain runs the flusher shipped, how many messages they carried, and
+// the width distribution (the paper-relevant number — how much fan-out
+// one goroutine handoff amortizes). Observations are atomic and
+// allocation-free.
+type CoalescerMetrics struct {
+	Runs  *metrics.Counter
+	Msgs  *metrics.Counter
+	Width *metrics.Histogram // per-destination drain-run width (count-valued)
+}
+
+// NewCoalescerMetrics wires the coalescer instruments into reg under
+// the given role label (e.g. "writer", "reader").
+func NewCoalescerMetrics(reg *metrics.Registry, role string) *CoalescerMetrics {
+	l := metrics.L("role", role)
+	return &CoalescerMetrics{
+		Runs:  reg.Counter("lucky_coalescer_runs_total", "Per-destination drain runs the flusher shipped.", l),
+		Msgs:  reg.Counter("lucky_coalescer_msgs_total", "Messages carried by drain runs.", l),
+		Width: reg.Histogram("lucky_coalescer_batch_width", "Messages per drain run (count-valued buckets).", l),
+	}
+}
+
+// SetMetrics attaches (or detaches, with nil) live instrumentation.
+// Safe to call at any time, including while the flusher runs.
+func (c *Coalescer) SetMetrics(m *CoalescerMetrics) { c.met.Store(m) }
 
 // destQueue is one destination's double-buffered send queue.
 type destQueue struct {
@@ -195,6 +225,11 @@ func (c *Coalescer) run() {
 // for the ubiquitous single-message round (no coalescing, and none of
 // CoalesceKeyed's bookkeeping).
 func (c *Coalescer) sendRun(to types.ProcID, msgs []wire.Message) {
+	if m := c.met.Load(); m != nil {
+		m.Runs.Inc()
+		m.Msgs.Add(int64(len(msgs)))
+		m.Width.ObserveN(int64(len(msgs)))
+	}
 	if c.batch != nil {
 		_ = c.batch.SendBatched(to, msgs)
 		return

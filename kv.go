@@ -3,6 +3,7 @@ package luckystore
 import (
 	"luckystore/internal/core"
 	"luckystore/internal/kv"
+	"luckystore/internal/metrics"
 )
 
 // KVStore is the multi-register layer: a key-value store in which every
@@ -44,6 +45,25 @@ type KVOption = kv.Option
 // WithKVShards sets how many shard workers each KV server runs its
 // per-key registers on; the default scales with GOMAXPROCS.
 func WithKVShards(n int) KVOption { return kv.WithShards(n) }
+
+// MetricsRegistry collects live instruments — counters, gauges, and
+// latency histograms — and renders them in Prometheus text format (see
+// internal/metrics). One registry is shared by every layer of a store:
+// protocol round counts, shard queue depths, WAL fsync latency, frame
+// traffic.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry ready to be passed to
+// WithKVMetrics or WithTCPMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WithKVMetrics threads live instrumentation through every layer of the
+// store: core writer/reader path counters and latency histograms,
+// per-key-class Put/Get latency, per-server queue-depth gauges, WAL
+// metrics on durable stores, and coalescer batch widths. The zero cost
+// when absent is preserved — uninstrumented stores skip every observe
+// with a nil check.
+func WithKVMetrics(reg *MetricsRegistry) KVOption { return kv.WithMetrics(reg) }
 
 // OpenKV builds and starts a key-value store on an in-memory network.
 func OpenKV(cfg Config, opts ...KVOption) (*KVStore, error) { return kv.Open(cfg, opts...) }

@@ -3,9 +3,12 @@ package luckystore
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"luckystore/internal/core"
+	"luckystore/internal/keyed"
 	"luckystore/internal/kv"
+	"luckystore/internal/metrics"
 	"luckystore/internal/node"
 	"luckystore/internal/storage"
 	"luckystore/internal/tcpnet"
@@ -24,7 +27,9 @@ const WireFormatVersion = wire.FormatVersion
 // TCPServer is one storage server listening on a real TCP socket.
 type TCPServer struct {
 	inner *tcpnet.Server
-	back  storage.Backend // non-nil when disk-backed (WithTCPDataDir)
+	back  storage.Backend      // non-nil when disk-backed (WithTCPDataDir)
+	srv   *keyed.ShardedServer // keyed state, nil for the single-register ListenTCP
+	reg   *core.Server         // the single register, nil for ListenTCPKV
 }
 
 // Addr returns the listening address (host:port).
@@ -47,6 +52,44 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
+// WriteStamps writes the server's live register stamps, one line per
+// instantiated register: "key seq writer" (the single-register
+// ListenTCP server prints key "-"). A sharded store is walked
+// race-free without quiescing: each shard is visited on its own worker
+// goroutine (node.StepPool.Do), the only goroutine allowed to touch
+// its unlocked register map. This backs the admin API's /debug/stamps.
+func (s *TCPServer) WriteStamps(w io.Writer) error {
+	if s.srv == nil {
+		_, wv, _ := s.reg.State() // the register locks internally
+		_, err := fmt.Fprintf(w, "- %d %d\n", wv.TS, wv.W)
+		return err
+	}
+	pool := s.inner.Pool()
+	var werr error
+	for i := 0; i < s.srv.NumShards(); i++ {
+		ok := pool.Do(i, func(node.Automaton) {
+			s.srv.RangeShard(i, func(key string, reg node.Automaton) {
+				if werr != nil {
+					return
+				}
+				cs, isReg := reg.(*core.Server)
+				if !isReg {
+					return
+				}
+				_, wv, _ := cs.State()
+				_, werr = fmt.Fprintf(w, "%s %d %d\n", key, wv.TS, wv.W)
+			})
+		})
+		if !ok {
+			return fmt.Errorf("luckystore stamps: server closed")
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
 // ListenTCP starts storage server i on addr (use "127.0.0.1:0" to pick
 // a free port). A production deployment runs one of these per machine;
 // cmd/luckyd wraps it as a daemon. With WithTCPDataDir the server
@@ -58,28 +101,33 @@ func ListenTCP(i int, addr string, opts ...TCPOption) (*TCPServer, error) {
 		opt(&o)
 	}
 	a := core.NewServer()
+	if o.metrics != nil {
+		a.SetMetrics(core.NewServerMetrics(o.metrics))
+	}
 	run := node.Automaton(a)
-	var back storage.Backend
-	if o.dataDir != "" {
-		var err error
-		back, err = storage.NewFile(o.dataDir, func() storage.Automaton { return core.NewServer() })
-		if err != nil {
-			return nil, fmt.Errorf("luckystore server %d storage: %w", i, err)
-		}
+	back, err := o.openBackend(func() storage.Automaton { return core.NewServer() })
+	if err != nil {
+		return nil, fmt.Errorf("luckystore server %d storage: %w", i, err)
+	}
+	if back != nil {
 		if _, err := storage.Recover(back, a); err != nil {
 			_ = back.Close()
 			return nil, fmt.Errorf("luckystore server %d recovery: %w", i, err)
 		}
-		run = storage.NewDurable(a, back, types.ServerID(i))
+		d := storage.NewDurable(a, back, types.ServerID(i))
+		if o.metrics != nil {
+			d.SetMetrics(storage.NewDurableMetrics(o.metrics))
+		}
+		run = d
 	}
-	inner, err := tcpnet.Listen(types.ServerID(i), addr, run)
+	inner, err := tcpnet.Listen(types.ServerID(i), addr, run, o.serverOptions()...)
 	if err != nil {
 		if back != nil {
 			_ = back.Close()
 		}
 		return nil, err
 	}
-	return &TCPServer{inner: inner, back: back}, nil
+	return &TCPServer{inner: inner, back: back, reg: a}, nil
 }
 
 // ServerAddrs builds the address map clients need from an ordered list
@@ -131,6 +179,41 @@ type TCPOption func(*tcpOptions)
 type tcpOptions struct {
 	shards  int
 	dataDir string
+	metrics *metrics.Registry
+}
+
+// openBackend opens the durable file backend when WithTCPDataDir was
+// given (instrumented when metrics are on), nil otherwise.
+func (o *tcpOptions) openBackend(factory func() storage.Automaton) (storage.Backend, error) {
+	if o.dataDir == "" {
+		return nil, nil
+	}
+	back, err := storage.NewFile(o.dataDir, factory)
+	if err != nil {
+		return nil, err
+	}
+	if o.metrics != nil {
+		back.SetMetrics(storage.NewFileMetrics(o.metrics))
+	}
+	return back, nil
+}
+
+// serverOptions translates the TCP options into tcpnet listener options.
+func (o *tcpOptions) serverOptions() []tcpnet.ServerOption {
+	if o.metrics == nil {
+		return nil
+	}
+	return []tcpnet.ServerOption{tcpnet.WithServerMetrics(tcpnet.NewServerMetrics(o.metrics))}
+}
+
+// WithTCPMetrics threads live instrumentation through the server into
+// reg: request/reply frame counters, per-key-class shard service
+// latency, per-shard queue depths, register message counters, and —
+// with WithTCPDataDir — WAL append/fsync latency and group-commit
+// batch sizes. cmd/luckyd serves the registry on its admin listener's
+// /metrics (DESIGN.md §13).
+func WithTCPMetrics(reg *metrics.Registry) TCPOption {
+	return func(o *tcpOptions) { o.metrics = reg }
 }
 
 // WithTCPShards sets how many shard workers the TCP KV server steps its
@@ -164,15 +247,17 @@ func ListenTCPKV(i int, addr string, opts ...TCPOption) (*TCPServer, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	srv := kv.NewShardedServerAutomaton(o.shards)
+	var sm *core.ServerMetrics
+	if o.metrics != nil {
+		sm = core.NewServerMetrics(o.metrics)
+	}
+	srv := kv.NewShardedServerAutomatonInstrumented(o.shards, sm)
 	shards := srv.Shards()
-	var back storage.Backend
-	if o.dataDir != "" {
-		var err error
-		back, err = storage.NewFile(o.dataDir, kv.NewStorageAutomaton)
-		if err != nil {
-			return nil, fmt.Errorf("luckystore kv server %d storage: %w", i, err)
-		}
+	back, err := o.openBackend(kv.NewStorageAutomaton)
+	if err != nil {
+		return nil, fmt.Errorf("luckystore kv server %d storage: %w", i, err)
+	}
+	if back != nil {
 		// Replay routes through the sharded server's single-goroutine
 		// Step before any shard worker exists, then every shard writes
 		// through the one backend (group-committed fsyncs).
@@ -180,38 +265,63 @@ func ListenTCPKV(i int, addr string, opts ...TCPOption) (*TCPServer, error) {
 			_ = back.Close()
 			return nil, fmt.Errorf("luckystore kv server %d recovery: %w", i, err)
 		}
+		var dm *storage.DurableMetrics
+		if o.metrics != nil {
+			dm = storage.NewDurableMetrics(o.metrics)
+		}
 		for j, sh := range shards {
-			shards[j] = storage.NewDurable(sh, back, types.ServerID(i))
+			d := storage.NewDurable(sh, back, types.ServerID(i))
+			d.SetMetrics(dm)
+			shards[j] = d
 		}
 	}
-	inner, err := tcpnet.ListenSharded(types.ServerID(i), addr, shards, srv.Route())
+	inner, err := tcpnet.ListenSharded(types.ServerID(i), addr, shards, srv.Route(), o.serverOptions()...)
 	if err != nil {
 		if back != nil {
 			_ = back.Close()
 		}
 		return nil, err
 	}
-	return &TCPServer{inner: inner, back: back}, nil
+	if o.metrics != nil {
+		// Per-shard queue depth: the live backpressure signal, one gauge
+		// per shard worker (DESIGN.md §13).
+		pool := inner.Pool()
+		for sh := 0; sh < pool.NumShards(); sh++ {
+			idx := sh
+			o.metrics.GaugeFunc("lucky_tcp_shard_queue_depth",
+				"Step jobs queued per shard worker, not yet stepped.",
+				func() int64 { return int64(pool.QueueLen(idx)) },
+				metrics.L("shard", strconv.Itoa(idx)))
+		}
+	}
+	return &TCPServer{inner: inner, back: back, srv: srv}, nil
 }
 
 // OpenKVTCP connects the client side of a key-value store to a TCP
 // cluster of ListenTCPKV servers: one writer connection plus
 // cfg.NumReaders reader connections. The returned store owns the
 // connections and closes them on Close.
-func OpenKVTCP(cfg Config, servers map[ProcID]string) (*KVStore, error) {
+// A store opened with WithKVMetrics additionally instruments the TCP
+// endpoints it dials (frame counters and redials, by role).
+func OpenKVTCP(cfg Config, servers map[ProcID]string, opts ...KVOption) (*KVStore, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(servers) != cfg.S() {
 		return nil, fmt.Errorf("luckystore: %d server addresses for S=%d", len(servers), cfg.S())
 	}
-	writerEP, err := tcpnet.Dial(types.WriterID(), servers)
+	var wcm, rcm *tcpnet.ClientMetrics
+	if reg := kv.MetricsRegistry(opts...); reg != nil {
+		wcm = tcpnet.NewClientMetrics(reg, "writer")
+		rcm = tcpnet.NewClientMetrics(reg, "reader")
+	}
+	writerEP, err := tcpnet.Dial(types.WriterID(), servers, clientOptions(wcm)...)
 	if err != nil {
 		return nil, err
 	}
 	readerEPs := make([]transport.Endpoint, cfg.NumReaders)
 	for i := range readerEPs {
-		ep, err := tcpnet.Dial(types.ReaderID(i), servers)
+		ep, err := tcpnet.Dial(types.ReaderID(i), servers, clientOptions(rcm)...)
 		if err != nil {
 			_ = writerEP.Close()
 			for j := 0; j < i; j++ {
@@ -221,5 +331,14 @@ func OpenKVTCP(cfg Config, servers map[ProcID]string) (*KVStore, error) {
 		}
 		readerEPs[i] = ep
 	}
-	return kv.OpenWithEndpoints(cfg, writerEP, readerEPs)
+	return kv.OpenWithEndpoints(cfg, writerEP, readerEPs, opts...)
+}
+
+// clientOptions translates an optional client-metrics handle into
+// tcpnet dial options.
+func clientOptions(m *tcpnet.ClientMetrics) []tcpnet.ClientOption {
+	if m == nil {
+		return nil
+	}
+	return []tcpnet.ClientOption{tcpnet.WithClientMetrics(m)}
 }
